@@ -1,0 +1,61 @@
+"""Ablation — analog programming vs bit-sliced multi-level cells.
+
+The paper assumes analog conductance programming; practical MLC ReRAM
+offers few stable levels.  This bench quantifies the accuracy of direct
+low-level programming vs bit-sliced storage (ISAAC-style shift-add) on
+the single-spiking engine, plus the tile-count cost.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.mvm import MVMMode
+from repro.mapping.backends import ReSiPEBackend
+from repro.mapping.bit_slicing import BitSlicingBackend
+from repro.reram.device import DeviceSpec
+
+
+def _measure():
+    rng = np.random.default_rng(0)
+    w = rng.random((32, 16))
+    x = rng.random((32, 32))
+    reference = x @ w
+
+    rows = []
+    for levels, bits_per_slice in ((4, 2), (16, 4)):
+        spec = dataclasses.replace(DeviceSpec.paper_linear_range(), levels=levels)
+        direct = ReSiPEBackend(mode=MVMMode.LINEAR, spec=spec).program(w)
+        err_direct = float(np.abs(direct.matmul(x) - reference).mean()
+                           / reference.mean())
+        sliced_backend = BitSlicingBackend(
+            total_bits=8, bits_per_slice=bits_per_slice,
+            inner=ReSiPEBackend(mode=MVMMode.LINEAR, spec=spec),
+        )
+        sliced = sliced_backend.program(w)
+        err_sliced = float(np.abs(sliced.matmul(x) - reference).mean()
+                           / reference.mean())
+        rows.append([
+            f"{levels}-level cell",
+            err_direct,
+            err_sliced,
+            sliced_backend.slices_per_weight,
+        ])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_bit_slicing(benchmark, save_result):
+    rows = benchmark(_measure)
+    save_result(
+        "ablation_bit_slicing",
+        render_table(
+            ["device", "direct rel err", "8b-sliced rel err", "slices/weight"],
+            rows,
+            title="Ablation — direct low-level programming vs bit slicing",
+        ),
+    )
+    for row in rows:
+        assert row[2] < row[1]  # slicing always helps at equal levels

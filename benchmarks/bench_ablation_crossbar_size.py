@@ -1,0 +1,57 @@
+"""Ablation — crossbar size vs linearity headroom and MVM fidelity.
+
+Bigger arrays amortise periphery but raise the worst-case column
+conductance (ΣG grows with rows), eating into the Σ G ≤ 1.6 mS regime.
+This sweep shows why the paper fixes 32×32.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.config import CircuitParameters
+from repro.core.engine import ReSiPEEngine
+from repro.core.power import ReSiPEPowerModel
+
+
+def _measure(sizes):
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in sizes:
+        params = dataclasses.replace(CircuitParameters.calibrated(), rows=n, cols=n)
+        engine = ReSiPEEngine.from_normalised_weights(rng.random((n, n)), params)
+        x = rng.random((16, n))
+        ref = x @ engine.normalised_weights
+        y = engine.mvm_values(x)
+        err = float(np.abs(y - ref).mean() / ref.mean())
+        worst_g = float(engine.array.column_total_conductance().max())
+        power = ReSiPEPowerModel(params)
+        rows.append(
+            [
+                f"{n}x{n}",
+                worst_g * 1e3,
+                params.saturation_depth(worst_g),
+                err,
+                power.power_efficiency() / 1e12,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_crossbar_size(benchmark, save_result):
+    rows = benchmark(_measure, (8, 16, 32, 64, 128))
+    save_result(
+        "ablation_crossbar_size",
+        render_table(
+            ["array", "worst col G (mS)", "sat depth", "mean MVM rel err",
+             "PE (TOPS/W)"],
+            rows,
+            title="Ablation — crossbar size vs linearity headroom",
+        ),
+    )
+    errors = [r[3] for r in rows]
+    # Saturation error grows monotonically with array size.
+    assert errors == sorted(errors)

@@ -1,0 +1,92 @@
+"""Ablation — ideal crossbar vs wire-parasitic (IR-drop) model.
+
+The vectorised engine assumes ideal interconnect; this bench solves the
+full parasitic network with MNA and quantifies the current error at
+realistic 65 nm wire resistances, across array sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.reram.crossbar import CrossbarArray
+from repro.reram.nonideal import IRDropSolver, WireParasitics
+
+
+def _measure(sizes, r_wire):
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in sizes:
+        xb = CrossbarArray(n, n)
+        xb.program_normalised(rng.random((n, n)))
+        v = rng.random(n)
+        solver = IRDropSolver(xb, WireParasitics(r_wire, r_wire))
+        rel, worst = solver.error_vs_ideal(v)
+        rows.append([f"{n}x{n}", r_wire, float(rel.mean()), worst])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1)
+def bench_ablation_ir_drop(benchmark, save_result):
+    rows = benchmark.pedantic(
+        _measure, args=((8, 16, 32), 2.5), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_ir_drop",
+        render_table(
+            ["array", "r_wire (Ohm/seg)", "mean rel err", "worst rel err"],
+            rows,
+            title="Ablation — IR-drop error vs ideal crossbar (MNA)",
+        ),
+    )
+    worst_errors = [r[3] for r in rows]
+    # IR drop worsens with array size but stays small at 65 nm wires.
+    assert worst_errors == sorted(worst_errors)
+    assert worst_errors[-1] < 0.05
+
+
+def _measure_engine_level(r_wires):
+    """Single-spike MVM with parasitic-aware Thevenin vs ideal columns."""
+    from repro.config import CircuitParameters
+    from repro.core.mvm import MVMMode, SingleSpikeMVM
+
+    rng = np.random.default_rng(0)
+    xb = CrossbarArray(32, 32)
+    xb.program_normalised(rng.random((32, 32)))
+    params = CircuitParameters.calibrated()
+    plain = SingleSpikeMVM(xb, params, MVMMode.EXACT)
+    times = rng.uniform(10e-9, 80e-9, (16, 32))
+    reference = plain.output_times(times)
+
+    rows = []
+    for r_wire in r_wires:
+        thevenin = IRDropSolver(
+            xb, WireParasitics(r_wire, r_wire)
+        ).column_thevenin()
+        aware = SingleSpikeMVM(
+            xb, params, MVMMode.EXACT, parasitic_thevenin=thevenin
+        )
+        out = aware.output_times(times)
+        rel = np.abs(out - reference) / np.maximum(reference, 1e-15)
+        rows.append([r_wire, float(rel.mean()), float(rel.max())])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1)
+def bench_ablation_ir_drop_engine(benchmark, save_result):
+    """IR drop propagated through the full single-spike timing chain."""
+    rows = benchmark.pedantic(
+        _measure_engine_level, args=((1.0, 2.5, 10.0, 25.0),),
+        rounds=1, iterations=1,
+    )
+    save_result(
+        "ablation_ir_drop_engine",
+        render_table(
+            ["r_wire (Ohm/seg)", "mean t_out rel err", "worst t_out rel err"],
+            rows,
+            title="Ablation — IR drop through the single-spike MVM (32x32)",
+        ),
+    )
+    worst = [r[2] for r in rows]
+    assert worst == sorted(worst)  # error grows with wire resistance
+    assert worst[0] < 0.02         # negligible at 1 Ohm/segment

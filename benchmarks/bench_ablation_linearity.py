@@ -1,0 +1,72 @@
+"""Ablation — paper-literal vs calibrated operating point.
+
+Quantifies the DESIGN.md §1 parameter-consistency note: at the literal
+published values (C_cog = 100 fF, τ_gd = 10 ns) the column saturates and
+the ramp curves, collapsing the MVM toward a weighted mean; the
+calibrated point (C_cog = 3.2 pF, τ_gd = 800 ns) realises the linear
+regime the paper's Eq. 5/6 algebra assumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.config import CircuitParameters
+from repro.core.engine import ReSiPEEngine
+from repro.core.power import ReSiPEPowerModel
+
+
+def _mvm_error(params) -> float:
+    rng = np.random.default_rng(0)
+    engine = ReSiPEEngine.from_normalised_weights(rng.random((32, 16)), params)
+    x = rng.random((32, 32))
+    ref = x @ engine.normalised_weights
+    y = engine.mvm_values(x)
+    return float(np.abs(y - ref).mean() / ref.mean())
+
+
+def _measure():
+    rows = []
+    for label, params in (
+        ("paper-literal", CircuitParameters.paper()),
+        ("calibrated", CircuitParameters.calibrated()),
+    ):
+        power = ReSiPEPowerModel(params)
+        rows.append(
+            [
+                label,
+                params.c_cog * 1e15,
+                params.tau_gd * 1e9,
+                params.saturation_depth(1.6e-3),
+                _mvm_error(params),
+                power.cog_power_share(),
+                power.power() * 1e6,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_linearity(benchmark, save_result):
+    rows = benchmark(_measure)
+    save_result(
+        "ablation_linearity",
+        render_table(
+            [
+                "operating point",
+                "C_cog (fF)",
+                "tau_gd (ns)",
+                "depth @1.6mS",
+                "mean MVM rel err",
+                "COG power share",
+                "power (uW)",
+            ],
+            rows,
+            title="Ablation — paper-literal vs calibrated operating point",
+        ),
+    )
+    paper_err = rows[0][4]
+    calibrated_err = rows[1][4]
+    assert calibrated_err < paper_err  # the calibration is why Fig. 7 works
+    # The calibrated point also reproduces the 98.1 % COG share claim.
+    assert rows[1][5] > 0.97

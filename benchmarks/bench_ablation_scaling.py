@@ -1,0 +1,23 @@
+"""Ablation — technology-scaling projection.
+
+Quantifies the paper's closing remark that smaller MIM capacitors at
+future nodes cut COG (and hence total) energy further.
+"""
+
+import pytest
+
+from repro.experiments.scaling import render_scaling, run_scaling
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_scaling(benchmark, save_result):
+    points = benchmark(run_scaling)
+    save_result("ablation_scaling", render_scaling(points))
+    energies = [p.energy_per_mvm for p in points]
+    # Energy per MVM falls monotonically with the node.
+    assert energies == sorted(energies, reverse=True)
+    # And superlinearly: 65 -> 16 nm is a ~4x node step but > 6x energy cut.
+    assert energies[0] / energies[-1] > 6.0
+    # Efficiency improves at every step.
+    pes = [p.power_efficiency for p in points]
+    assert pes == sorted(pes)

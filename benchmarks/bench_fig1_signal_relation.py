@@ -1,0 +1,20 @@
+"""Fig. 1 — two sequential layers chained without conversion circuitry.
+
+Regenerates the paper's Fig. 1 signal relation as a circuit-level
+timeline: layer 1's output spike, produced in its S2, drives layer 2
+verbatim because that slice is layer 2's S1.
+"""
+
+import pytest
+
+from repro.experiments.fig1_signal_relation import render_fig1, run_fig1
+
+
+@pytest.mark.benchmark(group="fig1")
+def bench_fig1_signal_relation(benchmark, save_result):
+    result = benchmark(run_fig1)
+    save_result("fig1_signal_relation", render_fig1(result))
+    # The transient chain matches the closed-form chain to picoseconds.
+    assert result.chain_error < 20e-12
+    # And the hand-off really is inside the shared slice.
+    assert 0 < result.layer1_output < result.params.slice_length

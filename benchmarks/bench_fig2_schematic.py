@@ -1,0 +1,24 @@
+"""Fig. 2 — the simplified single-spiking MAC circuit.
+
+The paper's Fig. 2 is a schematic; its faithful machine-readable form
+here is the transient-engine netlist the MAC demonstrator builds: the
+shared ramp (C_gd, M_gd), per-input S/H stages, the ReRAM branches into
+C_cog gated by the RST phases, and the comparator + pulse shaper of the
+output stage.
+"""
+
+import pytest
+
+from repro.config import CircuitParameters
+from repro.core.mac import SingleSpikeMAC
+
+
+@pytest.mark.benchmark(group="fig2")
+def bench_fig2_schematic(benchmark, save_result):
+    mac = SingleSpikeMAC(CircuitParameters.paper(), [1 / 50e3, 1 / 200e3])
+    text = benchmark(mac.netlist_text, [40e-9, 70e-9])
+    save_result("fig2_schematic", text)
+    # Every Fig. 2 element must be present.
+    for element in ("C(ramp)", "C(cog)", "S(mgd)", "S(rst1)",
+                    "SH ramp -> vin0", "CMP +ramp -cog", "PULSE comp_out"):
+        assert element in text

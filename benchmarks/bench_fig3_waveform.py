@@ -1,0 +1,28 @@
+"""Fig. 3 — transient waveforms of the single-spiking MAC.
+
+Regenerates the two-slice MAC transient (S1 sampling, computation
+stage, S2 comparison) on the event-driven engine and checks the output
+spike against the closed form.
+"""
+
+import pytest
+
+from repro.experiments.fig3_waveform import render_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def bench_fig3_waveform(benchmark, save_result):
+    result = benchmark(run_fig3)
+    save_result("fig3_waveform", render_fig3(result))
+    assert result.t_out_measured is not None
+    assert result.timing_error < 10e-12
+
+
+@pytest.mark.benchmark(group="fig3")
+def bench_fig3_wide_stimulus(benchmark, save_result):
+    """Same circuit, different operating corner (early + late spikes)."""
+    result = benchmark(
+        run_fig3, spike_times=(10e-9, 80e-9), resistances=(50e3, 1e6)
+    )
+    save_result("fig3_waveform_corner", render_fig3(result))
+    assert result.timing_error < 10e-12

@@ -1,0 +1,59 @@
+"""Fig. 5 — t_out vs input strength characterisation.
+
+100 random (t_in, G) samples on a 32-cell column, ΣG ∈ 0.32–3.2 mS,
+t_in ∈ 10–80 ns, plus the Curve 1/2/3 fits.  Checks the paper's
+qualitative claims: near-linear Curve 1 inside ΣG ≤ 1.6 mS, saturating
+droop at 2.5/3.2 mS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import Series, ascii_plot
+from repro.experiments.fig5_characterization import render_fig5, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def bench_fig5_characterization(benchmark, save_result):
+    result = benchmark(run_fig5, seed=0)
+    grid = np.linspace(
+        result.input_strength.min(), result.input_strength.max(), 48
+    )
+    plot = ascii_plot(
+        [
+            Series(result.input_strength[result.linear_mask],
+                   result.t_out[result.linear_mask], "SG<=1.6mS", "o"),
+            Series(result.input_strength[~result.linear_mask],
+                   result.t_out[~result.linear_mask], "SG>1.6mS", "x"),
+            Series(grid, result.curve1.predict(grid), "Curve 1", "-"),
+        ],
+        title="Fig. 5 — t_out vs input strength",
+        x_label="sum(t_in G)", x_unit="s*S", y_unit="s",
+    )
+    save_result("fig5_characterization", render_fig5(result) + "\n\n" + plot)
+    assert result.curve1.r2 > 0.95
+    assert result.curve2.slope < result.curve1.slope
+    assert result.curve3.slope < result.curve2.slope
+
+
+@pytest.mark.benchmark(group="fig5")
+def bench_fig5_series_table(benchmark, save_result):
+    """The raw (input-strength, t_out) series behind the scatter, as a
+    reproducible table."""
+    from repro.analysis.tables import render_table
+
+    result = benchmark(run_fig5, seed=1, samples=100)
+    rows = [
+        [f"{s:.3e}", f"{g * 1e3:.2f}", f"{t * 1e9:.3f}"]
+        for s, g, t in zip(
+            result.input_strength[:20], result.total_g[:20], result.t_out[:20]
+        )
+    ]
+    save_result(
+        "fig5_series",
+        render_table(
+            ["input strength (s*S)", "total G (mS)", "t_out (ns)"],
+            rows,
+            title="Fig. 5 scatter (first 20 samples)",
+        ),
+    )

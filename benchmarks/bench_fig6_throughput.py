@@ -1,0 +1,44 @@
+"""Fig. 6 — latency / area / throughput trade-off.
+
+Regenerates the aggregate-throughput-under-area-budget series for all
+four designs and checks the paper's conclusion: under the same area
+budget ReSiPE provides the highest throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import Series, ascii_plot
+from repro.experiments.fig6_throughput import render_fig6, run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def bench_fig6_throughput(benchmark, save_result):
+    result = benchmark(run_fig6)
+    budgets = np.asarray(result.budgets) * 1e6  # mm^2
+    plot = ascii_plot(
+        [
+            Series(np.log10(budgets), np.log10(np.maximum(tp / 1e9, 0.1)),
+                   name.split(" ")[0])
+            for name, tp in result.throughput.items()
+        ],
+        title="Fig. 6 — log10(GOPS) vs log10(area budget / mm^2)",
+        x_label="log10(mm^2)",
+    )
+    save_result("fig6_throughput", render_fig6(result) + "\n\n" + plot)
+    assert result.winner_at(-1) == "ReSiPE (this work)"
+    assert result.advantage_over("level-based [14,17]") > 1.0
+    assert result.advantage_over("PWM-based [15]") > 10.0
+
+
+@pytest.mark.benchmark(group="fig6")
+def bench_fig6_fine_sweep(benchmark, save_result):
+    """Denser budget sweep resolving the small-budget crossover where
+    only the compact designs fit at all."""
+    budgets = [b * 1e-6 for b in
+               (0.0075, 0.01, 0.025, 0.05, 0.075, 0.1, 0.25, 0.5)]
+    result = benchmark(run_fig6, budgets=budgets)
+    save_result("fig6_fine_sweep", render_fig6(result))
+    # At the smallest budgets the big mixed-signal designs fit zero engines.
+    assert result.engines["level-based [14,17]"][0] == 0
+    assert result.engines["ReSiPE (this work)"][0] >= 1

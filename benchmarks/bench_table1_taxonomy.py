@@ -1,0 +1,12 @@
+"""Table I — the data-format taxonomy."""
+
+import pytest
+
+from repro.experiments.table1_taxonomy import render_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def bench_table1_taxonomy(benchmark, save_result):
+    text = benchmark(render_table1)
+    save_result("table1_taxonomy", text)
+    assert "This work" in text

@@ -1,0 +1,50 @@
+"""Table II — power / power-efficiency / latency / area comparison.
+
+Regenerates the four-design comparison from the shared 65 nm component
+library and checks the headline ratios against the paper's:
+
+* 1.97× PE vs level-based (measured ≈ 1.98×)
+* 49.76× PE vs PWM (measured ≈ 48×)
+* 67.1 % power reduction vs rate coding (measured ≈ 67 %)
+* 85.3 % / 14.2 % area savings vs level / rate (measured ≈ 85 % / 14 %)
+* 50 % / 68.8 % latency reductions (exact by construction)
+
+Known deviation: PE vs rate coding measures ≈ 3.0× against the paper's
+2.41× — under our equal-throughput accounting this ratio is pinned to
+the power ratio (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.table2_comparison import (
+    PAPER_HEADLINES,
+    render_table2,
+    run_table2,
+)
+
+
+@pytest.mark.benchmark(group="table2")
+def bench_table2_comparison(benchmark, save_result):
+    result = benchmark(run_table2)
+    save_result("table2_comparison", render_table2(result))
+    for key in ("pe_vs_level", "power_reduction_vs_rate",
+                "area_reduction_vs_level", "area_reduction_vs_rate"):
+        assert result.ratio_vs_paper(key) == pytest.approx(1.0, abs=0.1), key
+    assert result.ratios["pe_vs_pwm"] > 40
+    assert result.cog_power_share > 0.8
+
+
+@pytest.mark.benchmark(group="table2")
+def bench_table2_array_size_scaling(benchmark, save_result):
+    """Extension: the same comparison at 64x64 — the ReSiPE advantage
+    persists across array sizes."""
+    from repro.analysis.tables import render_table
+
+    result = benchmark(run_table2, rows=64, cols=64)
+    rows = [[k, result.ratios[k], PAPER_HEADLINES[k]] for k in sorted(PAPER_HEADLINES)]
+    save_result(
+        "table2_64x64",
+        render_table(["headline", "measured @64x64", "paper @32x32"], rows),
+    )
+    assert result.ratios["pe_vs_level"] > 1.0
+    assert result.ratios["pe_vs_rate"] > 1.0

@@ -1,0 +1,39 @@
+"""Shared benchmark utilities.
+
+Every bench renders the regenerated paper table/figure content and
+persists it under ``benchmarks/results/`` so the artefacts survive
+output capture; the pytest-benchmark timing table covers the runtime
+cost of regenerating each artefact.
+
+Set ``REPRO_BENCH_SCALE=full`` for the full paper protocol (all six
+networks, five sigmas); the default ``small`` keeps the suite in
+laptop-minutes while exercising the identical code paths.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale() -> str:
+    """Benchmark scale: ``small`` (default) or ``full``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small|full, got {scale!r}")
+    return scale
+
+
+@pytest.fixture
+def save_result():
+    """Persist one rendered artefact and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

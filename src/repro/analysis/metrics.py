@@ -1,0 +1,54 @@
+"""Error and accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["accuracy_score", "rmse", "mean_relative_error", "max_relative_error"]
+
+
+def _pair(a: np.ndarray, b: np.ndarray):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def accuracy_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching entries."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    return float(np.mean(predictions == labels))
+
+
+def rmse(actual: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error."""
+    a, r = _pair(actual, reference)
+    return float(np.sqrt(((a - r) ** 2).mean()))
+
+
+def _relative_errors(actual: np.ndarray, reference: np.ndarray, floor: float) -> np.ndarray:
+    a, r = _pair(actual, reference)
+    denom = np.maximum(np.abs(r), floor)
+    return np.abs(a - r) / denom
+
+
+def mean_relative_error(
+    actual: np.ndarray, reference: np.ndarray, floor: float = 1e-12
+) -> float:
+    """Mean of ``|actual - reference| / max(|reference|, floor)``."""
+    return float(_relative_errors(actual, reference, floor).mean())
+
+
+def max_relative_error(
+    actual: np.ndarray, reference: np.ndarray, floor: float = 1e-12
+) -> float:
+    """Max of ``|actual - reference| / max(|reference|, floor)``."""
+    return float(_relative_errors(actual, reference, floor).max())

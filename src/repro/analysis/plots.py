@@ -1,0 +1,132 @@
+"""ASCII plotting for figure artefacts.
+
+The benchmark artefacts regenerate the paper's *figures*, and an
+offline environment has no plotting stack — so this module renders
+scatter and line charts as fixed-width text.  Multiple series overlay
+with distinct markers; axes are annotated with engineering-notation
+ranges.  Used by the Fig. 5 / Fig. 6 / Fig. 7 benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import si_format
+
+__all__ = ["Series", "ascii_plot"]
+
+_DEFAULT_MARKERS = "ox+*#@%&"
+
+
+@dataclasses.dataclass(frozen=True)
+class Series:
+    """One plotted dataset.
+
+    Attributes
+    ----------
+    x / y:
+        Sample coordinates.
+    label:
+        Legend text.
+    marker:
+        Single character used on the canvas (auto-assigned if empty).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    label: str
+    marker: str = ""
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ConfigurationError(
+                f"series {self.label!r}: x/y must be equal-length 1-D, "
+                f"got {x.shape} vs {y.shape}"
+            )
+        if x.size == 0:
+            raise ConfigurationError(f"series {self.label!r} is empty")
+        if len(self.marker) > 1:
+            raise ConfigurationError(
+                f"series {self.label!r}: marker must be one character"
+            )
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+    x_unit: str = "",
+    y_unit: str = "",
+) -> str:
+    """Render series onto a ``width × height`` character canvas.
+
+    Later series draw over earlier ones where cells collide (so fitted
+    curves stay visible over scatter clouds).
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 16 or height < 6:
+        raise ConfigurationError("canvas must be at least 16x6")
+
+    all_x = np.concatenate([s.x for s in series])
+    all_y = np.concatenate([s.y for s in series])
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    markers: List[str] = []
+    for i, s in enumerate(series):
+        marker = s.marker or _DEFAULT_MARKERS[i % len(_DEFAULT_MARKERS)]
+        markers.append(marker)
+        cols = np.clip(
+            ((s.x - x_min) / (x_max - x_min) * (width - 1)).round().astype(int),
+            0, width - 1,
+        )
+        rows = np.clip(
+            ((s.y - y_min) / (y_max - y_min) * (height - 1)).round().astype(int),
+            0, height - 1,
+        )
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = si_format(y_max, y_unit)
+    bottom = si_format(y_min, y_unit)
+    gutter = max(len(top), len(bottom), len(y_label)) + 1
+    for r, row in enumerate(canvas):
+        if r == 0:
+            tag = top
+        elif r == height - 1:
+            tag = bottom
+        elif r == height // 2 and y_label:
+            tag = y_label
+        else:
+            tag = ""
+        lines.append(f"{tag:>{gutter}} |{''.join(row)}|")
+    lines.append(f"{'':>{gutter}} +{'-' * width}+")
+    left = si_format(x_min, x_unit)
+    right = si_format(x_max, x_unit)
+    mid = x_label
+    span = width - len(left) - len(right)
+    mid_text = mid.center(max(span, len(mid)))[: max(span, 0)]
+    lines.append(f"{'':>{gutter}}  {left}{mid_text}{right}")
+    legend = "   ".join(f"{m} {s.label}" for m, s in zip(markers, series))
+    lines.append(f"{'':>{gutter}}  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Generic parameter-sweep harness.
+
+Every figure in the evaluation is a sweep over one knob (total
+conductance for Fig. 5, area budget for Fig. 6, variation σ for
+Fig. 7).  :func:`sweep` runs the knob values through a measurement
+callable and collects results with labels, so experiment modules stay
+declarative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a one-dimensional sweep.
+
+    Attributes
+    ----------
+    parameter:
+        The swept knob's name.
+    values:
+        The knob values, in order.
+    measurements:
+        Per-value measurement dictionaries (each from one call).
+    """
+
+    parameter: str
+    values: tuple
+    measurements: tuple
+
+    def series(self, key: str) -> np.ndarray:
+        """Extract one measured quantity across the sweep."""
+        try:
+            return np.array([m[key] for m in self.measurements], dtype=float)
+        except KeyError:
+            available = sorted(self.measurements[0]) if self.measurements else []
+            raise ConfigurationError(
+                f"no measurement {key!r}; available: {available}"
+            ) from None
+
+    def keys(self) -> List[str]:
+        """Measured quantity names."""
+        return sorted(self.measurements[0]) if self.measurements else []
+
+    def as_rows(self) -> List[List[Any]]:
+        """Rows of [value, *measurements] for table rendering."""
+        keys = self.keys()
+        return [
+            [v] + [m[k] for k in keys]
+            for v, m in zip(self.values, self.measurements)
+        ]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence,
+    measure: Callable[[Any], Dict[str, float]],
+) -> SweepResult:
+    """Run ``measure`` at every knob value.
+
+    ``measure`` returns a dict of named measurements; all calls must
+    return the same keys.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    measurements = []
+    expected_keys = None
+    for v in values:
+        m = measure(v)
+        if not isinstance(m, dict) or not m:
+            raise ConfigurationError(
+                f"measure({v!r}) must return a non-empty dict, got {m!r}"
+            )
+        if expected_keys is None:
+            expected_keys = set(m)
+        elif set(m) != expected_keys:
+            raise ConfigurationError(
+                f"inconsistent measurement keys at {v!r}: "
+                f"{sorted(m)} vs {sorted(expected_keys)}"
+            )
+        measurements.append(m)
+    return SweepResult(
+        parameter=parameter, values=tuple(values), measurements=tuple(measurements)
+    )

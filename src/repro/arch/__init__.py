@@ -1,0 +1,28 @@
+"""Architecture-level (slice-granular) chip simulation.
+
+The analytic pipeline model (:mod:`repro.core.pipeline`) and the
+deployment planner (:mod:`repro.mapping.deployment`) predict latency and
+throughput in closed form; this subpackage *simulates* the same chip at
+slice granularity — stations with service times, finite inter-layer
+buffers, backpressure — so the closed forms can be cross-validated and
+buffer-sizing questions answered.
+
+* :mod:`repro.arch.chip` — chip description (stations from a mapped
+  network or explicit service times, buffer capacities).
+* :mod:`repro.arch.simulator` — the discrete-event pipeline simulator.
+* :mod:`repro.arch.trace` — utilisation reports and ASCII Gantt charts.
+"""
+
+from .chip import ChipDescription, Station, chip_from_deployment
+from .simulator import PipelineSimulator, SimulationResult
+from .trace import render_gantt, utilisation_report
+
+__all__ = [
+    "ChipDescription",
+    "Station",
+    "chip_from_deployment",
+    "PipelineSimulator",
+    "SimulationResult",
+    "render_gantt",
+    "utilisation_report",
+]

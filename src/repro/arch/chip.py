@@ -1,0 +1,111 @@
+"""Chip description for the pipeline simulator.
+
+A chip is a linear pipeline of :class:`Station` objects, one per mapped
+layer.  Each station occupies its engines for ``service_slices`` slices
+per sample (``2 × MVMs`` under the two-slice protocol) and deposits the
+result into a finite output buffer read by the next station.
+
+The ReSiPE hand-off (S2 of layer *n* ≡ S1 of layer *n+1*) is modelled
+by ``overlap = 1``: the consumer may begin one slice *before* the
+producer finishes, because the producer's last slice *is* the
+consumer's first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..mapping.deployment import DeploymentReport
+
+__all__ = ["Station", "ChipDescription", "chip_from_deployment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Station:
+    """One pipeline stage (a mapped layer's engine group).
+
+    Attributes
+    ----------
+    name:
+        Stage label.
+    service_slices:
+        Slices the stage is busy per sample.
+    buffer_capacity:
+        Samples the stage's *output* buffer can hold (``None`` =
+        unbounded).
+    """
+
+    name: str
+    service_slices: int
+    buffer_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.service_slices < 1:
+            raise ConfigurationError(
+                f"station {self.name!r}: service must be >= 1 slice"
+            )
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise ConfigurationError(
+                f"station {self.name!r}: buffer capacity must be >= 1"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipDescription:
+    """A linear pipeline of stations.
+
+    Attributes
+    ----------
+    stations:
+        Stage list in dataflow order.
+    slice_length:
+        Seconds per slice.
+    overlap:
+        Slices by which a consumer may overlap its producer's tail
+        (1 for the ReSiPE S2/S1 hand-off; 0 for a strict pipeline).
+    """
+
+    stations: tuple
+    slice_length: float
+    overlap: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.stations:
+            raise ConfigurationError("a chip needs at least one station")
+        if self.slice_length <= 0:
+            raise ConfigurationError("slice length must be positive")
+        if self.overlap < 0:
+            raise ConfigurationError("overlap must be >= 0")
+
+    @property
+    def bottleneck(self) -> Station:
+        """The station with the longest service time."""
+        return max(self.stations, key=lambda s: s.service_slices)
+
+    def analytic_interval_slices(self) -> int:
+        """Closed-form steady-state initiation interval (slices)."""
+        return self.bottleneck.service_slices
+
+    def analytic_latency_slices(self) -> int:
+        """Closed-form fill latency of one sample (slices)."""
+        total = sum(s.service_slices for s in self.stations)
+        return total - self.overlap * (len(self.stations) - 1)
+
+
+def chip_from_deployment(
+    report: DeploymentReport,
+    slice_length: float,
+    buffer_capacity: Optional[int] = None,
+) -> ChipDescription:
+    """Build a chip description from a deployment plan."""
+    stations: List[Station] = [
+        Station(
+            name=layer.name,
+            service_slices=layer.occupancy_slices,
+            buffer_capacity=buffer_capacity,
+        )
+        for layer in report.layers
+    ]
+    return ChipDescription(stations=tuple(stations), slice_length=slice_length)

@@ -1,0 +1,62 @@
+"""Utilisation reports and ASCII Gantt rendering for simulations."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.tables import render_table
+from ..errors import ConfigurationError
+from .simulator import SimulationResult
+
+__all__ = ["render_gantt", "utilisation_report"]
+
+_GANTT_SYMBOLS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_gantt(result: SimulationResult, max_slices: int = 60) -> str:
+    """ASCII Gantt chart: one row per station, one column per slice;
+    cells show the sample index being processed (``.`` = idle)."""
+    if max_slices < 1:
+        raise ConfigurationError("max_slices must be >= 1")
+    horizon = min(int(result.finishes.max()), max_slices)
+    lines: List[str] = []
+    for i, station in enumerate(result.chip.stations):
+        row = []
+        for t in range(horizon):
+            symbol = "."
+            for k in range(result.num_samples):
+                if result.starts[i, k] <= t < result.finishes[i, k]:
+                    symbol = _GANTT_SYMBOLS[k % len(_GANTT_SYMBOLS)]
+                    break
+            row.append(symbol)
+        lines.append(f"{station.name[:14]:<14} |{''.join(row)}|")
+    header = " " * 15 + "".join(
+        str((t // 10) % 10) if t % 10 == 0 else " " for t in range(horizon)
+    )
+    return header + "\n" + "\n".join(lines)
+
+
+def utilisation_report(result: SimulationResult) -> str:
+    """Per-station utilisation / buffering table plus headline metrics."""
+    rows = []
+    for i, station in enumerate(result.chip.stations):
+        rows.append([
+            station.name,
+            station.service_slices,
+            f"{result.utilisation(i):.1%}",
+            result.peak_buffer_occupancy(i),
+        ])
+    table = render_table(
+        ["station", "service (slices)", "utilisation", "peak out-buffer"],
+        rows,
+        title="Pipeline simulation",
+    )
+    summary = "\n".join([
+        f"samples              : {result.num_samples}",
+        f"makespan             : {result.makespan_slices} slices "
+        f"({result.makespan * 1e6:.2f} us)",
+        f"first-sample latency : {result.sample_latency_slices(0)} slices",
+        f"steady interval      : {result.steady_interval_slices():.2f} slices",
+        f"throughput           : {result.throughput():.0f} samples/s",
+    ])
+    return table + "\n" + summary

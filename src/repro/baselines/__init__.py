@@ -1,0 +1,36 @@
+"""Baseline ReRAM PIM designs (paper Table I / Table II comparators).
+
+Each baseline implements the common :class:`~repro.baselines.base.PIMDesign`
+interface — a functional MVM model (with the design's characteristic
+quantisation/noise) plus power, latency and area budgets assembled from
+the shared 65 nm component library:
+
+* :mod:`repro.baselines.level` — level-based designs with DAC/ADC
+  interfaces (refs [14, 17]).
+* :mod:`repro.baselines.rate` — rate-coding spiking designs
+  (refs [11, 13]).
+* :mod:`repro.baselines.pwm` — the PWM time-domain design (ref [15]).
+* :mod:`repro.baselines.resipe_design` — ReSiPE wrapped in the same
+  interface.
+* :mod:`repro.baselines.registry` — the Table I taxonomy and design
+  factory.
+"""
+
+from .base import PIMDesign, DesignMetrics
+from .level import LevelBasedPIM
+from .rate import RateCodingPIM
+from .pwm import PWMBasedPIM
+from .resipe_design import ReSiPEDesign
+from .registry import all_designs, design_taxonomy, TaxonomyRow
+
+__all__ = [
+    "PIMDesign",
+    "DesignMetrics",
+    "LevelBasedPIM",
+    "RateCodingPIM",
+    "PWMBasedPIM",
+    "ReSiPEDesign",
+    "all_designs",
+    "design_taxonomy",
+    "TaxonomyRow",
+]

@@ -1,0 +1,160 @@
+"""Common interface for compared PIM designs.
+
+Table II compares four designs on power, power efficiency, latency and
+area under "the same array sizes ... fully utilized".  :class:`PIMDesign`
+fixes the accounting so every design is measured identically:
+
+* **ops per MVM** = ``2 · rows · cols`` (one multiply + one add per cell);
+* **latency** = time from input availability to output availability for
+  one MVM;
+* **initiation interval** = time between MVM launches on one engine
+  (designs that double-buffer stream inputs while converting outputs
+  have II < latency);
+* **throughput** = ops / initiation interval;
+* **power efficiency** = throughput / power.
+
+Functional fidelity: :meth:`PIMDesign.mvm_values` computes ``x @ W``
+through the design's characteristic signal chain (quantisation, spike
+counting, time quantisation, ...) so accuracy comparisons are possible
+on top of the same numbers the energy model uses.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from ..energy.model import PowerReport
+from ..errors import ShapeError
+
+__all__ = ["PIMDesign", "DesignMetrics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignMetrics:
+    """Headline Table II row for one design.
+
+    Attributes
+    ----------
+    name / data_format:
+        Identification.
+    power:
+        Average power (watts).
+    latency:
+        Per-MVM latency (seconds).
+    initiation_interval:
+        Time between MVM launches (seconds).
+    area:
+        Total area (m²).
+    throughput:
+        Operations per second.
+    power_efficiency:
+        Operations per second per watt.
+    """
+
+    name: str
+    data_format: str
+    power: float
+    latency: float
+    initiation_interval: float
+    area: float
+    throughput: float
+    power_efficiency: float
+
+
+class PIMDesign(abc.ABC):
+    """Abstract compared design on a ``rows × cols`` crossbar."""
+
+    #: Human-readable design name (e.g. ``"rate-coding [11,13]"``).
+    name: str = "abstract"
+    #: Data-format label for the Table I taxonomy.
+    data_format: str = "abstract"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ShapeError(f"array dimensions must be >= 1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def ops_per_mvm(self) -> int:
+        """MAC operations per MVM (2 per cell)."""
+        return 2 * self.rows * self.cols
+
+    @property
+    @abc.abstractmethod
+    def latency(self) -> float:
+        """Per-MVM latency (seconds)."""
+
+    @property
+    def initiation_interval(self) -> float:
+        """Time between MVM launches (defaults to the latency)."""
+        return self.latency
+
+    @abc.abstractmethod
+    def budget(self) -> PowerReport:
+        """Power/area budget assembled from the component library."""
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def power(self) -> float:
+        """Average power (watts)."""
+        return self.budget().total_power
+
+    @property
+    def area(self) -> float:
+        """Total area (m²)."""
+        return self.budget().total_area
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state operations per second."""
+        return self.ops_per_mvm() / self.initiation_interval
+
+    @property
+    def power_efficiency(self) -> float:
+        """Operations per second per watt."""
+        return self.throughput / self.power
+
+    def metrics(self) -> DesignMetrics:
+        """Snapshot all headline metrics."""
+        return DesignMetrics(
+            name=self.name,
+            data_format=self.data_format,
+            power=self.power,
+            latency=self.latency,
+            initiation_interval=self.initiation_interval,
+            area=self.area,
+            throughput=self.throughput,
+            power_efficiency=self.power_efficiency,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mvm_values(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Compute ``x @ weights`` through the design's signal chain.
+
+        ``x`` is ``(rows,)`` or ``(batch, rows)`` in ``[0, 1]``;
+        ``weights`` is ``(rows, cols)`` in ``[0, 1]``.
+        """
+
+    def _check_mvm_args(self, x: np.ndarray, weights: np.ndarray) -> None:
+        w = np.asarray(weights)
+        if w.shape != (self.rows, self.cols):
+            raise ShapeError(
+                f"weights shape {w.shape} does not match design array "
+                f"{self.rows}x{self.cols}"
+            )
+        xx = np.asarray(x)
+        if xx.shape[-1] != self.rows:
+            raise ShapeError(
+                f"input length {xx.shape[-1]} does not match rows {self.rows}"
+            )

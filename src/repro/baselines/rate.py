@@ -1,0 +1,158 @@
+"""Rate-coding spiking ReRAM PIM baseline (paper refs [11, 13]).
+
+A datum is a *spike train*: its value is the spike count over a fixed
+window.  Characteristics modelled:
+
+* per-row spike modulators and per-column integrate-and-fire neurons
+  plus counters;
+* crossbar driven by spike pulses — wordline activity (and therefore
+  ohmic energy) scales with the encoded values, the energy coupling the
+  single-spiking format removes;
+* inherent quantisation error from the finite spike budget (the reason
+  "rate-coding based designs ... usually prolong the computing period
+  for ensuring satisfactory performance");
+* a 2× longer window than ReSiPE's two slices (the paper's 50 % latency
+  reduction), with input streaming double-buffered against output
+  counting so the initiation interval is half the window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..energy.components import get_component
+from ..energy.model import DesignBudget, PowerReport
+from ..energy.technology import TechnologyParameters
+from ..errors import ConfigurationError
+from .base import PIMDesign
+
+__all__ = ["RateCodingPIM"]
+
+
+class RateCodingPIM(PIMDesign):
+    """Rate-coding design on a ``rows × cols`` crossbar.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions.
+    window:
+        Spike-train window per MVM (seconds); 400 ns = 2× the ReSiPE
+        latency per the paper's comparison.
+    max_spikes:
+        Full-scale spike count per datum.
+    spike_width / spike_voltage:
+        Drive pulse parameters.
+    stochastic:
+        ``True`` draws Bernoulli spike trains (Poisson-like coding),
+        ``False`` uses deterministic rounding of the count.
+    """
+
+    name = "rate-coding [11,13]"
+    data_format = "spike rate"
+
+    def __init__(
+        self,
+        rows: int = 32,
+        cols: int = 32,
+        window: float = 400e-9,
+        max_spikes: int = 128,
+        spike_width: float = 1e-9,
+        spike_voltage: float = 0.4,
+        stochastic: bool = False,
+        mean_cell_conductance: float = 0.5 * (1 / 50e3 + 1 / 1e6),
+        mean_input: float = 0.5,
+        tech: TechnologyParameters = TechnologyParameters.tsmc65(),
+    ) -> None:
+        super().__init__(rows, cols)
+        if window <= 0 or spike_width <= 0 or spike_voltage <= 0:
+            raise ConfigurationError("window, spike width and voltage must be positive")
+        if max_spikes < 1:
+            raise ConfigurationError("max_spikes must be >= 1")
+        if max_spikes * spike_width > window:
+            raise ConfigurationError(
+                f"{max_spikes} spikes of {spike_width}s do not fit in "
+                f"a {window}s window"
+            )
+        if not 0 <= mean_input <= 1:
+            raise ConfigurationError("mean_input must be in [0, 1]")
+        self.window = window
+        self.max_spikes = max_spikes
+        self.spike_width = spike_width
+        self.spike_voltage = spike_voltage
+        self.stochastic = stochastic
+        self.mean_cell_conductance = mean_cell_conductance
+        self.mean_input = mean_input
+        self.tech = tech
+
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> float:
+        return self.window
+
+    @property
+    def initiation_interval(self) -> float:
+        """Input streaming of sample k+1 overlaps output counting of
+        sample k (double buffering), so launches come every half window."""
+        return self.window / 2.0
+
+    def wordline_activity(self) -> float:
+        """Mean fraction of the window each wordline is driven high:
+        ``E[x] · max_spikes · spike_width / window``."""
+        return self.mean_input * self.max_spikes * self.spike_width / self.window
+
+    def budget(self) -> PowerReport:
+        b = DesignBudget(self.name)
+        b.add_component("row spike modulators", "spike interface",
+                        get_component("spike_modulator"), count=self.rows, duty=1.0)
+        b.add_component("column IF neurons", "spike interface",
+                        get_component("if_neuron"), count=self.cols, duty=1.0)
+        b.add_component("column counters", "spike interface",
+                        get_component("output_counter"), count=self.cols, duty=1.0)
+        crossbar_power = (
+            self.wordline_activity()
+            * self.spike_voltage**2
+            * self.mean_cell_conductance
+            * self.rows
+            * self.cols
+        )
+        b.add_raw("array compute", "crossbar", power=crossbar_power,
+                  area=self.tech.crossbar_area(self.rows, self.cols))
+        b.add_component("sequencer", "control", get_component("control_logic"),
+                        count=1, duty=1.0)
+        return b.report()
+
+    # ------------------------------------------------------------------
+    def encode_counts(
+        self, x: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Spike counts representing normalised inputs."""
+        xv = np.clip(np.asarray(x, dtype=float), 0, 1)
+        if self.stochastic:
+            if rng is None:
+                raise ConfigurationError("stochastic coding requires an rng")
+            return rng.binomial(self.max_spikes, xv).astype(float)
+        return np.round(xv * self.max_spikes)
+
+    def mvm_values(
+        self,
+        x: np.ndarray,
+        weights: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Union[np.ndarray, float]:
+        """``x @ weights`` through spike counting.
+
+        Input values are quantised to spike counts; the output neuron
+        accumulates weighted charge and emits spikes counted at the same
+        resolution (counts are re-quantised to integers at full scale
+        ``rows · max_spikes``, mirroring the output counter).
+        """
+        self._check_mvm_args(x, weights)
+        counts = self.encode_counts(x, rng)
+        w = np.asarray(weights, dtype=float)
+        accumulated = counts @ w  # in "spike" units
+        # The output path emits an integer number of spikes.
+        out_counts = np.round(accumulated)
+        return out_counts / self.max_spikes

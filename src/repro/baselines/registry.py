@@ -1,0 +1,94 @@
+"""Design factory and the Table I data-format taxonomy.
+
+:func:`all_designs` instantiates the four compared designs on a common
+array size (the Table II protocol: "the same array sizes of ReRAM
+devices are fully utilized").  :func:`design_taxonomy` reproduces the
+qualitative Table I rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from .base import PIMDesign
+from .level import LevelBasedPIM
+from .pwm import PWMBasedPIM
+from .rate import RateCodingPIM
+from .resipe_design import ReSiPEDesign
+
+__all__ = ["all_designs", "design_taxonomy", "TaxonomyRow"]
+
+
+def all_designs(rows: int = 32, cols: int = 32) -> Dict[str, PIMDesign]:
+    """The four Table II designs on a ``rows × cols`` array."""
+    designs: List[PIMDesign] = [
+        LevelBasedPIM(rows, cols),
+        PWMBasedPIM(rows, cols),
+        RateCodingPIM(rows, cols),
+        ReSiPEDesign(rows, cols),
+    ]
+    return {d.name: d for d in designs}
+
+
+@dataclasses.dataclass(frozen=True)
+class TaxonomyRow:
+    """One column of the paper's Table I.
+
+    Attributes mirror the table rows: data-format family, interface
+    circuit, how long wordlines carry non-zero voltage, whether input
+    and output use the same representation, and the latency class.
+    """
+
+    family: str
+    shape: str
+    interface_circuit: str
+    nonzero_voltage_duration: str
+    in_out_scale: str
+    latency: str
+
+
+def design_taxonomy() -> Dict[str, TaxonomyRow]:
+    """The Table I taxonomy of ReRAM PIM data formats."""
+    return {
+        "Level": TaxonomyRow(
+            family="voltage level",
+            shape="analog amplitude",
+            interface_circuit="DAC & ADC",
+            nonzero_voltage_duration="long",
+            in_out_scale="same",
+            latency="fast",
+        ),
+        "PWM": TaxonomyRow(
+            family="pulse width",
+            shape="single wide pulse",
+            interface_circuit="pulse modulator (+ ADC)",
+            nonzero_voltage_duration="medium",
+            in_out_scale="same",
+            latency="medium",
+        ),
+        "Rate coding": TaxonomyRow(
+            family="spike rate",
+            shape="spike series",
+            interface_circuit="spike modulator",
+            nonzero_voltage_duration="medium",
+            in_out_scale="different",
+            latency="medium",
+        ),
+        "Temporal coding": TaxonomyRow(
+            family="spike timing (STDP)",
+            shape="shaped spikes",
+            interface_circuit="neuron circuit",
+            nonzero_voltage_duration="medium",
+            in_out_scale="same",
+            latency="slow",
+        ),
+        "This work": TaxonomyRow(
+            family="single spike",
+            shape="one narrow pulse",
+            interface_circuit="ReSiPE (GD + COG)",
+            nonzero_voltage_duration="short",
+            in_out_scale="same",
+            latency="medium",
+        ),
+    }

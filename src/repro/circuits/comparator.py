@@ -1,0 +1,66 @@
+"""Behavioral comparator model with offset and delay.
+
+The single-spiking output stage (paper Section III-B, S2) converts the
+held column voltage ``V_out`` into a spike time by comparing it against
+the shared ramp.  A real comparator adds an input-referred offset and a
+propagation delay; both translate directly into output-timing error, so
+accuracy studies can include them in the error stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from ..errors import CircuitError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["ComparatorModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparatorModel:
+    """Static comparator error model.
+
+    Attributes
+    ----------
+    offset:
+        Input-referred offset (volts); the effective threshold becomes
+        ``neg + offset``.
+    delay:
+        Propagation delay from input crossing to output edge (seconds).
+    offset_sigma:
+        Standard deviation for randomised per-instance offsets; use
+        :meth:`randomised` to draw a concrete instance.
+    """
+
+    offset: float = 0.0
+    delay: float = 0.0
+    offset_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise CircuitError(f"comparator delay must be >= 0, got {self.delay!r}")
+        if self.offset_sigma < 0:
+            raise CircuitError(f"offset sigma must be >= 0, got {self.offset_sigma!r}")
+
+    def randomised(self, rng: np.random.Generator) -> "ComparatorModel":
+        """A concrete instance with offset drawn from N(offset, sigma)."""
+        if self.offset_sigma == 0:
+            return self
+        drawn = float(rng.normal(self.offset, self.offset_sigma))
+        return ComparatorModel(offset=drawn, delay=self.delay, offset_sigma=0.0)
+
+    def effective_threshold(self, threshold: ArrayLike) -> ArrayLike:
+        """Threshold actually compared against, including offset."""
+        out = np.asarray(threshold, dtype=float) + self.offset
+        return out if np.ndim(out) else float(out)
+
+    def output_edge_time(self, crossing_time: ArrayLike) -> ArrayLike:
+        """Output edge time given the ideal input-crossing time."""
+        t = np.asarray(crossing_time, dtype=float)
+        out = t + self.delay
+        return out if np.ndim(out) else float(out)

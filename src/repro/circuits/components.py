@@ -1,0 +1,90 @@
+"""Element datatypes shared by the DC (MNA) and transient solvers.
+
+Nodes are identified by strings; the distinguished node ``"gnd"`` is the
+reference.  Elements are plain frozen dataclasses so netlists can be
+built, inspected and copied trivially.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import CircuitError
+
+GROUND = "gnd"
+
+__all__ = ["GROUND", "Resistor", "Capacitor", "VoltageSource", "CurrentSource"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Resistor:
+    """A two-terminal resistor between ``a`` and ``b``."""
+
+    a: str
+    b: str
+    resistance: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise CircuitError(
+                f"resistor {self.name or '(unnamed)'}: resistance must be "
+                f"positive, got {self.resistance!r}"
+            )
+        if self.a == self.b:
+            raise CircuitError(f"resistor {self.name or '(unnamed)'} shorts a node to itself")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclasses.dataclass(frozen=True)
+class Capacitor:
+    """A capacitor from node ``a`` to ground (the only form the
+    piecewise-exponential transient engine needs)."""
+
+    a: str
+    capacitance: float
+    initial_voltage: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise CircuitError(
+                f"capacitor {self.name or '(unnamed)'}: capacitance must be "
+                f"positive, got {self.capacitance!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageSource:
+    """An ideal voltage source driving node ``pos`` relative to ``neg``."""
+
+    pos: str
+    neg: str
+    voltage: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pos == self.neg:
+            raise CircuitError(
+                f"voltage source {self.name or '(unnamed)'} connects a node to itself"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class CurrentSource:
+    """An ideal current source pushing ``current`` amps from ``neg``
+    into ``pos`` (i.e. out of the ``pos`` terminal externally)."""
+
+    pos: str
+    neg: str
+    current: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pos == self.neg:
+            raise CircuitError(
+                f"current source {self.name or '(unnamed)'} connects a node to itself"
+            )

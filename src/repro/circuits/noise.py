@@ -1,0 +1,85 @@
+"""Fundamental noise floors of the sampled-analog datapath.
+
+The ReSiPE signal chain samples voltages onto capacitors twice (the
+S/H capture in S1 and the C_cog hold after the computation stage), so
+its irreducible noise floor is thermal ``kT/C`` noise — the quantity
+that ultimately bounds how small the COG capacitors (and hence the
+dominant energy term) can scale.  This module provides the standard
+expressions and the derived "minimum capacitor for N-bit operation"
+sizing rule used by the timing-noise study.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import CircuitError
+
+__all__ = [
+    "BOLTZMANN",
+    "ktc_noise_voltage",
+    "minimum_capacitance_for_snr",
+    "minimum_capacitance_for_bits",
+    "sampled_noise_charge",
+]
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+_DEFAULT_T = 300.0  # kelvin
+
+
+def ktc_noise_voltage(capacitance: float, temperature: float = _DEFAULT_T) -> float:
+    """RMS thermal noise voltage sampled onto a capacitor:
+    ``sqrt(kT/C)`` (volts).
+
+    >>> round(ktc_noise_voltage(100e-15) * 1e6)  # ~203 uV at 100 fF
+    203
+    """
+    if capacitance <= 0:
+        raise CircuitError(f"capacitance must be positive, got {capacitance!r}")
+    if temperature <= 0:
+        raise CircuitError(f"temperature must be positive, got {temperature!r}")
+    return math.sqrt(BOLTZMANN * temperature / capacitance)
+
+
+def sampled_noise_charge(capacitance: float, temperature: float = _DEFAULT_T) -> float:
+    """RMS noise charge of one sampling event, ``sqrt(kTC)`` (coulombs)."""
+    if capacitance <= 0:
+        raise CircuitError(f"capacitance must be positive, got {capacitance!r}")
+    if temperature <= 0:
+        raise CircuitError(f"temperature must be positive, got {temperature!r}")
+    return math.sqrt(BOLTZMANN * temperature * capacitance)
+
+
+def minimum_capacitance_for_snr(
+    full_scale: float, snr_db: float, temperature: float = _DEFAULT_T
+) -> float:
+    """Smallest sampling capacitor achieving ``snr_db`` against a
+    ``full_scale`` signal swing (farads):
+
+        C_min = kT · 10^(SNR/10) / V_fs²
+    """
+    if full_scale <= 0:
+        raise CircuitError(f"full scale must be positive, got {full_scale!r}")
+    return BOLTZMANN * temperature * 10 ** (snr_db / 10.0) / full_scale**2
+
+
+def minimum_capacitance_for_bits(
+    full_scale: float, bits: float, temperature: float = _DEFAULT_T
+) -> float:
+    """Smallest sampling capacitor supporting ``bits`` of resolution.
+
+    Uses the quantisation-noise-matched criterion: the kT/C noise must
+    not exceed the LSB/sqrt(12) quantisation noise of a ``bits``
+    converter over the same full scale.  This is the physics behind the
+    paper's "smaller MIM capacitors -> further energy reduction" remark
+    having a floor.
+    """
+    if bits <= 0:
+        raise CircuitError(f"bits must be positive, got {bits!r}")
+    lsb = full_scale / (2**bits)
+    q_noise = lsb / math.sqrt(12.0)
+    if q_noise <= 0:
+        raise CircuitError("quantisation noise underflow")
+    return BOLTZMANN * temperature / q_noise**2

@@ -1,0 +1,162 @@
+"""Closed-form first-order RC responses.
+
+Every dynamic element in the ReSiPE datapath is a capacitor charged or
+discharged through a resistive network, so its trajectory between circuit
+events is exactly
+
+    V(t) = V_inf + (V_0 - V_inf) * exp(-t / tau)
+
+These helpers evaluate that solution, invert it (time to reach a target
+voltage) and reduce resistive networks to Thevenin equivalents.  They are
+vectorised: scalar or array arguments both work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import CircuitError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "rc_charge",
+    "rc_discharge",
+    "rc_value",
+    "rc_time_to_reach",
+    "TheveninEquivalent",
+    "thevenin",
+]
+
+
+def rc_value(t: ArrayLike, v0: ArrayLike, v_inf: ArrayLike, tau: ArrayLike) -> ArrayLike:
+    """Voltage of a first-order node at time ``t`` after the last event.
+
+    Parameters
+    ----------
+    t:
+        Elapsed time since the initial condition (seconds, >= 0).
+    v0:
+        Voltage at ``t = 0``.
+    v_inf:
+        Asymptotic (steady-state) voltage.
+    tau:
+        Time constant (seconds, > 0).  ``tau = inf`` freezes the node.
+    """
+    t = np.asarray(t, dtype=float)
+    tau_arr = np.asarray(tau, dtype=float)
+    if np.any(t < 0):
+        raise CircuitError("rc_value requires t >= 0")
+    if np.any(tau_arr <= 0):
+        raise CircuitError("rc_value requires tau > 0")
+    with np.errstate(over="ignore"):
+        decay = np.exp(-t / tau_arr)
+    result = np.asarray(v_inf + (np.asarray(v0, dtype=float) - v_inf) * decay)
+    return result if result.ndim else float(result)
+
+
+def rc_charge(t: ArrayLike, v_target: ArrayLike, tau: ArrayLike) -> ArrayLike:
+    """Charging from 0 V toward ``v_target``: ``v_target (1 - e^{-t/tau})``.
+
+    This is the exact form of the paper's Eq. (1) and Eq. (4).
+    """
+    return rc_value(t, 0.0, v_target, tau)
+
+
+def rc_discharge(t: ArrayLike, v0: ArrayLike, tau: ArrayLike) -> ArrayLike:
+    """Discharging from ``v0`` toward 0 V: ``v0 e^{-t/tau}``."""
+    return rc_value(t, v0, 0.0, tau)
+
+
+def rc_time_to_reach(
+    v_target: ArrayLike, v0: ArrayLike, v_inf: ArrayLike, tau: ArrayLike
+) -> ArrayLike:
+    """Time for a first-order node to reach ``v_target``.
+
+    Inverts ``V(t) = V_inf + (V_0 - V_inf) e^{-t/tau}``:
+
+        t = tau * ln((V_0 - V_inf) / (V_target - V_inf))
+
+    Returns ``inf`` where the trajectory never reaches the target (the
+    target lies beyond the asymptote, or the node starts past it moving
+    away).  Returns ``0`` where ``v_target == v0``.
+    """
+    v_target = np.asarray(v_target, dtype=float)
+    v0 = np.asarray(v0, dtype=float)
+    v_inf = np.asarray(v_inf, dtype=float)
+    tau_arr = np.asarray(tau, dtype=float)
+    if np.any(tau_arr <= 0):
+        raise CircuitError("rc_time_to_reach requires tau > 0")
+
+    start_gap = v0 - v_inf
+    target_gap = v_target - v_inf
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = start_gap / target_gap
+        t = tau_arr * np.log(np.abs(ratio))
+    # Reachable iff the target sits strictly between v0 and v_inf
+    # (inclusive of v0 itself).  Ratio must be >= 1 with matching signs.
+    same_side = np.sign(start_gap) == np.sign(target_gap)
+    reachable = same_side & (np.abs(start_gap) >= np.abs(target_gap))
+    at_start = v_target == v0
+    out = np.where(reachable, t, np.inf)
+    out = np.where(at_start, 0.0, out)
+    out = np.asarray(out, dtype=float)
+    return out if out.ndim else float(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class TheveninEquivalent:
+    """Thevenin reduction of a resistive divider network.
+
+    Attributes
+    ----------
+    voltage:
+        Open-circuit voltage (volts).
+    resistance:
+        Equivalent source resistance (ohms).
+    """
+
+    voltage: float
+    resistance: float
+
+    def tau(self, capacitance: float) -> float:
+        """Charging time constant when the equivalent drives a capacitor."""
+        if capacitance <= 0:
+            raise CircuitError(f"capacitance must be positive, got {capacitance!r}")
+        return self.resistance * capacitance
+
+
+def thevenin(
+    voltages: Sequence[float], conductances: Sequence[float]
+) -> TheveninEquivalent:
+    """Thevenin equivalent of voltage sources driving one node in parallel.
+
+    This is exactly the paper's Eq. (2): wordline voltages ``V_in,i`` drive
+    the shared column capacitor through cell conductances ``G_i``::
+
+        V_eq = sum(V_i G_i) / sum(G_i),   R_eq = 1 / sum(G_i)
+
+    Parameters
+    ----------
+    voltages:
+        Source voltages (volts).
+    conductances:
+        Series conductance of each source branch (siemens, > 0 each;
+        zero-conductance branches may be passed and are ignored).
+    """
+    v = np.asarray(voltages, dtype=float)
+    g = np.asarray(conductances, dtype=float)
+    if v.shape != g.shape:
+        raise CircuitError(
+            f"voltages and conductances must match, got {v.shape} vs {g.shape}"
+        )
+    if np.any(g < 0):
+        raise CircuitError("branch conductances must be non-negative")
+    total_g = float(g.sum())
+    if total_g <= 0:
+        raise CircuitError("at least one branch must have positive conductance")
+    v_eq = float((v * g).sum() / total_g)
+    return TheveninEquivalent(voltage=v_eq, resistance=1.0 / total_g)

@@ -1,0 +1,81 @@
+"""Behavioral sample-and-hold model with static non-idealities.
+
+The transient engine's :class:`~repro.circuits.transient.SampleHold` is
+ideal; this standalone model adds the static error terms a designer would
+budget for (gain error, offset, droop) so accuracy studies can include
+the S/H in the error stack if desired.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from ..errors import CircuitError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["SampleHoldModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleHoldModel:
+    """Static S/H error model.
+
+    Attributes
+    ----------
+    gain:
+        Multiplicative gain (ideal = 1).
+    offset:
+        Additive offset (volts, ideal = 0).
+    droop_rate:
+        Hold-mode droop (volts per second, >= 0); the held value decays
+        linearly toward 0 V.
+    aperture_jitter:
+        RMS sampling-instant jitter (seconds).  Combined with the input
+        slew rate it adds sampling noise; deterministic callers pass a
+        ``rng`` to :meth:`sample`.
+    """
+
+    gain: float = 1.0
+    offset: float = 0.0
+    droop_rate: float = 0.0
+    aperture_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise CircuitError(f"S/H gain must be positive, got {self.gain!r}")
+        if self.droop_rate < 0:
+            raise CircuitError(f"droop rate must be >= 0, got {self.droop_rate!r}")
+        if self.aperture_jitter < 0:
+            raise CircuitError(f"aperture jitter must be >= 0, got {self.aperture_jitter!r}")
+
+    def sample(
+        self,
+        value: ArrayLike,
+        slew_rate: ArrayLike = 0.0,
+        rng: "np.random.Generator | None" = None,
+    ) -> ArrayLike:
+        """Value captured when sampling an input at ``value``.
+
+        ``slew_rate`` (volts/second) is the input slope at the sampling
+        instant; with a non-zero ``aperture_jitter`` and an ``rng`` the
+        captured value is perturbed by ``slew_rate * jitter_sample``.
+        """
+        captured = np.asarray(value, dtype=float) * self.gain + self.offset
+        if self.aperture_jitter > 0 and rng is not None:
+            jitter = rng.normal(0.0, self.aperture_jitter, size=np.shape(captured))
+            captured = captured + np.asarray(slew_rate, dtype=float) * jitter
+        return captured if np.ndim(captured) else float(captured)
+
+    def held_value(self, captured: ArrayLike, hold_time: ArrayLike) -> ArrayLike:
+        """Held output after ``hold_time`` seconds of droop."""
+        hold = np.asarray(hold_time, dtype=float)
+        if np.any(hold < 0):
+            raise CircuitError("hold_time must be >= 0")
+        captured = np.asarray(captured, dtype=float)
+        droop = self.droop_rate * hold
+        out = np.sign(captured) * np.maximum(np.abs(captured) - droop, 0.0)
+        return out if np.ndim(out) else float(out)

@@ -1,0 +1,220 @@
+"""Sampled waveforms.
+
+A :class:`Waveform` is an immutable pair of monotonically increasing time
+samples and values, with linear interpolation between samples.  The
+transient engine emits waveforms; the experiment harnesses post-process
+them (crossing detection, resampling, arithmetic) to regenerate the
+paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import CircuitError, ShapeError
+
+__all__ = ["Waveform"]
+
+Number = Union[int, float]
+
+
+class Waveform:
+    """A piecewise-linear signal ``v(t)`` defined on a finite interval."""
+
+    __slots__ = ("_t", "_v")
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]) -> None:
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1:
+            raise ShapeError("waveform times/values must be one-dimensional")
+        if t.shape != v.shape:
+            raise ShapeError(
+                f"waveform times and values must match, got {t.shape} vs {v.shape}"
+            )
+        if t.size < 2:
+            raise CircuitError("a waveform needs at least two samples")
+        if np.any(np.diff(t) < 0):
+            raise CircuitError("waveform times must be non-decreasing")
+        self._t = t
+        self._v = v
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_function(
+        cls, func: Callable[[np.ndarray], np.ndarray], t0: float, t1: float, n: int = 512
+    ) -> "Waveform":
+        """Sample ``func`` uniformly on ``[t0, t1]`` with ``n`` points."""
+        if t1 <= t0:
+            raise CircuitError(f"need t1 > t0, got [{t0}, {t1}]")
+        if n < 2:
+            raise CircuitError("need at least two samples")
+        t = np.linspace(t0, t1, n)
+        return cls(t, np.asarray(func(t), dtype=float))
+
+    @classmethod
+    def constant(cls, value: float, t0: float, t1: float) -> "Waveform":
+        """A flat waveform at ``value`` on ``[t0, t1]``."""
+        return cls([t0, t1], [value, value])
+
+    @classmethod
+    def step(cls, t_step: float, t0: float, t1: float, low: float = 0.0,
+             high: float = 1.0) -> "Waveform":
+        """An ideal step from ``low`` to ``high`` at ``t_step``."""
+        if not t0 <= t_step <= t1:
+            raise CircuitError("step time must lie inside the interval")
+        return cls([t0, t_step, t_step, t1], [low, low, high, high])
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Time samples (read-only view)."""
+        t = self._t.view()
+        t.flags.writeable = False
+        return t
+
+    @property
+    def values(self) -> np.ndarray:
+        """Value samples (read-only view)."""
+        v = self._v.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def t_start(self) -> float:
+        return float(self._t[0])
+
+    @property
+    def t_end(self) -> float:
+        return float(self._t[-1])
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def __len__(self) -> int:
+        return int(self._t.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"Waveform({len(self)} samples on "
+            f"[{self.t_start:.3e}, {self.t_end:.3e}] s, "
+            f"range [{self._v.min():.3e}, {self._v.max():.3e}])"
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, t: Union[Number, np.ndarray]) -> Union[float, np.ndarray]:
+        """Linear interpolation at time(s) ``t`` (clamped to endpoints)."""
+        out = np.interp(np.asarray(t, dtype=float), self._t, self._v)
+        return float(out) if np.ndim(t) == 0 else out
+
+    def sample(self, n: int) -> "Waveform":
+        """Resample uniformly with ``n`` points over the full interval."""
+        t = np.linspace(self.t_start, self.t_end, n)
+        return Waveform(t, self(t))
+
+    def window(self, t0: float, t1: float) -> "Waveform":
+        """Restrict to ``[t0, t1]`` (endpoints interpolated in)."""
+        if not (self.t_start <= t0 < t1 <= self.t_end):
+            raise CircuitError(
+                f"window [{t0}, {t1}] outside waveform span "
+                f"[{self.t_start}, {self.t_end}]"
+            )
+        inside = (self._t > t0) & (self._t < t1)
+        t = np.concatenate(([t0], self._t[inside], [t1]))
+        return Waveform(t, self(t))
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _binary(self, other: Union["Waveform", Number],
+                op: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> "Waveform":
+        if isinstance(other, Waveform):
+            t = np.union1d(self._t, other._t)
+            return Waveform(t, op(self(t), other(t)))
+        return Waveform(self._t, op(self._v, np.asarray(float(other))))
+
+    def __add__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, np.add)
+
+    def __sub__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, np.multiply)
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(self._t, -self._v)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def minimum(self) -> float:
+        return float(self._v.min())
+
+    def maximum(self) -> float:
+        return float(self._v.max())
+
+    def mean(self) -> float:
+        """Time-weighted mean value (trapezoidal)."""
+        if self.duration == 0:
+            return float(self._v[0])
+        return self.integral() / self.duration
+
+    def integral(self) -> float:
+        """Trapezoidal integral over the full interval."""
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self._v, self._t))
+
+    def rising_crossings(self, threshold: float) -> List[float]:
+        """Times of upward crossings through ``threshold`` (interpolated)."""
+        return self._crossings(threshold, rising=True)
+
+    def falling_crossings(self, threshold: float) -> List[float]:
+        """Times of downward crossings through ``threshold``."""
+        return self._crossings(threshold, rising=False)
+
+    def first_rising_crossing(self, threshold: float) -> Optional[float]:
+        """First upward crossing, or ``None`` if there is none."""
+        crossings = self.rising_crossings(threshold)
+        return crossings[0] if crossings else None
+
+    def _crossings(self, threshold: float, rising: bool) -> List[float]:
+        v = self._v - threshold
+        t = self._t
+        out: List[float] = []
+        for i in range(len(v) - 1):
+            a, b = v[i], v[i + 1]
+            crossed = (a < 0 <= b) if rising else (a > 0 >= b)
+            if not crossed:
+                continue
+            if b == a:
+                out.append(float(t[i]))
+            else:
+                frac = -a / (b - a)
+                out.append(float(t[i] + frac * (t[i + 1] - t[i])))
+        return out
+
+    def pulse_edges(self, threshold: float = 0.5) -> List[Tuple[float, float]]:
+        """(rise, fall) pairs for each pulse above ``threshold``."""
+        rises = self.rising_crossings(threshold)
+        falls = self.falling_crossings(threshold)
+        pairs: List[Tuple[float, float]] = []
+        fi = 0
+        for r in rises:
+            while fi < len(falls) and falls[fi] <= r:
+                fi += 1
+            if fi < len(falls):
+                pairs.append((r, falls[fi]))
+                fi += 1
+            else:
+                pairs.append((r, self.t_end))
+        return pairs

@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro table2
+    python -m repro fig5 --samples 200 --seed 3
+    python -m repro fig7 --networks mlp-1 mlp-2 --sigmas 0 0.1 0.2
+    python -m repro info
+
+Each subcommand prints the same rendered artefact the corresponding
+benchmark saves under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .config import CircuitParameters
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReSiPE (DAC 2020) reproduction — regenerate paper artefacts",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the operating points and library summary")
+
+    fig3 = sub.add_parser("fig3", help="transient MAC waveforms (Fig. 3)")
+    fig3.add_argument("--spike-times", nargs=2, type=float,
+                      default=[40e-9, 70e-9], metavar=("T0", "T1"),
+                      help="input spike times in seconds")
+    fig3.add_argument("--resistances", nargs=2, type=float,
+                      default=[50e3, 200e3], metavar=("R0", "R1"),
+                      help="cell resistances in ohms")
+
+    fig5 = sub.add_parser("fig5", help="t_out vs input strength (Fig. 5)")
+    fig5.add_argument("--samples", type=int, default=100)
+    fig5.add_argument("--seed", type=int, default=0)
+    fig5.add_argument("--paper-point", action="store_true",
+                      help="use the literal published operating point")
+
+    sub.add_parser("table1", help="data-format taxonomy (Table I)")
+
+    table2 = sub.add_parser("table2", help="design comparison (Table II)")
+    table2.add_argument("--rows", type=int, default=32)
+    table2.add_argument("--cols", type=int, default=32)
+
+    fig6 = sub.add_parser("fig6", help="throughput vs area budgets (Fig. 6)")
+    fig6.add_argument("--budgets", nargs="+", type=float, default=None,
+                      help="area budgets in mm^2")
+
+    fig7 = sub.add_parser("fig7", help="accuracy under process variation (Fig. 7)")
+    fig7.add_argument("--networks", nargs="+", default=None,
+                      help="network keys (default: all six)")
+    fig7.add_argument("--sigmas", nargs="+", type=float,
+                      default=[0.0, 0.05, 0.10, 0.15, 0.20])
+    fig7.add_argument("--trials", type=int, default=3)
+    fig7.add_argument("--samples", type=int, default=1500,
+                      help="synthetic dataset size per network")
+    fig7.add_argument("--eval-samples", type=int, default=200)
+
+    sub.add_parser("fig1", help="two-layer signal relation (Fig. 1)")
+
+    scaling = sub.add_parser("scaling", help="technology-scaling projection")
+    scaling.add_argument("--nodes", nargs="+", type=float,
+                         default=[65, 45, 28, 16], help="nodes in nm")
+
+    deploy = sub.add_parser("deploy",
+                            help="chip-level deployment of a benchmark network")
+    deploy.add_argument("--network", default="cnn-1",
+                        help="network key (e.g. mlp-2, cnn-1)")
+    deploy.add_argument("--samples", type=int, default=800,
+                        help="synthetic dataset size for (cached) training")
+    deploy.add_argument("--simulate", type=int, default=0, metavar="N",
+                        help="also pipeline-simulate N samples (with Gantt)")
+
+    return parser
+
+
+def _run_info() -> str:
+    from .energy.components import COMPONENT_LIBRARY
+
+    lines = [f"repro {__version__} — ReSiPE (DAC 2020) reproduction", ""]
+    for label, params in (
+        ("paper-literal operating point", CircuitParameters.paper()),
+        ("calibrated operating point", CircuitParameters.calibrated()),
+    ):
+        lines.append(f"[{label}]")
+        lines.append(params.describe())
+        lines.append("")
+    lines.append(f"component library: {len(COMPONENT_LIBRARY)} entries")
+    for comp in COMPONENT_LIBRARY.values():
+        lines.append(f"  {comp.name:<20} {comp.active_power * 1e6:7.1f} uW  "
+                     f"{comp.area * 1e12:8.0f} um^2   {comp.note}")
+    return "\n".join(lines)
+
+
+def _run_fig3(args: argparse.Namespace) -> str:
+    from .experiments.fig3_waveform import render_fig3, run_fig3
+
+    result = run_fig3(
+        spike_times=tuple(args.spike_times),
+        resistances=tuple(args.resistances),
+    )
+    return render_fig3(result)
+
+
+def _run_fig5(args: argparse.Namespace) -> str:
+    from .experiments.fig5_characterization import render_fig5, run_fig5
+
+    params = CircuitParameters.paper() if args.paper_point else None
+    return render_fig5(run_fig5(params=params, samples=args.samples,
+                                seed=args.seed))
+
+
+def _run_table1() -> str:
+    from .experiments.table1_taxonomy import render_table1
+
+    return render_table1()
+
+
+def _run_table2(args: argparse.Namespace) -> str:
+    from .experiments.table2_comparison import render_table2, run_table2
+
+    return render_table2(run_table2(rows=args.rows, cols=args.cols))
+
+
+def _run_fig6(args: argparse.Namespace) -> str:
+    from .experiments.fig6_throughput import render_fig6, run_fig6
+
+    budgets = None
+    if args.budgets is not None:
+        budgets = [b * 1e-6 for b in args.budgets]
+    return render_fig6(run_fig6(budgets=budgets))
+
+
+def _run_fig7(args: argparse.Namespace) -> str:
+    from .experiments.fig7_accuracy import Fig7Config, render_fig7, run_fig7
+
+    config = Fig7Config(
+        sigmas=tuple(args.sigmas),
+        trials=args.trials,
+        networks=tuple(args.networks) if args.networks else None,
+        n_samples=args.samples,
+        eval_samples=args.eval_samples,
+    )
+    return render_fig7(run_fig7(config))
+
+
+def _run_fig1() -> str:
+    from .experiments.fig1_signal_relation import render_fig1, run_fig1
+
+    return render_fig1(run_fig1())
+
+
+def _run_scaling(args: argparse.Namespace) -> str:
+    from .experiments.scaling import render_scaling, run_scaling
+
+    return render_scaling(run_scaling(nodes=[n * 1e-9 for n in args.nodes]))
+
+
+_DEPLOY_INPUT_HW = {"mlp-1": None, "mlp-2": None, "cnn-1": (28, 28),
+                    "cnn-2": (16, 16), "cnn-3": (16, 16), "cnn-4": (16, 16)}
+
+
+def _run_deploy(args: argparse.Namespace) -> str:
+    from .core.mvm import MVMMode
+    from .experiments.networks import get_benchmark_networks
+    from .mapping import ReSiPEBackend, compile_network, plan_deployment
+
+    net = get_benchmark_networks(keys=[args.network], n_samples=args.samples)[0]
+    mapped = compile_network(net.model, ReSiPEBackend(mode=MVMMode.LINEAR))
+    report = plan_deployment(
+        mapped, input_hw=_DEPLOY_INPUT_HW.get(args.network)
+    )
+    text = report.render()
+    if args.simulate > 0:
+        from .arch import PipelineSimulator, chip_from_deployment
+        from .arch.trace import render_gantt, utilisation_report
+
+        chip = chip_from_deployment(
+            report, CircuitParameters.paper().slice_length
+        )
+        result = PipelineSimulator(chip).run(args.simulate)
+        text += "\n\n" + utilisation_report(result)
+        text += "\n\n" + render_gantt(result)
+    return text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": lambda: _run_info(),
+        "fig1": lambda: _run_fig1(),
+        "fig3": lambda: _run_fig3(args),
+        "fig5": lambda: _run_fig5(args),
+        "table1": lambda: _run_table1(),
+        "table2": lambda: _run_table2(args),
+        "fig6": lambda: _run_fig6(args),
+        "fig7": lambda: _run_fig7(args),
+        "scaling": lambda: _run_scaling(args),
+        "deploy": lambda: _run_deploy(args),
+    }
+    print(handlers[args.command]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""The single-spiking data format (paper Section III-A).
+
+A datum is one spike per slice; its value is the duration from the
+beginning of the slice to the spike's rising edge.  :class:`SingleSpikeCodec`
+maps normalised values in ``[0, 1]`` to spike times in ``[0, t_max]``
+linearly and back.  The codec is deliberately independent of spike width
+and shape — exactly the property the paper highlights.
+
+Two zero-handling modes exist:
+
+* ``sparse_zero=True`` (default): a value of exactly zero emits *no*
+  spike at all, saving driver energy; the decoder maps a missing spike
+  back to zero.  (The GD samples 0 V for a never-arriving spike, so the
+  electrical behaviour is identical.)
+* ``sparse_zero=False``: zero is a spike at t = 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.spike import NO_SPIKE, SingleSpike
+from ..errors import EncodingError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["SingleSpikeCodec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SingleSpikeCodec:
+    """Linear value ↔ spike-time codec on a slice.
+
+    Attributes
+    ----------
+    t_max:
+        Spike time representing the full-scale value 1.0 (seconds).
+        Must not exceed the slice length; the paper leaves headroom for
+        the computation stage (t_max = 80 ns on a 100 ns slice).
+    slice_length:
+        Slice duration (seconds), used for validation only.
+    spike_width:
+        Width given to emitted spikes (seconds).
+    sparse_zero:
+        Whether the value 0 is encoded as "no spike".
+    """
+
+    t_max: float = 80e-9
+    slice_length: float = 100e-9
+    spike_width: float = 1e-9
+    sparse_zero: bool = True
+
+    def __post_init__(self) -> None:
+        if self.t_max <= 0:
+            raise EncodingError(f"t_max must be positive, got {self.t_max!r}")
+        if self.t_max > self.slice_length:
+            raise EncodingError(
+                f"t_max ({self.t_max}) cannot exceed the slice "
+                f"({self.slice_length})"
+            )
+        if self.spike_width <= 0:
+            raise EncodingError(f"spike width must be positive, got {self.spike_width!r}")
+
+    # ------------------------------------------------------------------
+    # Array interface (hot path)
+    # ------------------------------------------------------------------
+    def times_from_values(self, values: ArrayLike) -> ArrayLike:
+        """Spike times for normalised values in ``[0, 1]``.
+
+        Vectorised; raises on out-of-range values rather than silently
+        clipping (callers own their normalisation).
+        """
+        v = np.asarray(values, dtype=float)
+        if np.any(v < -1e-12) or np.any(v > 1 + 1e-9):
+            raise EncodingError(
+                f"values must lie in [0, 1]; got range "
+                f"[{float(v.min())}, {float(v.max())}]"
+            )
+        out = np.clip(v, 0.0, 1.0) * self.t_max
+        return out if np.ndim(out) else float(out)
+
+    def values_from_times(self, times: ArrayLike) -> ArrayLike:
+        """Normalised values for spike times (inverse map).
+
+        Times beyond ``t_max`` decode to values > 1 — callers that need
+        saturation apply it explicitly (see
+        :meth:`saturating_values_from_times`).
+        """
+        t = np.asarray(times, dtype=float)
+        if np.any(t < -1e-18):
+            raise EncodingError("spike times must be >= 0")
+        out = t / self.t_max
+        return out if np.ndim(out) else float(out)
+
+    def saturating_values_from_times(self, times: ArrayLike) -> ArrayLike:
+        """Like :meth:`values_from_times` but clamped to ``[0, 1]``."""
+        out = np.clip(np.asarray(self.values_from_times(times), dtype=float), 0.0, 1.0)
+        return out if np.ndim(out) else float(out)
+
+    # ------------------------------------------------------------------
+    # Object interface (signal level)
+    # ------------------------------------------------------------------
+    def encode(self, value: float) -> SingleSpike:
+        """Encode one value into a :class:`SingleSpike`."""
+        if value == 0 and self.sparse_zero:
+            return NO_SPIKE
+        t = float(self.times_from_values(value))
+        return SingleSpike(time=t, width=self.spike_width)
+
+    def decode(self, spike: SingleSpike) -> float:
+        """Decode one :class:`SingleSpike` back to a value."""
+        if spike.time is None:
+            return 0.0
+        if spike.time > self.slice_length:
+            raise EncodingError(
+                f"spike at {spike.time} lies outside the slice "
+                f"({self.slice_length})"
+            )
+        return float(self.values_from_times(spike.time))
+
+    def encode_vector(self, values: Sequence[float]) -> List[SingleSpike]:
+        """Encode a vector of values into spikes (one per element)."""
+        return [self.encode(float(v)) for v in np.asarray(values, dtype=float)]
+
+    def decode_vector(self, spikes: Sequence[SingleSpike]) -> np.ndarray:
+        """Decode a list of spikes back into a value vector."""
+        return np.array([self.decode(s) for s in spikes], dtype=float)
+
+    def spike_times_or_nan(self, spikes: Sequence[SingleSpike]) -> np.ndarray:
+        """Spike times with ``nan`` marking absent spikes (array form used
+        by the vectorised engine; a ``nan`` time contributes 0)."""
+        return np.array(
+            [np.nan if s.time is None else s.time for s in spikes], dtype=float
+        )

@@ -1,0 +1,224 @@
+"""The single-spiking MAC demonstrator circuit (paper Fig. 2 / Fig. 3).
+
+Netlists the simplified MAC of Section III-B on the event-driven
+transient engine and runs the full two-slice protocol:
+
+* S1 ``[0, T)``: the shared ramp charges; per-input S/H circuits capture
+  it at each spike arrival.
+* computation stage ``[T-Δt, T)``: the column capacitor ``C_cog``
+  charges from the held voltages through the ReRAM conductances; the
+  ramp is reset.
+* S2 ``[T, 2T)``: the ramp re-runs; a comparator fires when it crosses
+  the held ``V_out`` and the pulse shaper emits the output spike.
+
+The run produces real waveforms for every node — the reproduction of
+Fig. 3 — and the measured output spike time, which the tests check
+against the closed-form model in :mod:`repro.core.mvm`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.transient import (
+    Branch,
+    Comparator,
+    PiecewiseConstantSource,
+    PulseShaper,
+    RCNodeSpec,
+    SampleHold,
+    SwitchSpec,
+    TransientEngine,
+    TransientResult,
+)
+from ..circuits.waveform import Waveform
+from ..config import CircuitParameters
+from ..errors import CircuitError, EncodingError, ShapeError
+
+__all__ = ["SingleSpikeMAC", "MACWaveforms"]
+
+_RAMP_DISCHARGE_R = 10.0  # ohms; M_gd pull-down during reset
+
+
+@dataclasses.dataclass
+class MACWaveforms:
+    """Waveform bundle of one MAC transient run (Fig. 3 content).
+
+    Attributes
+    ----------
+    ramp:
+        The shared ``V(C_gd)`` ramp across both slices.
+    held_inputs:
+        Per-input held voltages ``V_in,i`` out of the S/H stages.
+    column:
+        The ``V(C_cog)`` column-capacitor voltage.
+    comparator:
+        The comparator logic output in S2.
+    output_spike:
+        The shaped output pulse.
+    t_out:
+        Measured output spike time relative to the start of S2, or
+        ``None`` if the comparator never fired (saturated).
+    result:
+        The raw transient result for further inspection.
+    """
+
+    ramp: Waveform
+    held_inputs: Dict[int, Waveform]
+    column: Waveform
+    comparator: Waveform
+    output_spike: Waveform
+    t_out: Optional[float]
+    result: TransientResult
+
+
+class SingleSpikeMAC:
+    """Circuit-level single-spiking MAC with ``M`` inputs.
+
+    Parameters
+    ----------
+    params:
+        Circuit operating point.
+    conductances:
+        Cell conductances ``G_i`` of the column (siemens), one per input.
+    """
+
+    def __init__(self, params: CircuitParameters, conductances: Sequence[float]) -> None:
+        g = np.asarray(conductances, dtype=float)
+        if g.ndim != 1 or g.size == 0:
+            raise ShapeError("conductances must be a non-empty 1-D sequence")
+        if np.any(g <= 0):
+            raise CircuitError("cell conductances must be positive")
+        self.params = params
+        self.conductances = g
+
+    # ------------------------------------------------------------------
+    def netlist_text(
+        self, spike_times: Sequence[Optional[float]]
+    ) -> str:
+        """The Fig. 2 schematic as a SPICE-flavoured netlist listing."""
+        return self._build_engine(list(spike_times), 8).describe()
+
+    def run(
+        self,
+        spike_times: Sequence[Optional[float]],
+        points_per_segment: int = 64,
+    ) -> MACWaveforms:
+        """Simulate the full two-slice MAC for the given input spikes.
+
+        ``spike_times`` holds per-input arrival times within S1 (seconds)
+        or ``None`` for "no spike" (0 V wordline).
+        """
+        eng = self._build_engine(spike_times, points_per_segment)
+        result = eng.run()
+        p = self.params
+        slice_len = p.slice_length
+        spikes = result.spike_times("spike_out")
+        t_out = spikes[0] - slice_len if spikes else None
+        held = {
+            i: result.waveform(f"vin{i}") for i in range(self.conductances.size)
+        }
+        return MACWaveforms(
+            ramp=result.waveform("ramp"),
+            held_inputs=held,
+            column=result.waveform("cog"),
+            comparator=result.waveform("comp_out"),
+            output_spike=result.waveform("spike_out"),
+            t_out=t_out,
+            result=result,
+        )
+
+    def _build_engine(
+        self,
+        spike_times: Sequence[Optional[float]],
+        points_per_segment: int,
+    ) -> TransientEngine:
+        """Netlist the Fig. 2 circuit for the given stimulus."""
+        p = self.params
+        if len(spike_times) != self.conductances.size:
+            raise ShapeError(
+                f"{len(spike_times)} spike times for "
+                f"{self.conductances.size} conductances"
+            )
+        slice_len = p.slice_length
+        comp_start = slice_len - p.dt
+        for t in spike_times:
+            if t is None:
+                continue
+            if not 0 <= t <= comp_start:
+                raise EncodingError(
+                    f"input spike at {t} must land in [0, {comp_start}] "
+                    "(before the computation stage)"
+                )
+
+        eng = TransientEngine(t_stop=2 * slice_len, points_per_segment=points_per_segment)
+        eng.add_source(PiecewiseConstantSource.constant("vs", p.v_s))
+
+        # Shared ramp: charges in S1 and S2, hard-reset during the
+        # computation stage (M_gd, paper Fig. 2).
+        eng.add_switch(
+            SwitchSpec("mgd", ((0.0, False), (comp_start, True), (slice_len, False)))
+        )
+        eng.add_rc_node(
+            RCNodeSpec(
+                "ramp",
+                p.c_gd,
+                (
+                    Branch("vs", p.r_gd),
+                    Branch("gnd", _RAMP_DISCHARGE_R, switch="mgd"),
+                ),
+            )
+        )
+
+        # Per-input S/H capturing the ramp at spike arrival.
+        branches = []
+        for i, t in enumerate(spike_times):
+            node = f"vin{i}"
+            samples = () if t is None else (float(t),)
+            eng.add_sample_hold(SampleHold("ramp", node, samples, initial=0.0))
+            branches.append(Branch(node, 1.0 / self.conductances[i], switch="rst1"))
+
+        # Column capacitor charged through the cells during the
+        # computation stage only (RST phases, Fig. 2); it holds its
+        # voltage through S2 and is reset in the *next* cycle.
+        eng.add_switch(
+            SwitchSpec("rst1", ((0.0, False), (comp_start, True), (slice_len, False)))
+        )
+        eng.add_rc_node(RCNodeSpec("cog", p.c_cog, tuple(branches), v0=0.0))
+
+        # S2 comparator + spike shaper.
+        eng.add_comparator(
+            Comparator(
+                pos="ramp",
+                neg="cog",
+                output="comp_out",
+                enable=(slice_len, 2 * slice_len),
+            )
+        )
+        eng.add_pulse_shaper(PulseShaper("comp_out", "spike_out", width=p.spike_width))
+        return eng
+
+    # ------------------------------------------------------------------
+    def predicted_t_out(self, spike_times: Sequence[Optional[float]]) -> Optional[float]:
+        """Closed-form prediction of the output spike time (exact model).
+
+        Returns ``None`` when the output saturates beyond the slice.
+        Serves as the oracle the transient run is validated against.
+        """
+        p = self.params
+        times = np.array(
+            [np.nan if t is None else float(t) for t in spike_times], dtype=float
+        )
+        v_in = np.where(
+            np.isnan(times), 0.0, p.v_s * (1.0 - np.exp(-np.where(np.isnan(times), 0.0, times) / p.tau_gd))
+        )
+        total_g = float(self.conductances.sum())
+        v_eq = float((v_in * self.conductances).sum() / total_g)
+        v_out = v_eq * (1.0 - np.exp(-p.dt * total_g / p.c_cog))
+        if v_out >= p.v_s:
+            return None
+        t_out = -p.tau_gd * np.log1p(-v_out / p.v_s)
+        return float(t_out) if t_out <= p.slice_length else None

@@ -1,0 +1,184 @@
+"""Non-linearity analysis of the single-spiking MAC (paper Section III-D).
+
+Two effects pull the exact transfer away from the ideal Eq. 6 line:
+
+1. **Ramp curvature** — ``V(C_gd)`` is exponential, so late spikes
+   sample proportionally less voltage.  Because the *same* ramp encodes
+   the output in S2, the effect partially cancels (the paper calls it
+   "subtle").
+2. **Column saturation** — when ``Σ G`` is large, ``C_cog`` charges to
+   ``V_eq`` within the computation stage and the output collapses from
+   the *sum* toward the *weighted mean*; the paper bounds operation at
+   ``Σ G ≤ 1.6 mS``.
+
+This module provides the closed-form transfers, error metrics, the
+regime report used by the Fig. 5 harness, and a saturation-compensation
+decoder (an extension the paper's conclusion hints at).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from ..config import CircuitParameters
+from ..errors import CircuitError, ShapeError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "linear_mac_output",
+    "exact_mac_output",
+    "transfer_error",
+    "compensate_column_saturation",
+    "NonlinearityReport",
+    "analyse_nonlinearity",
+]
+
+
+def _as_2d(times: np.ndarray, conductances: np.ndarray):
+    t = np.atleast_2d(np.asarray(times, dtype=float))
+    g = np.asarray(conductances, dtype=float)
+    if g.ndim != 1:
+        raise ShapeError("conductances must be 1-D (one column)")
+    if t.shape[1] != g.size:
+        raise ShapeError(
+            f"times row length {t.shape[1]} != number of cells {g.size}"
+        )
+    if np.any(g <= 0):
+        raise CircuitError("conductances must be positive")
+    return t, g
+
+
+def linear_mac_output(
+    times: ArrayLike, conductances: ArrayLike, params: CircuitParameters
+) -> ArrayLike:
+    """Ideal Eq. 6 output time: ``(Δt/C_cog) Σ t_i G_i``.
+
+    ``times`` may be ``(M,)`` or ``(batch, M)``; ``nan`` entries (no
+    spike) contribute zero.
+    """
+    t, g = _as_2d(np.asarray(times, dtype=float), np.asarray(conductances, dtype=float))
+    safe = np.where(np.isnan(t), 0.0, t)
+    out = params.mac_gain * (safe @ g)
+    return out if np.ndim(times) > 1 else float(out[0])
+
+
+def exact_mac_output(
+    times: ArrayLike, conductances: ArrayLike, params: CircuitParameters
+) -> ArrayLike:
+    """Exact output time through the full exponential chain (unclamped —
+    may exceed the slice; the engine clamps)."""
+    t, g = _as_2d(np.asarray(times, dtype=float), np.asarray(conductances, dtype=float))
+    present = ~np.isnan(t)
+    safe = np.where(present, t, 0.0)
+    v_in = np.where(present, params.v_s * (1.0 - np.exp(-safe / params.tau_gd)), 0.0)
+    total_g = float(g.sum())
+    v_eq = (v_in @ g) / total_g
+    depth = params.dt * total_g / params.c_cog
+    v_out = v_eq * (1.0 - np.exp(-depth))
+    out = -params.tau_gd * np.log1p(-v_out / params.v_s)
+    return out if np.ndim(times) > 1 else float(out[0])
+
+
+def transfer_error(
+    times: ArrayLike, conductances: ArrayLike, params: CircuitParameters
+) -> ArrayLike:
+    """Relative deviation ``(t_linear - t_exact) / t_linear``.
+
+    Positive values mean the exact output falls *below* the ideal line —
+    the behaviour of the light-blue high-G points in Fig. 5.
+    """
+    lin = np.asarray(linear_mac_output(times, conductances, params), dtype=float)
+    exact = np.asarray(exact_mac_output(times, conductances, params), dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        err = np.where(lin > 0, (lin - exact) / lin, 0.0)
+    return err if np.ndim(times) > 1 else float(err)
+
+
+def compensate_column_saturation(
+    t_out: ArrayLike, total_g: ArrayLike, params: CircuitParameters
+) -> ArrayLike:
+    """Invert the dominant (column-saturation) non-linearity.
+
+    Given a measured output time and the column's known total
+    conductance, recover an estimate of the ideal linear output time by
+    exactly inverting Eq. 4 and the Eq. 3 charge-up::
+
+        V_out = V_s (1 - e^{-t_out/τ_gd})
+        V_eq  = V_out / (1 - e^{-Δt ΣG / C_cog})
+        t_lin ≈ (Δt/C_cog) · τ_gd/V_s · V_eq · ΣG
+
+    The residual error is only the (self-cancelling) ramp curvature.
+    This is the "elaborated circuit designs ... toward better
+    robustness" extension: a digital post-correction using per-column
+    constants.
+    """
+    t = np.asarray(t_out, dtype=float)
+    g = np.asarray(total_g, dtype=float)
+    if np.any(g <= 0):
+        raise CircuitError("total conductance must be positive")
+    v_out = params.v_s * (1.0 - np.exp(-t / params.tau_gd))
+    depth = params.dt * g / params.c_cog
+    v_eq = v_out / (1.0 - np.exp(-depth))
+    t_lin = (params.dt / params.c_cog) * (params.tau_gd / params.v_s) * v_eq * g
+    return t_lin if np.ndim(t_lin) else float(t_lin)
+
+
+@dataclasses.dataclass(frozen=True)
+class NonlinearityReport:
+    """Summary of the operating regime of one column configuration.
+
+    Attributes
+    ----------
+    total_g:
+        Column total conductance analysed (siemens).
+    saturation_depth:
+        ``Δt / (R_eq C_cog)`` — time constants spanned by the
+        computation stage.
+    linear:
+        Whether the configuration is inside the paper's linear regime
+        (``Σ G ≤ g_column_linear_limit``).
+    max_relative_error:
+        Worst ``(t_lin - t_exact)/t_lin`` over the sampled input grid.
+    mean_relative_error:
+        Mean of the same quantity.
+    """
+
+    total_g: float
+    saturation_depth: float
+    linear: bool
+    max_relative_error: float
+    mean_relative_error: float
+
+
+def analyse_nonlinearity(
+    params: CircuitParameters,
+    total_g: float,
+    cells: int = 32,
+    grid: int = 24,
+) -> NonlinearityReport:
+    """Characterise one column's deviation from the ideal transfer.
+
+    A ``cells``-input column with uniform per-cell conductance
+    ``total_g / cells`` is swept over a grid of common input times in
+    ``[t_in_min, t_in_max]``.
+    """
+    if total_g <= 0:
+        raise CircuitError("total conductance must be positive")
+    if cells < 1 or grid < 2:
+        raise CircuitError("need cells >= 1 and grid >= 2")
+    g = np.full(cells, total_g / cells)
+    t_grid = np.linspace(params.t_in_min, params.t_in_max, grid)
+    times = np.repeat(t_grid[:, None], cells, axis=1)
+    err = np.asarray(transfer_error(times, g, params), dtype=float)
+    depth = params.saturation_depth(total_g)
+    return NonlinearityReport(
+        total_g=total_g,
+        saturation_depth=depth,
+        linear=total_g <= params.g_column_linear_limit,
+        max_relative_error=float(err.max()),
+        mean_relative_error=float(err.mean()),
+    )

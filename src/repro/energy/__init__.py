@@ -1,0 +1,35 @@
+"""Power / area / latency estimation framework.
+
+The paper's Table II compares ReSiPE with level-based, PWM-based and
+rate-coding PIM designs on power, power efficiency, latency and area.
+The absolute cells of that table come from published chips we cannot
+re-measure; what this package provides instead is a *parametric 65 nm
+component library* (ADC, DAC, S/H, comparators, spike circuitry,
+capacitor banks) and an aggregation model, so each design's totals are
+assembled from the same documented component inventory.  The resulting
+*ratios* are what EXPERIMENTS.md compares against the paper.
+
+* :mod:`repro.energy.technology` — process constants and scaling.
+* :mod:`repro.energy.components` — the component library.
+* :mod:`repro.energy.model` — per-design budgets and reports.
+"""
+
+from .technology import TechnologyParameters
+from .components import (
+    Component,
+    capacitor_charge_energy,
+    COMPONENT_LIBRARY,
+    get_component,
+)
+from .model import BudgetLine, DesignBudget, PowerReport
+
+__all__ = [
+    "TechnologyParameters",
+    "Component",
+    "capacitor_charge_energy",
+    "COMPONENT_LIBRARY",
+    "get_component",
+    "BudgetLine",
+    "DesignBudget",
+    "PowerReport",
+]

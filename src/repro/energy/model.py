@@ -1,0 +1,183 @@
+"""Design-level power/area aggregation.
+
+A :class:`DesignBudget` is a named list of :class:`BudgetLine` items —
+component, instance count, duty cycle, optional raw power/area adders
+(for physics-derived contributions like capacitor-bank charging or
+crossbar ohmic power that are not library components).  It aggregates to
+a :class:`PowerReport` with per-group breakdowns, which is what the
+Table II harness renders and what the "COG cluster contributes 98.1 % of
+the power" claim is checked against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..units import si_format
+from .components import Component
+
+__all__ = ["BudgetLine", "DesignBudget", "PowerReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetLine:
+    """One contribution to a design's power/area budget.
+
+    Exactly one of ``component`` or (``raw_power`` and/or ``raw_area``)
+    supplies the figures.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name for reports.
+    group:
+        Breakdown bucket (e.g. ``"COG cluster"``, ``"interface"``).
+    component:
+        Library component, multiplied by ``count`` and ``duty``.
+    count:
+        Instance count.
+    duty:
+        Fraction of time the instances are active.
+    raw_power:
+        Direct average-power contribution (watts), e.g. physics-derived
+        capacitor or crossbar power.
+    raw_area:
+        Direct area contribution (m²).
+    """
+
+    label: str
+    group: str
+    component: Optional[Component] = None
+    count: int = 1
+    duty: float = 1.0
+    raw_power: float = 0.0
+    raw_area: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError(f"{self.label}: count must be >= 0")
+        if not 0 <= self.duty <= 1:
+            raise ConfigurationError(f"{self.label}: duty must be in [0, 1]")
+        if self.raw_power < 0 or self.raw_area < 0:
+            raise ConfigurationError(f"{self.label}: raw figures must be >= 0")
+        if self.component is None and self.raw_power == 0 and self.raw_area == 0:
+            raise ConfigurationError(
+                f"{self.label}: needs a component or a raw power/area figure"
+            )
+
+    @property
+    def power(self) -> float:
+        """Average power of this line (watts)."""
+        total = self.raw_power
+        if self.component is not None:
+            total += self.count * self.component.average_power(self.duty)
+        return total
+
+    @property
+    def area(self) -> float:
+        """Area of this line (m²)."""
+        total = self.raw_area
+        if self.component is not None:
+            total += self.count * self.component.area
+        return total
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerReport:
+    """Aggregated budget of one design.
+
+    Attributes
+    ----------
+    design:
+        Design name.
+    total_power / total_area:
+        Sums over all lines.
+    group_power / group_area:
+        Per-group breakdowns.
+    lines:
+        The raw lines, for itemised reports.
+    """
+
+    design: str
+    total_power: float
+    total_area: float
+    group_power: Dict[str, float]
+    group_area: Dict[str, float]
+    lines: Tuple[BudgetLine, ...]
+
+    def group_power_share(self, group: str) -> float:
+        """Fraction of total power attributed to ``group``."""
+        if group not in self.group_power:
+            raise ConfigurationError(
+                f"unknown group {group!r}; available: {sorted(self.group_power)}"
+            )
+        if self.total_power == 0:
+            return 0.0
+        return self.group_power[group] / self.total_power
+
+    def render(self) -> str:
+        """Multi-line human-readable breakdown."""
+        rows = [f"{self.design}: {si_format(self.total_power, 'W')}, "
+                f"{self.total_area * 1e12:.0f} um^2"]
+        for group in sorted(self.group_power):
+            share = self.group_power_share(group)
+            rows.append(
+                f"  {group:<18} {si_format(self.group_power[group], 'W'):>10}"
+                f"  ({share:6.1%})   {self.group_area[group] * 1e12:10.0f} um^2"
+            )
+        return "\n".join(rows)
+
+
+class DesignBudget:
+    """Mutable builder for a design's budget."""
+
+    def __init__(self, design: str) -> None:
+        self.design = design
+        self._lines: List[BudgetLine] = []
+
+    def add(self, line: BudgetLine) -> "DesignBudget":
+        """Append a budget line (chainable)."""
+        self._lines.append(line)
+        return self
+
+    def add_component(
+        self,
+        label: str,
+        group: str,
+        component: Component,
+        count: int = 1,
+        duty: float = 1.0,
+    ) -> "DesignBudget":
+        """Append a library-component line (chainable)."""
+        return self.add(
+            BudgetLine(label=label, group=group, component=component,
+                       count=count, duty=duty)
+        )
+
+    def add_raw(
+        self, label: str, group: str, power: float = 0.0, area: float = 0.0
+    ) -> "DesignBudget":
+        """Append a physics-derived line (chainable)."""
+        return self.add(
+            BudgetLine(label=label, group=group, raw_power=power, raw_area=area)
+        )
+
+    def report(self) -> PowerReport:
+        """Aggregate into a :class:`PowerReport`."""
+        if not self._lines:
+            raise ConfigurationError(f"budget for {self.design!r} is empty")
+        group_power: Dict[str, float] = {}
+        group_area: Dict[str, float] = {}
+        for line in self._lines:
+            group_power[line.group] = group_power.get(line.group, 0.0) + line.power
+            group_area[line.group] = group_area.get(line.group, 0.0) + line.area
+        return PowerReport(
+            design=self.design,
+            total_power=sum(gp for gp in group_power.values()),
+            total_area=sum(ga for ga in group_area.values()),
+            group_power=group_power,
+            group_area=group_area,
+            lines=tuple(self._lines),
+        )

@@ -1,0 +1,95 @@
+"""Process-technology constants (65 nm baseline) and scaling.
+
+All designs in the paper are evaluated at 65 nm with a 1 GHz reference
+clock (Section IV-A).  :class:`TechnologyParameters` collects the
+constants the component library draws on, and provides first-order
+Dennard-style scaling so the "future technology scaling ... could induce
+further energy reduction" remark (Section IV-B) can be explored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+__all__ = ["TechnologyParameters"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TechnologyParameters:
+    """Constants of a CMOS process node used by the component models.
+
+    Attributes
+    ----------
+    node:
+        Feature size (metres).
+    supply:
+        Nominal core supply (volts).
+    clock:
+        Reference clock (hertz); the paper calibrates at 1 GHz.
+    mim_cap_density:
+        Metal-insulator-metal capacitor density (farads per m²);
+        ~2 fF/µm² is typical at 65 nm.
+    reram_cell_area_f2:
+        1T1R cell footprint in units of F² (≈ 30 F² with the access
+        transistor sized for write current).
+    gate_cap:
+        Representative minimum-gate capacitance (farads), anchors the
+        digital-logic energy estimates.
+    """
+
+    node: float = 65e-9
+    supply: float = 1.0
+    clock: float = 1e9
+    mim_cap_density: float = 2e-3  # F/m^2  == 2 fF/µm²
+    reram_cell_area_f2: float = 30.0
+    gate_cap: float = 0.4e-15
+
+    def __post_init__(self) -> None:
+        for name in ("node", "supply", "clock", "mim_cap_density",
+                     "reram_cell_area_f2", "gate_cap"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @classmethod
+    def tsmc65(cls) -> "TechnologyParameters":
+        """The paper's 65 nm operating point."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    @property
+    def reram_cell_area(self) -> float:
+        """Physical 1T1R cell area (m²)."""
+        return self.reram_cell_area_f2 * self.node**2
+
+    def crossbar_area(self, rows: int, cols: int) -> float:
+        """Cell-array area of a crossbar (m²), excluding periphery."""
+        if rows < 1 or cols < 1:
+            raise ConfigurationError("crossbar dimensions must be >= 1")
+        return rows * cols * self.reram_cell_area
+
+    def mim_capacitor_area(self, capacitance: float) -> float:
+        """MIM capacitor footprint for ``capacitance`` farads (m²)."""
+        if capacitance <= 0:
+            raise ConfigurationError("capacitance must be positive")
+        return capacitance / self.mim_cap_density
+
+    def scaled(self, node: float) -> "TechnologyParameters":
+        """First-order constant-field scaling to another node.
+
+        Supply scales with the square root of the node ratio (practical,
+        not ideal Dennard), capacitor density improves inversely with
+        node, gate cap scales linearly.
+        """
+        if node <= 0:
+            raise ConfigurationError("node must be positive")
+        s = node / self.node
+        return TechnologyParameters(
+            node=node,
+            supply=self.supply * s**0.5,
+            clock=self.clock / s,
+            mim_cap_density=self.mim_cap_density / s,
+            reram_cell_area_f2=self.reram_cell_area_f2,
+            gate_cap=self.gate_cap * s,
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ReSiPE reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure domain (circuit, device,
+mapping, ...) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter bundle is internally inconsistent or out of range."""
+
+
+class CircuitError(ReproError):
+    """A circuit-level simulation failed (bad topology, no convergence)."""
+
+
+class DeviceError(ReproError):
+    """A ReRAM device or crossbar was driven outside its physical limits."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be represented in the single-spiking data format."""
+
+
+class MappingError(ReproError):
+    """A neural network cannot be mapped onto the target hardware."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class TrainingError(ReproError):
+    """Neural-network training failed (divergence, bad loss, bad labels)."""

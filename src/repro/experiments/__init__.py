@@ -1,0 +1,51 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+========================  =========================================
+:mod:`.fig3_waveform`     transient MAC waveforms (Fig. 3)
+:mod:`.fig5_characterization`  t_out vs input strength (Fig. 5)
+:mod:`.table1_taxonomy`   data-format taxonomy (Table I)
+:mod:`.table2_comparison` power/latency/area comparison (Table II)
+:mod:`.fig6_throughput`   throughput vs area trade-off (Fig. 6)
+:mod:`.fig7_accuracy`     accuracy under process variation (Fig. 7)
+:mod:`.networks`          the six benchmark networks of Section IV-C
+========================  =========================================
+
+Each module exposes ``run_*`` returning a structured result and a
+``render`` helper producing the table/series the paper reports; the
+``benchmarks/`` directory wraps them in pytest-benchmark entry points.
+"""
+
+from .networks import (
+    NetworkSpec,
+    TrainedNetwork,
+    NETWORK_SPECS,
+    get_benchmark_networks,
+)
+from .fig3_waveform import Fig3Result, run_fig3
+from .fig5_characterization import Fig5Result, run_fig5
+from .table1_taxonomy import render_table1
+from .table2_comparison import Table2Result, run_table2
+from .fig6_throughput import Fig6Result, run_fig6
+from .fig7_accuracy import Fig7Config, Fig7Result, run_fig7
+from .scaling import ScalingPoint, run_scaling
+
+__all__ = [
+    "NetworkSpec",
+    "TrainedNetwork",
+    "NETWORK_SPECS",
+    "get_benchmark_networks",
+    "Fig3Result",
+    "run_fig3",
+    "Fig5Result",
+    "run_fig5",
+    "render_table1",
+    "Table2Result",
+    "run_table2",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+    "ScalingPoint",
+    "run_scaling",
+]

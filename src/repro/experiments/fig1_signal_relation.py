@@ -1,0 +1,133 @@
+"""Fig. 1 — signal relation of two sequential layers.
+
+The paper's Fig. 1 shows the defining property of the single-spiking
+format: layer *n* emits its output spike during its S2, and that same
+slice *is* layer *n+1*'s S1 — the output spike needs no conversion to
+become the next layer's input.  This harness runs the relation at the
+circuit level: two chained MACs on the transient engine, with layer 2
+consuming layer 1's measured output spike time verbatim, and validates
+the chain against the closed-form model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..config import CircuitParameters
+from ..core.mac import SingleSpikeMAC
+from ..errors import CircuitError
+from ..units import si_format
+
+__all__ = ["Fig1Result", "run_fig1", "render_fig1"]
+
+
+@dataclasses.dataclass
+class Fig1Result:
+    """The two-layer signal chain.
+
+    Attributes
+    ----------
+    params:
+        Operating point used.
+    layer1_inputs:
+        Input spike times of layer 1 (within its S1).
+    layer1_output:
+        Layer 1's output spike time within its S2 (measured, transient).
+    layer2_output:
+        Layer 2's output spike time within *its* S2, with layer 1's
+        output driving every layer-2 input.
+    layer1_predicted / layer2_predicted:
+        Closed-form predictions of the same quantities.
+    absolute_times:
+        (t, label) global-timeline markers (layer 1 S1 start at 0).
+    """
+
+    params: CircuitParameters
+    layer1_inputs: Tuple[float, ...]
+    layer1_output: float
+    layer2_output: float
+    layer1_predicted: float
+    layer2_predicted: float
+    absolute_times: Tuple[Tuple[float, str], ...]
+
+    @property
+    def chain_error(self) -> float:
+        """Worst |measured − predicted| across both layers (seconds)."""
+        return max(
+            abs(self.layer1_output - self.layer1_predicted),
+            abs(self.layer2_output - self.layer2_predicted),
+        )
+
+
+def run_fig1(
+    params: Optional[CircuitParameters] = None,
+    layer1_spikes: Tuple[float, float] = (25e-9, 60e-9),
+    layer1_resistances: Tuple[float, float] = (50e3, 120e3),
+    layer2_resistances: Tuple[float, float] = (80e3, 300e3),
+) -> Fig1Result:
+    """Run the two-layer chained-MAC demonstration."""
+    p = params if params is not None else CircuitParameters.calibrated()
+
+    layer1 = SingleSpikeMAC(p, [1.0 / r for r in layer1_resistances])
+    waves1 = layer1.run(list(layer1_spikes))
+    if waves1.t_out is None:
+        raise CircuitError("layer 1 output saturated; choose smaller inputs")
+
+    # The hand-off: layer 1's S2 is layer 2's S1, so the measured output
+    # time is *directly* layer 2's input time — no conversion circuitry.
+    layer2 = SingleSpikeMAC(p, [1.0 / r for r in layer2_resistances])
+    layer2_inputs = [waves1.t_out, waves1.t_out]
+    waves2 = layer2.run(layer2_inputs)
+    if waves2.t_out is None:
+        raise CircuitError("layer 2 output saturated")
+
+    predicted1 = layer1.predicted_t_out(list(layer1_spikes))
+    predicted2 = layer2.predicted_t_out([predicted1, predicted1])
+
+    slice_len = p.slice_length
+    markers = []
+    for t, label in sorted(
+        [(t, f"layer-1 input spike @ {si_format(t, 's')}")
+         for t in layer1_spikes]
+        + [
+            (slice_len, "layer-1 S2 begins == layer-2 S1 begins"),
+            (slice_len + waves1.t_out,
+             "layer-1 output spike == layer-2 input spike"),
+            (2 * slice_len, "layer-2 S2 begins"),
+            (2 * slice_len + waves2.t_out, "layer-2 output spike"),
+        ]
+    ):
+        markers.append((t, label))
+
+    return Fig1Result(
+        params=p,
+        layer1_inputs=tuple(layer1_spikes),
+        layer1_output=waves1.t_out,
+        layer2_output=waves2.t_out,
+        layer1_predicted=predicted1,
+        layer2_predicted=predicted2,
+        absolute_times=tuple(markers),
+    )
+
+
+def render_fig1(result: Fig1Result) -> str:
+    """Timeline rendering of the two-layer signal relation."""
+    lines = [
+        "Fig. 1 — signal relation of two sequential layers "
+        "(pipelined two-slice protocol)",
+        f"slice = {si_format(result.params.slice_length, 's')}; "
+        "layer n's S2 IS layer n+1's S1",
+        "",
+    ]
+    for t, label in result.absolute_times:
+        lines.append(f"  t = {si_format(t, 's'):>9}  {label}")
+    lines += [
+        "",
+        f"layer-1 t_out: measured {si_format(result.layer1_output, 's')}, "
+        f"closed form {si_format(result.layer1_predicted, 's')}",
+        f"layer-2 t_out: measured {si_format(result.layer2_output, 's')}, "
+        f"closed form {si_format(result.layer2_predicted, 's')}",
+        f"worst chain error: {si_format(result.chain_error, 's')}",
+    ]
+    return "\n".join(lines)

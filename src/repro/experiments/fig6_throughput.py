@@ -1,0 +1,123 @@
+"""Fig. 6 — the latency / area / throughput trade-off.
+
+The paper's point: ReSiPE engines are small, so under a fixed *area
+budget* many can run in parallel, and the aggregate throughput beats the
+other designs even though a single ReSiPE MVM is slower than a
+level-based one.  We reproduce the figure as, per design, the engine
+count and aggregate throughput at each area budget (the dashed
+iso-throughput lines of the figure fall out of throughput = ops/II ×
+engines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from ..baselines import all_designs
+from ..errors import ConfigurationError
+
+__all__ = ["Fig6Result", "run_fig6", "render_fig6"]
+
+#: Default area budgets swept (m²): 0.01 mm² to 1 mm².
+_DEFAULT_BUDGETS = tuple(float(b) * 1e-6 for b in
+                         (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0))
+
+
+@dataclasses.dataclass
+class Fig6Result:
+    """Throughput-vs-area series for every design.
+
+    Attributes
+    ----------
+    budgets:
+        Area budgets swept (m²).
+    engines:
+        design name → engine counts per budget.
+    throughput:
+        design name → aggregate ops/s per budget.
+    latency:
+        design name → single-MVM latency (constant per design).
+    engine_area:
+        design name → per-engine area.
+    """
+
+    budgets: Tuple[float, ...]
+    engines: Dict[str, np.ndarray]
+    throughput: Dict[str, np.ndarray]
+    latency: Dict[str, float]
+    engine_area: Dict[str, float]
+
+    def winner_at(self, budget_index: int) -> str:
+        """Design with the highest throughput at one budget."""
+        return max(self.throughput, key=lambda k: self.throughput[k][budget_index])
+
+    def advantage_over(self, other: str, budget_index: int = -1) -> float:
+        """ReSiPE aggregate-throughput multiple over ``other``."""
+        resipe = self.throughput["ReSiPE (this work)"][budget_index]
+        reference = self.throughput[other][budget_index]
+        if reference == 0:
+            return float("inf")
+        return float(resipe / reference)
+
+
+def run_fig6(
+    budgets: Optional[Sequence[float]] = None,
+    rows: int = 32,
+    cols: int = 32,
+) -> Fig6Result:
+    """Sweep area budgets and collect per-design aggregate throughput."""
+    budgets = tuple(budgets) if budgets is not None else _DEFAULT_BUDGETS
+    if not budgets or any(b <= 0 for b in budgets):
+        raise ConfigurationError("area budgets must be positive")
+    designs = all_designs(rows, cols)
+
+    engines: Dict[str, np.ndarray] = {}
+    throughput: Dict[str, np.ndarray] = {}
+    latency: Dict[str, float] = {}
+    engine_area: Dict[str, float] = {}
+    for name, design in designs.items():
+        area = design.area
+        per_engine_tp = design.throughput
+        counts = np.array([int(b // area) for b in budgets], dtype=float)
+        engines[name] = counts
+        throughput[name] = counts * per_engine_tp
+        latency[name] = design.latency
+        engine_area[name] = area
+    return Fig6Result(
+        budgets=budgets,
+        engines=engines,
+        throughput=throughput,
+        latency=latency,
+        engine_area=engine_area,
+    )
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """ASCII rendering of the throughput-vs-area series."""
+    headers = ["area budget (mm^2)"] + [
+        f"{name} (GOPS)" for name in result.throughput
+    ]
+    rows = []
+    for i, budget in enumerate(result.budgets):
+        rows.append(
+            [budget * 1e6]
+            + [result.throughput[name][i] / 1e9 for name in result.throughput]
+        )
+    table = render_table(headers, rows,
+                         title="Fig. 6 — aggregate throughput under area budgets")
+    winner = result.winner_at(-1)
+    extras = [
+        table,
+        f"winner at largest budget: {winner}",
+    ]
+    for other in result.throughput:
+        if other != "ReSiPE (this work)":
+            extras.append(
+                f"ReSiPE advantage over {other}: "
+                f"{result.advantage_over(other):.2f}x"
+            )
+    return "\n".join(extras)

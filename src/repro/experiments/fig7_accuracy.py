@@ -1,0 +1,177 @@
+"""Fig. 7 — classification accuracy under process variation.
+
+The paper's protocol, reproduced end to end:
+
+1. train the six benchmark networks (Section IV-C list);
+2. map each onto ReSiPE crossbars (differential weights, tiling,
+   exact circuit equations — the σ=0 column therefore carries the
+   *non-linearity* accuracy drop the paper bounds at 2.5 %);
+3. perturb every programmed conductance with Gaussian device variation
+   at σ ∈ {0, 5, 10, 15, 20} %, several Monte-Carlo trials each;
+4. report ideal (software) accuracy and the mean/min accuracy per σ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from ..config import CircuitParameters
+from ..core.mvm import MVMMode
+from ..errors import ConfigurationError
+from ..mapping import PIMExecutor, ReSiPEBackend, compile_network
+from .networks import TrainedNetwork, get_benchmark_networks
+
+__all__ = ["Fig7Config", "Fig7Result", "run_fig7", "render_fig7"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig7Config:
+    """Knobs of the Fig. 7 study.
+
+    Attributes
+    ----------
+    sigmas:
+        Process-variation standard deviations (paper: 0–20 %).
+    trials:
+        Monte-Carlo draws per non-zero σ.
+    networks:
+        Which benchmark networks to include (default: all six).
+    n_samples:
+        Synthetic dataset size per network.
+    eval_samples:
+        Test images evaluated per trial (caps runtime).
+    mode:
+        Circuit fidelity (EXACT carries the non-linearity).
+    seed:
+        Master seed.
+    """
+
+    sigmas: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
+    trials: int = 3
+    networks: Optional[Tuple[str, ...]] = None
+    n_samples: int = 1500
+    eval_samples: int = 200
+    mode: MVMMode = MVMMode.EXACT
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sigmas:
+            raise ConfigurationError("need at least one sigma")
+        if any(s < 0 for s in self.sigmas):
+            raise ConfigurationError("sigmas must be >= 0")
+        if self.trials < 1:
+            raise ConfigurationError("need at least one trial")
+        if self.eval_samples < 10:
+            raise ConfigurationError("need at least 10 evaluation samples")
+
+
+@dataclasses.dataclass
+class NetworkAccuracy:
+    """Per-network Fig. 7 row.
+
+    Attributes
+    ----------
+    display:
+        Network name (paper style).
+    software_accuracy:
+        The "ideal" bar of Fig. 7.
+    by_sigma:
+        σ → (mean accuracy, min accuracy) over trials.
+    """
+
+    display: str
+    software_accuracy: float
+    by_sigma: Dict[float, Tuple[float, float]]
+
+    def drop(self, sigma: float) -> float:
+        """Mean accuracy drop vs software at ``sigma``."""
+        return self.software_accuracy - self.by_sigma[sigma][0]
+
+
+@dataclasses.dataclass
+class Fig7Result:
+    """All Fig. 7 rows plus the configuration used."""
+
+    config: Fig7Config
+    rows: List[NetworkAccuracy]
+
+    def row(self, display_prefix: str) -> NetworkAccuracy:
+        """Look up a row by display-name prefix (e.g. ``"CNN-1"``)."""
+        for r in self.rows:
+            if r.display.startswith(display_prefix):
+                return r
+        raise ConfigurationError(
+            f"no row starting with {display_prefix!r}; "
+            f"have {[r.display for r in self.rows]}"
+        )
+
+
+def _evaluate_network(
+    net: TrainedNetwork, config: Fig7Config
+) -> NetworkAccuracy:
+    backend = ReSiPEBackend(
+        params=CircuitParameters.calibrated(), mode=config.mode
+    )
+    mapped = compile_network(net.model, backend)
+    calibration = net.train.images[: min(64, len(net.train))]
+    executor = PIMExecutor(mapped, calibration)
+
+    x_eval = net.test.images[: config.eval_samples]
+    y_eval = net.test.labels[: config.eval_samples]
+
+    by_sigma: Dict[float, Tuple[float, float]] = {}
+    for sigma in config.sigmas:
+        if sigma == 0:
+            acc = executor.accuracy(x_eval, y_eval)
+            by_sigma[sigma] = (acc, acc)
+            continue
+        accs = []
+        for trial in range(config.trials):
+            token = f"{net.spec.key}|{sigma:.4f}|{trial}".encode()
+            rng = np.random.default_rng(
+                config.seed + zlib.crc32(token)
+            )
+            accs.append(executor.perturbed(rng, sigma).accuracy(x_eval, y_eval))
+        by_sigma[sigma] = (float(np.mean(accs)), float(np.min(accs)))
+    software = float(
+        np.mean(net.model.predict(x_eval, batch_size=128) == y_eval)
+    )
+    return NetworkAccuracy(
+        display=net.spec.display,
+        software_accuracy=software,
+        by_sigma=by_sigma,
+    )
+
+
+def run_fig7(config: Optional[Fig7Config] = None) -> Fig7Result:
+    """Run the full Fig. 7 study."""
+    config = config if config is not None else Fig7Config()
+    keys: Optional[Sequence[str]] = config.networks
+    networks = get_benchmark_networks(
+        keys=keys, n_samples=config.n_samples, seed=config.seed
+    )
+    rows = [_evaluate_network(net, config) for net in networks]
+    return Fig7Result(config=config, rows=rows)
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """ASCII rendering of the accuracy-vs-variation table."""
+    sigmas = result.config.sigmas
+    headers = ["network", "ideal"] + [f"σ={s:.0%}" for s in sigmas] + [
+        f"drop@σ={sigmas[-1]:.0%}"
+    ]
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [r.display, r.software_accuracy]
+            + [r.by_sigma[s][0] for s in sigmas]
+            + [r.drop(sigmas[-1])]
+        )
+    return render_table(
+        headers, rows, title="Fig. 7 — accuracy under process variation (ReSiPE, exact circuit)"
+    )

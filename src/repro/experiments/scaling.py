@@ -1,0 +1,140 @@
+"""Technology-scaling projection (paper Section IV-B, closing remark).
+
+"Future technology scaling that enables smaller Metal-Insulator-Metal
+(MIM) capacitors in COG clusters could induce further energy reduction."
+This study makes the remark quantitative with first-order constant-field
+scaling from the 65 nm baseline:
+
+* supply scales with √(node ratio) (practical scaling),
+* capacitors (C_gd, C_cog) scale linearly with the node,
+* slices shrink with the faster clock (node ratio),
+* digital/analog component power scales ~ s^1.5 (C·V²·f with C∝s,
+  V²∝s, f∝1/s gives s; comparator/analog blocks scale worse, so the
+  blended exponent is a deliberately conservative 1.5 — see
+  :class:`repro.energy.technology.TechnologyParameters`),
+* component area scales ~ s².
+
+The COG capacitor bank — the dominant term — re-computes *exactly* from
+the scaled parameters, so the headline (energy/MVM falls superlinearly
+with node) rests on physics, not on the blended exponent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from ..analysis.tables import render_table
+from ..config import CircuitParameters
+from ..core.power import ReSiPEPowerModel
+from ..energy.technology import TechnologyParameters
+from ..errors import ConfigurationError
+
+__all__ = ["ScalingPoint", "run_scaling", "render_scaling"]
+
+_BASE_NODE = 65e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """ReSiPE projected to one technology node.
+
+    Attributes
+    ----------
+    node:
+        Feature size (metres).
+    params:
+        Scaled circuit operating point.
+    power / area:
+        Per-engine totals (watts, m²).
+    energy_per_mvm:
+        Joules per 2·R·C-op MVM.
+    power_efficiency:
+        Ops per second per watt.
+    cog_share:
+        COG-cluster fraction of power.
+    """
+
+    node: float
+    params: CircuitParameters
+    power: float
+    area: float
+    energy_per_mvm: float
+    power_efficiency: float
+    cog_share: float
+
+
+def _scaled_params(base: CircuitParameters, s: float,
+                   tech: TechnologyParameters) -> CircuitParameters:
+    """Constant-field-scale a circuit operating point by ``s = node/65nm``."""
+    return dataclasses.replace(
+        base,
+        v_s=tech.supply,
+        c_gd=base.c_gd * s,
+        c_cog=base.c_cog * s,
+        r_gd=base.r_gd,  # ramp time constant shrinks via C_gd
+        slice_length=base.slice_length * s,
+        dt=base.dt * s,
+        spike_width=base.spike_width * s,
+        t_in_min=base.t_in_min * s,
+        t_in_max=base.t_in_max * s,
+    )
+
+
+def run_scaling(
+    nodes: Sequence[float] = (65e-9, 45e-9, 28e-9, 16e-9),
+    base_params: CircuitParameters = None,
+) -> List[ScalingPoint]:
+    """Project the ReSiPE engine across technology nodes."""
+    if not nodes:
+        raise ConfigurationError("need at least one node")
+    if any(n <= 0 for n in nodes):
+        raise ConfigurationError("nodes must be positive")
+    base_tech = TechnologyParameters.tsmc65()
+    base = base_params if base_params is not None else CircuitParameters.calibrated()
+
+    points: List[ScalingPoint] = []
+    for node in nodes:
+        s = node / _BASE_NODE
+        tech = base_tech.scaled(node)
+        params = _scaled_params(base, s, tech)
+        model = ReSiPEPowerModel(
+            params,
+            tech=tech,
+            component_power_scale=s**1.5,
+            component_area_scale=s**2,
+        )
+        report = model.budget()
+        points.append(
+            ScalingPoint(
+                node=node,
+                params=params,
+                power=report.total_power,
+                area=report.total_area,
+                energy_per_mvm=report.total_power * model.latency,
+                power_efficiency=model.power_efficiency(),
+                cog_share=report.group_power_share("COG cluster"),
+            )
+        )
+    return points
+
+
+def render_scaling(points: List[ScalingPoint]) -> str:
+    """ASCII rendering of the scaling projection."""
+    rows = [
+        [
+            f"{p.node * 1e9:.0f} nm",
+            p.power * 1e6,
+            p.energy_per_mvm * 1e12,
+            p.area * 1e12,
+            p.power_efficiency / 1e12,
+            f"{p.cog_share:.1%}",
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["node", "power (uW)", "E/MVM (pJ)", "area (um^2)",
+         "PE (TOPS/W)", "COG share"],
+        rows,
+        title="Technology-scaling projection (ReSiPE engine, first order)",
+    )

@@ -1,0 +1,34 @@
+"""Table I — the data-format taxonomy of ReRAM PIM designs."""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..baselines.registry import design_taxonomy
+
+__all__ = ["render_table1"]
+
+
+def render_table1() -> str:
+    """The Table I taxonomy as an ASCII table."""
+    taxonomy = design_taxonomy()
+    headers = [
+        "Data format",
+        "Shape",
+        "Interface circuit",
+        "Non-zero V duration",
+        "In/out scale",
+        "Latency",
+    ]
+    rows = [
+        [
+            name,
+            row.shape,
+            row.interface_circuit,
+            row.nonzero_voltage_duration,
+            row.in_out_scale,
+            row.latency,
+        ]
+        for name, row in design_taxonomy().items()
+    ]
+    assert taxonomy  # the registry is static; guard against accidental emptiness
+    return render_table(headers, rows, title="Table I — data formats in ReRAM PIM designs")

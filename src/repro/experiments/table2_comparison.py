@@ -1,0 +1,129 @@
+"""Table II — power, power efficiency, latency and area comparison.
+
+Assembles the four designs' budgets from the shared 65 nm component
+library and reports both absolute figures and the ratios the paper
+headlines:
+
+* 1.97× / 2.41× / 49.76× power-efficiency improvement vs the
+  level-based / rate-coding / PWM designs;
+* 67.1 % power reduction vs rate coding;
+* 50 % / 68.8 % latency reduction vs rate coding / PWM;
+* 14.2 % / 85.3 % area saving vs rate coding / level-based;
+* COG cluster = 98.1 % of ReSiPE power.
+
+EXPERIMENTS.md records measured vs paper for every cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..analysis.tables import render_table
+from ..baselines import all_designs
+from ..baselines.base import DesignMetrics
+from ..baselines.resipe_design import ReSiPEDesign
+from ..errors import ConfigurationError
+
+__all__ = ["Table2Result", "run_table2", "render_table2", "PAPER_HEADLINES"]
+
+#: The paper's headline ratios, keyed like our measured ratios.
+PAPER_HEADLINES: Dict[str, float] = {
+    "pe_vs_level": 1.97,
+    "pe_vs_rate": 2.41,
+    "pe_vs_pwm": 49.76,
+    "power_reduction_vs_rate": 0.671,
+    "latency_reduction_vs_rate": 0.50,
+    "latency_reduction_vs_pwm": 0.688,
+    "area_reduction_vs_rate": 0.142,
+    "area_reduction_vs_level": 0.853,
+    "cog_power_share": 0.981,
+}
+
+
+@dataclasses.dataclass
+class Table2Result:
+    """Measured Table II content.
+
+    Attributes
+    ----------
+    metrics:
+        Per-design headline metrics (name → metrics).
+    ratios:
+        Measured ratios keyed like :data:`PAPER_HEADLINES`.
+    cog_power_share:
+        Fraction of ReSiPE power in the COG cluster.
+    """
+
+    metrics: Dict[str, DesignMetrics]
+    ratios: Dict[str, float]
+    cog_power_share: float
+
+    def ratio_vs_paper(self, key: str) -> float:
+        """Measured / paper for one headline (1.0 = exact match)."""
+        if key not in PAPER_HEADLINES:
+            raise ConfigurationError(
+                f"unknown headline {key!r}; available: {sorted(PAPER_HEADLINES)}"
+            )
+        return self.ratios[key] / PAPER_HEADLINES[key]
+
+
+def run_table2(rows: int = 32, cols: int = 32) -> Table2Result:
+    """Compute Table II on a ``rows × cols`` array."""
+    designs = all_designs(rows, cols)
+    metrics = {name: d.metrics() for name, d in designs.items()}
+
+    resipe = metrics["ReSiPE (this work)"]
+    level = metrics["level-based [14,17]"]
+    rate = metrics["rate-coding [11,13]"]
+    pwm = metrics["PWM-based [15]"]
+
+    resipe_design = designs["ReSiPE (this work)"]
+    assert isinstance(resipe_design, ReSiPEDesign)
+
+    ratios = {
+        "pe_vs_level": resipe.power_efficiency / level.power_efficiency,
+        "pe_vs_rate": resipe.power_efficiency / rate.power_efficiency,
+        "pe_vs_pwm": resipe.power_efficiency / pwm.power_efficiency,
+        "power_reduction_vs_rate": 1.0 - resipe.power / rate.power,
+        "latency_reduction_vs_rate": 1.0 - resipe.latency / rate.latency,
+        "latency_reduction_vs_pwm": 1.0 - resipe.latency / pwm.latency,
+        "area_reduction_vs_rate": 1.0 - resipe.area / rate.area,
+        "area_reduction_vs_level": 1.0 - resipe.area / level.area,
+        "cog_power_share": resipe_design.cog_power_share(),
+    }
+    return Table2Result(
+        metrics=metrics,
+        ratios=ratios,
+        cog_power_share=ratios["cog_power_share"],
+    )
+
+
+def render_table2(result: Table2Result) -> str:
+    """ASCII rendering of the comparison plus headline checks."""
+    headers = ["design", "power (uW)", "latency (ns)", "area (um^2)",
+               "throughput (GOPS)", "power eff. (TOPS/W)"]
+    rows = [
+        [
+            m.name,
+            m.power * 1e6,
+            m.latency * 1e9,
+            m.area * 1e12,
+            m.throughput / 1e9,
+            m.power_efficiency / 1e12,
+        ]
+        for m in result.metrics.values()
+    ]
+    table = render_table(headers, rows, title="Table II — design comparison (32x32 array)")
+
+    check_rows = [
+        [key, result.ratios[key], PAPER_HEADLINES[key],
+         result.ratio_vs_paper(key)]
+        for key in sorted(PAPER_HEADLINES)
+    ]
+    checks = render_table(
+        ["headline", "measured", "paper", "measured/paper"],
+        check_rows,
+        title="Headline ratios vs paper",
+    )
+    return table + "\n\n" + checks

@@ -1,0 +1,52 @@
+"""Neural-network → crossbar mapping compiler and executor.
+
+Bridges the trained numpy networks and the PIM hardware models:
+
+* :mod:`repro.mapping.weight_mapping` — signed weights → differential
+  conductance pairs (positive/negative column groups, digital
+  subtraction), bias folding, scale bookkeeping.
+* :mod:`repro.mapping.tiling` — matrices larger than one crossbar are
+  split into tiles; row-tile partials sum, column tiles concatenate.
+* :mod:`repro.mapping.backends` — pluggable hardware backends: ideal,
+  ReSiPE (exact circuit equations, Monte-Carlo process variation), or
+  any Table II baseline design.
+* :mod:`repro.mapping.compiler` — compiles a Sequential model into
+  programmed tiles.
+* :mod:`repro.mapping.executor` — runs inference through the mapped
+  hardware with activation-scale calibration (the Fig. 7 pipeline).
+"""
+
+from .weight_mapping import DifferentialWeights, map_signed_weights
+from .tiling import TileGrid, tile_matrix
+from .backends import (
+    HardwareBackend,
+    ProgrammedTile,
+    IdealBackend,
+    ReSiPEBackend,
+    DesignBackend,
+)
+from .compiler import MappedLayer, MappedNetwork, compile_network
+from .executor import PIMExecutor
+from .deployment import DeploymentReport, LayerDeployment, plan_deployment
+from .bit_slicing import BitSlicingBackend, slice_weights
+
+__all__ = [
+    "DifferentialWeights",
+    "map_signed_weights",
+    "TileGrid",
+    "tile_matrix",
+    "HardwareBackend",
+    "ProgrammedTile",
+    "IdealBackend",
+    "ReSiPEBackend",
+    "DesignBackend",
+    "MappedLayer",
+    "MappedNetwork",
+    "compile_network",
+    "PIMExecutor",
+    "DeploymentReport",
+    "LayerDeployment",
+    "plan_deployment",
+    "BitSlicingBackend",
+    "slice_weights",
+]

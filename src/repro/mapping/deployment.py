@@ -1,0 +1,199 @@
+"""Chip-level deployment model: a whole network on ReSiPE silicon.
+
+The paper evaluates one engine (Table II) and network accuracy
+(Fig. 7); a deployer also needs the *chip* view: how many crossbar
+tiles a network consumes, the silicon area, the energy per inference
+and the achievable frame rate under the two-slice pipeline.  This
+module derives all of that from a compiled :class:`MappedNetwork` and
+the :class:`~repro.core.power.ReSiPEPowerModel`:
+
+* every programmed tile is one ReSiPE engine (differential mapping
+  means two tile banks per layer);
+* a Dense layer performs 1 MVM per input sample; a Conv2D layer
+  performs one MVM per output position (its im2col row count);
+* positions stream through a layer's tiles back to back
+  (II = 2 slices), and layers overlap sample-to-sample per
+  :func:`repro.core.pipeline.schedule_pipeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..config import CircuitParameters
+from ..core.power import ReSiPEPowerModel
+from ..core.pipeline import schedule_pipeline
+from ..errors import MappingError
+from ..nn.conv import Conv2D
+from ..nn.layers import Dense
+from ..analysis.tables import render_table
+from .compiler import MappedNetwork
+
+__all__ = ["LayerDeployment", "DeploymentReport", "plan_deployment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerDeployment:
+    """Deployment figures for one mapped layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name.
+    tiles:
+        Crossbar tiles consumed (both polarities).
+    mvms_per_input:
+        Sequential MVM launches per input sample (1 for Dense, the
+        output-position count for Conv2D).
+    occupancy_slices:
+        Slices this layer's engines are busy per input sample.
+    """
+
+    name: str
+    tiles: int
+    mvms_per_input: int
+    occupancy_slices: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentReport:
+    """Whole-network deployment summary.
+
+    Attributes
+    ----------
+    network_name:
+        The model's name.
+    layers:
+        Per-layer figures.
+    total_tiles:
+        Crossbars on the chip.
+    area:
+        Total silicon area (m²).
+    average_power:
+        Chip power while streaming inferences (watts).
+    energy_per_inference:
+        Joules per classified sample.
+    latency_per_inference:
+        Pipeline-fill latency for one sample (seconds).
+    throughput:
+        Steady-state inferences per second.
+    """
+
+    network_name: str
+    layers: List[LayerDeployment]
+    total_tiles: int
+    area: float
+    average_power: float
+    energy_per_inference: float
+    latency_per_inference: float
+    throughput: float
+
+    def render(self) -> str:
+        """ASCII deployment table."""
+        rows = [
+            [l.name, l.tiles, l.mvms_per_input, l.occupancy_slices]
+            for l in self.layers
+        ]
+        table = render_table(
+            ["layer", "tiles", "MVMs/input", "busy slices/input"],
+            rows,
+            title=f"Deployment — {self.network_name}",
+        )
+        summary = "\n".join([
+            f"total tiles          : {self.total_tiles}",
+            f"area                 : {self.area * 1e6:.4f} mm^2",
+            f"average power        : {self.average_power * 1e3:.2f} mW",
+            f"energy / inference   : {self.energy_per_inference * 1e9:.2f} nJ",
+            f"latency / inference  : {self.latency_per_inference * 1e6:.2f} us",
+            f"throughput           : {self.throughput:.0f} inferences/s",
+        ])
+        return table + "\n" + summary
+
+
+def plan_deployment(
+    network: MappedNetwork,
+    params: Optional[CircuitParameters] = None,
+    input_hw: Optional[tuple] = None,
+) -> DeploymentReport:
+    """Derive the chip-level deployment of a compiled network.
+
+    Parameters
+    ----------
+    network:
+        The compiled model.
+    params:
+        Engine operating point (defaults to the paper-literal point, the
+        one Table II budgets are calibrated at).
+    input_hw:
+        ``(H, W)`` of the model input, required when the model contains
+        Conv2D layers (spatial sizes are traced through convs/pools).
+    """
+    p = params if params is not None else CircuitParameters.paper()
+    engine = ReSiPEPowerModel(p)
+    engine_report = engine.budget()
+
+    # Trace spatial dimensions through the network to count conv MVMs.
+    spatial = input_hw
+    layers: List[LayerDeployment] = []
+    for layer, stage in zip(network.model, network.stages):
+        if stage is not None:
+            source = stage.source
+            if isinstance(source, Dense):
+                mvms = 1
+            else:  # Conv2D
+                if spatial is None:
+                    raise MappingError(
+                        "input_hw is required for models with Conv2D layers"
+                    )
+                h = (spatial[0] + 2 * source.pad - source.kernel) // source.stride + 1
+                w = (spatial[1] + 2 * source.pad - source.kernel) // source.stride + 1
+                spatial = (h, w)
+                mvms = h * w
+            layers.append(
+                LayerDeployment(
+                    name=stage.name,
+                    tiles=stage.num_tiles,
+                    mvms_per_input=mvms,
+                    occupancy_slices=2 * mvms,
+                )
+            )
+        else:
+            # Pooling shrinks spatial dims; flatten drops them.
+            kind = type(layer).__name__
+            if spatial is not None and kind in ("MaxPool2D", "AvgPool2D"):
+                spatial = (spatial[0] // layer.kernel, spatial[1] // layer.kernel)
+            elif kind == "Flatten":
+                spatial = None
+    if not layers:
+        raise MappingError("network has no mapped layers")
+
+    total_tiles = sum(l.tiles for l in layers)
+    area = total_tiles * engine_report.total_area
+
+    # Per-inference work: every tile of a layer fires once per MVM.
+    tile_mvms = sum(l.tiles * l.mvms_per_input for l in layers)
+    energy_per_mvm = engine_report.total_power * engine.latency
+    energy = tile_mvms * energy_per_mvm
+
+    # Latency: the slowest layer sets the initiation interval (its
+    # positions stream back to back); cross-layer overlap follows the
+    # two-slice pipeline.
+    bottleneck_slices = max(l.occupancy_slices for l in layers)
+    pipeline = schedule_pipeline(len(layers), 1, p.slice_length)
+    fill_slices = pipeline.sample_latency_slices
+    latency = (fill_slices + bottleneck_slices - 2) * p.slice_length
+    interval = bottleneck_slices * p.slice_length
+    throughput = 1.0 / interval
+    average_power = energy * throughput
+
+    return DeploymentReport(
+        network_name=network.model.name,
+        layers=layers,
+        total_tiles=total_tiles,
+        area=area,
+        average_power=average_power,
+        energy_per_inference=energy,
+        latency_per_inference=latency,
+        throughput=throughput,
+    )

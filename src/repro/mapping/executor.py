@@ -1,0 +1,208 @@
+"""Inference through mapped hardware (the Fig. 7 pipeline).
+
+:class:`PIMExecutor` runs a compiled network end to end:
+
+* weighted layers execute on their programmed tiles;
+* activations are normalised into the hardware's ``[0, 1]`` input range
+  with per-layer scales measured on a calibration batch (standard
+  post-training calibration, cf. the DL-RSIM methodology of ref [21]);
+* folded biases are driven at ``1/scale`` so the affine algebra is
+  exact;
+* an optional per-layer scalar gain is least-squares fitted against the
+  software reference on the calibration batch, absorbing the systematic
+  part of the circuit non-linearity (the random part — process
+  variation — is what Fig. 7 measures);
+* everything else (ReLU, pooling, flatten) runs in the digital domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import MappingError, ShapeError
+from ..nn.conv import Conv2D, im2col
+from ..nn.layers import Dense
+from ..nn.model import Sequential
+from .compiler import MappedLayer, MappedNetwork
+
+__all__ = ["PIMExecutor"]
+
+
+class PIMExecutor:
+    """Runs a :class:`MappedNetwork` on hardware backends.
+
+    Parameters
+    ----------
+    network:
+        The compiled network.
+    calibration_x:
+        A representative input batch used to measure per-layer
+        activation scales (and gains when ``calibrate_gain``).
+    calibrate_gain:
+        Fit a scalar output gain per mapped layer against the software
+        reference.
+    scale_margin:
+        Headroom multiplier on the measured activation ceilings, so
+        inference activations slightly above the calibration batch's
+        maximum are not clipped (standard post-training-calibration
+        practice).
+    """
+
+    def __init__(
+        self,
+        network: MappedNetwork,
+        calibration_x: np.ndarray,
+        calibrate_gain: bool = True,
+        scale_margin: float = 1.25,
+    ) -> None:
+        if scale_margin < 1.0:
+            raise MappingError(f"scale margin must be >= 1, got {scale_margin!r}")
+        self.network = network
+        self.scale_margin = scale_margin
+        calibration_x = np.asarray(calibration_x, dtype=float)
+        if calibration_x.shape[0] < 1:
+            raise MappingError("calibration batch must be non-empty")
+        self.mvm_launches: Dict[str, int] = {}
+        self.activation_scales = self._measure_activation_scales(calibration_x)
+        if calibrate_gain:
+            self._fit_gains(calibration_x)
+        self.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def _measure_activation_scales(self, x: np.ndarray) -> Dict[str, float]:
+        """Software forward pass recording each mapped layer's input
+        ceiling (at least 1 so first-layer inputs pass through)."""
+        scales: Dict[str, float] = {}
+        activation = x
+        for layer, stage in zip(self.network.model, self.network.stages):
+            if stage is not None:
+                peak = float(np.max(np.abs(activation))) if activation.size else 1.0
+                scales[stage.name] = max(1.0, peak * self.scale_margin)
+            activation = layer.forward(activation, training=False)
+        return scales
+
+    def _fit_gains(self, x: np.ndarray) -> None:
+        """Per-layer scalar gain: least squares of software reference on
+        hardware output, layer by layer (software activations feed both
+        paths so fits are independent)."""
+        activation = x
+        for layer, stage in zip(self.network.model, self.network.stages):
+            if stage is not None:
+                reference = layer.forward(activation, training=False)
+                stage.gain = 1.0
+                hardware = self._run_mapped(stage, activation)
+                num = float((hardware * reference).sum())
+                den = float((hardware * hardware).sum())
+                if den > 0 and num > 0:
+                    stage.gain = num / den
+            activation = layer.forward(activation, training=False)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_mapped(self, stage: MappedLayer, activation: np.ndarray) -> np.ndarray:
+        """One weighted layer on hardware, handling Dense vs Conv."""
+        scale = self.activation_scales[stage.name]
+        bias_level = 1.0 / scale
+        layer = stage.source
+        if isinstance(layer, Dense):
+            x01 = np.clip(np.asarray(activation, dtype=float) / scale, 0.0, 1.0)
+            self._count_launches(stage, x01.shape[0] if x01.ndim > 1 else 1)
+            return scale * stage.matmul_with_bias_level(x01, bias_level)
+        if isinstance(layer, Conv2D):
+            x = np.asarray(activation, dtype=float)
+            if x.ndim != 4:
+                raise ShapeError(f"{layer.name}: expected (N, C, H, W), got {x.shape}")
+            cols, (h_out, w_out) = im2col(x, layer.kernel, layer.stride, layer.pad)
+            x01 = np.clip(cols / scale, 0.0, 1.0)
+            self._count_launches(stage, x01.shape[0])
+            flat = scale * stage.matmul_with_bias_level(x01, bias_level)
+            n = x.shape[0]
+            return flat.reshape(n, h_out, w_out, layer.out_channels).transpose(
+                0, 3, 1, 2
+            )
+        raise MappingError(f"unsupported mapped layer type {type(layer).__name__}")
+
+    # ------------------------------------------------------------------
+    # Hardware-activity instrumentation
+    # ------------------------------------------------------------------
+    def _count_launches(self, stage: MappedLayer, vectors: int) -> None:
+        self.mvm_launches[stage.name] = (
+            self.mvm_launches.get(stage.name, 0) + vectors * stage.num_tiles
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the per-layer tile-MVM launch counters."""
+        self.mvm_launches = {}
+
+    def stats(self) -> Dict[str, int]:
+        """Per-layer tile-MVM launches since the last reset.
+
+        One launch = one input vector through one physical crossbar
+        tile — the unit the engine energy model prices.
+        """
+        return dict(self.mvm_launches)
+
+    def total_mvm_launches(self) -> int:
+        """Total tile-MVM launches since the last reset."""
+        return sum(self.mvm_launches.values())
+
+    def energy_estimate(self, power_model) -> float:
+        """Energy of the counted activity (joules) under a
+        :class:`repro.core.power.ReSiPEPowerModel`."""
+        per_mvm = power_model.power() * power_model.latency
+        return self.total_mvm_launches() * per_mvm
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Full forward pass with weighted layers on hardware."""
+        activation = np.asarray(x, dtype=float)
+        for layer, stage in zip(self.network.model, self.network.stages):
+            if stage is not None:
+                activation = self._run_mapped(stage, activation)
+            else:
+                activation = layer.forward(activation, training=False)
+        return activation
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions through the hardware."""
+        x = np.asarray(x, dtype=float)
+        outputs = [
+            self.forward(x[i : i + batch_size]) for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.argmax(np.concatenate(outputs, axis=0), axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+        """Top-1 accuracy through the hardware."""
+        return float(np.mean(self.predict(x, batch_size) == np.asarray(labels)))
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo variation
+    # ------------------------------------------------------------------
+    def perturbed(self, rng: np.random.Generator, sigma: float) -> "PIMExecutor":
+        """Clone with conductance variation ``sigma`` on every tile.
+
+        Calibration (scales, gains) is inherited from the pristine
+        executor — the Fig. 7 protocol: calibrate once, then devices
+        drift.
+        """
+        clone = object.__new__(PIMExecutor)
+        clone.network = self.network.perturbed(rng, sigma)
+        clone.activation_scales = dict(self.activation_scales)
+        clone.scale_margin = self.scale_margin
+        clone.mvm_launches = {}
+        return clone
+
+    def aged(self, retention, elapsed: float, rng=None) -> "PIMExecutor":
+        """Clone whose tiles have drifted for ``elapsed`` seconds under
+        ``retention`` (calibration inherited — the chip was calibrated
+        when fresh, then left on the shelf)."""
+        clone = object.__new__(PIMExecutor)
+        clone.network = self.network.aged(retention, elapsed, rng)
+        clone.activation_scales = dict(self.activation_scales)
+        clone.scale_margin = self.scale_margin
+        clone.mvm_launches = {}
+        return clone

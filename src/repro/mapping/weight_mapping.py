@@ -1,0 +1,138 @@
+"""Signed-weight → differential-conductance mapping.
+
+ReRAM conductances are non-negative, so a signed weight matrix ``W`` is
+stored as two non-negative matrices on separate column groups::
+
+    W = scale · (W⁺ - W⁻),   W⁺ = max(W, 0)/scale,  W⁻ = max(-W, 0)/scale
+
+The hardware computes ``y⁺ = x @ W⁺`` and ``y⁻ = x @ W⁻`` and the
+digital periphery subtracts.  The subtraction also cancels the constant
+conductance offset ``g_min`` that the bounded device window adds to
+every cell — a property the tests verify explicitly.
+
+Bias folding: an optional always-on input row carries the layer bias
+(positive part on the ⁺ group, negative on the ⁻ group), normalised by
+the same scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MappingError
+
+__all__ = ["DifferentialWeights", "map_signed_weights"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialWeights:
+    """The differential representation of one signed weight matrix.
+
+    Attributes
+    ----------
+    positive / negative:
+        Non-negative matrices in ``[0, 1]``, shape ``(rows, cols)``;
+        ``rows`` includes the bias row when present.
+    scale:
+        Restores magnitudes: ``W = scale · (positive - negative)``
+        (bias row excluded from ``W``).
+    has_bias_row:
+        Whether row 0 of each matrix is the folded bias row (driven by a
+        constant full-scale input).
+    """
+
+    positive: np.ndarray
+    negative: np.ndarray
+    scale: float
+    has_bias_row: bool
+
+    def __post_init__(self) -> None:
+        if self.positive.shape != self.negative.shape:
+            raise MappingError(
+                f"positive {self.positive.shape} and negative "
+                f"{self.negative.shape} shapes differ"
+            )
+        for name, m in (("positive", self.positive), ("negative", self.negative)):
+            if np.any(m < 0) or np.any(m > 1 + 1e-12):
+                raise MappingError(f"{name} matrix must lie in [0, 1]")
+        if self.scale <= 0:
+            raise MappingError(f"scale must be positive, got {self.scale!r}")
+
+    @property
+    def rows(self) -> int:
+        return int(self.positive.shape[0])
+
+    @property
+    def cols(self) -> int:
+        return int(self.positive.shape[1])
+
+    def reconstruct(self) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Recover ``(W, bias)`` from the stored representation."""
+        diff = self.scale * (self.positive - self.negative)
+        if self.has_bias_row:
+            return diff[1:], diff[0]
+        return diff, None
+
+    def augment_inputs(self, x: np.ndarray) -> np.ndarray:
+        """Prepend the constant bias input (1.0) when a bias row exists."""
+        if not self.has_bias_row:
+            return x
+        x = np.asarray(x, dtype=float)
+        ones_shape = x.shape[:-1] + (1,)
+        return np.concatenate([np.ones(ones_shape), x], axis=-1)
+
+
+def map_signed_weights(
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    clip_percentile: float = 100.0,
+) -> DifferentialWeights:
+    """Build the differential representation of ``weights`` (+ ``bias``).
+
+    Parameters
+    ----------
+    weights:
+        Signed matrix, shape ``(in_features, out_features)``.
+    bias:
+        Optional signed vector, shape ``(out_features,)``; folded as an
+        extra leading input row.
+    clip_percentile:
+        Normalisation scale is the given percentile of |weights| rather
+        than the raw maximum (values beyond it are clipped).  Trained
+        weight distributions are heavy-tailed; max-abs normalisation
+        would squash the bulk of the weights toward the noisy ``g_min``
+        baseline and amplify process-variation sensitivity (standard
+        post-training-quantisation practice; 100 disables clipping).
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2:
+        raise MappingError(f"weights must be 2-D, got shape {w.shape}")
+    if not 0 < clip_percentile <= 100:
+        raise MappingError(
+            f"clip percentile must be in (0, 100], got {clip_percentile!r}"
+        )
+    rows_list = [w]
+    if bias is not None:
+        b = np.asarray(bias, dtype=float)
+        if b.shape != (w.shape[1],):
+            raise MappingError(
+                f"bias shape {b.shape} does not match out features {w.shape[1]}"
+            )
+        rows_list = [b[None, :], w]
+    full = np.concatenate(rows_list, axis=0)
+    magnitudes = np.abs(full)
+    scale = float(np.percentile(magnitudes, clip_percentile))
+    if scale == 0:
+        scale = float(magnitudes.max())
+    if scale == 0:
+        scale = 1.0
+    normalised = np.clip(full / scale, -1.0, 1.0)
+    return DifferentialWeights(
+        positive=np.maximum(normalised, 0.0),
+        negative=np.maximum(-normalised, 0.0),
+        scale=scale,
+        has_bias_row=bias is not None,
+    )

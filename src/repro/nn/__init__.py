@@ -1,0 +1,47 @@
+"""Pure-numpy neural-network substrate.
+
+The paper evaluates six pretrained networks (Section IV-C).  Offline,
+with no deep-learning framework available, this subpackage provides the
+minimum viable stack to *train* those networks on the synthetic datasets
+and hand their weights to the mapping compiler:
+
+* :mod:`repro.nn.layers` — Dense, ReLU, Flatten, Dropout.
+* :mod:`repro.nn.conv` — Conv2D (im2col), MaxPool2D, AvgPool2D.
+* :mod:`repro.nn.model` — the Sequential container.
+* :mod:`repro.nn.losses` — cross-entropy (+softmax), MSE.
+* :mod:`repro.nn.optim` — SGD with momentum, Adam.
+* :mod:`repro.nn.train` — the training loop with metrics.
+* :mod:`repro.nn.init` — weight initialisers.
+* :mod:`repro.nn.quantize` — normalisation helpers used by the
+  weight-to-conductance mapping.
+"""
+
+from .layers import Dense, Dropout, Flatten, Layer, Parameter, ReLU
+from .conv import AvgPool2D, Conv2D, MaxPool2D
+from .model import Sequential
+from .losses import CrossEntropyLoss, MSELoss
+from .optim import SGD, Adam
+from .train import Trainer, TrainingHistory, evaluate_accuracy
+from .quantize import quantize_uniform, per_layer_scales
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "quantize_uniform",
+    "per_layer_scales",
+]

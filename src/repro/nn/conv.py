@@ -1,0 +1,227 @@
+"""Convolution and pooling layers (im2col formulation).
+
+Data layout is ``(N, C, H, W)``.  The im2col transform turns every
+convolution into a single matrix multiplication — exactly the form the
+crossbar mapping consumes (the compiler unrolls Conv2D kernels into
+crossbar columns the same way).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError, TrainingError
+from .init import he_normal, zeros
+from .layers import Layer, Parameter
+
+__all__ = ["Conv2D", "MaxPool2D", "AvgPool2D", "im2col", "col2im"]
+
+
+def _out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ShapeError(
+            f"kernel {kernel}/stride {stride}/pad {pad} too large for size {size}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into ``(N·H_out·W_out, C·k·k)`` patches.
+
+    Returns the patch matrix and ``(H_out, W_out)``.
+    """
+    n, c, h, w = x.shape
+    h_out = _out_dim(h, kernel, stride, pad)
+    w_out = _out_dim(w, kernel, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # Strided sliding windows: (N, C, H_out, W_out, k, k)
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, h_out, w_out, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * h_out * w_out, c * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), (h_out, w_out)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` (scatter-add patches back)."""
+    n, c, h, w = x_shape
+    h_out = _out_dim(h, kernel, stride, pad)
+    w_out = _out_dim(w, kernel, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=float)
+    cols6 = cols.reshape(n, h_out, w_out, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[:, :, ki : ki + stride * h_out : stride,
+                   kj : kj + stride * w_out : stride] += cols6[:, :, :, :, ki, kj]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col.
+
+    Parameters
+    ----------
+    in_channels / out_channels:
+        Channel counts.
+    kernel:
+        Square kernel size.
+    stride / pad:
+        Stride and symmetric zero padding.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if min(in_channels, out_channels, kernel, stride) < 1 or pad < 0:
+            raise ShapeError("invalid Conv2D geometry")
+        rng = rng if rng is not None else np.random.default_rng(
+            in_channels * 131 + out_channels * 17 + kernel
+        )
+        self.name = f"conv{in_channels}->{out_channels}k{kernel}"
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(
+            f"{self.name}.weight", he_normal((fan_in, out_channels), fan_in, rng)
+        )
+        self.bias = Parameter(f"{self.name}.bias", zeros((out_channels,))) if bias else None
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], Tuple[int, int]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, (h_out, w_out) = im2col(x, self.kernel, self.stride, self.pad)
+        out = cols @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        n = x.shape[0]
+        self._cache = (cols, x.shape, (h_out, w_out)) if training else None
+        return out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError(f"{self.name}: backward before training forward")
+        cols, x_shape, (h_out, w_out) = self._cache
+        n = x_shape[0]
+        g = np.asarray(grad, dtype=float).transpose(0, 2, 3, 1).reshape(
+            n * h_out * w_out, self.out_channels
+        )
+        self.weight.grad += cols.T @ g
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=0)
+        dcols = g @ self.weight.value.T
+        return col2im(dcols, x_shape, self.kernel, self.stride, self.pad)
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"kernel={self.kernel}, stride={self.stride}, pad={self.pad})"
+        )
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int = 2) -> None:
+        if kernel < 1:
+            raise ShapeError("pool kernel must be >= 1")
+        self.name = f"maxpool{kernel}"
+        self.kernel = kernel
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def _window(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ShapeError(
+                f"{self.name}: spatial dims {h}x{w} not divisible by {k}"
+            )
+        return x.reshape(n, c, h // k, k, w // k, k)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        windows = self._window(x)
+        out = windows.max(axis=(3, 5))
+        if training:
+            mask = windows == out[:, :, :, None, :, None]
+            # Break ties so gradient flows to exactly one element.
+            cumulative = np.cumsum(mask, axis=3).cumsum(axis=5)
+            mask = mask & (cumulative == 1)
+            self._cache = (mask, x.shape)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError(f"{self.name}: backward before training forward")
+        mask, x_shape = self._cache
+        g = np.asarray(grad, dtype=float)[:, :, :, None, :, None]
+        return (mask * g).reshape(x_shape)
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int = 2) -> None:
+        if kernel < 1:
+            raise ShapeError("pool kernel must be >= 1")
+        self.name = f"avgpool{kernel}"
+        self.kernel = kernel
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ShapeError(f"{self.name}: spatial dims {h}x{w} not divisible by {k}")
+        self._shape = x.shape if training else None
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise TrainingError(f"{self.name}: backward before training forward")
+        k = self.kernel
+        g = np.asarray(grad, dtype=float) / (k * k)
+        g = np.repeat(np.repeat(g, k, axis=2), k, axis=3)
+        return g.reshape(self._shape)

@@ -1,0 +1,192 @@
+"""Core layer types: the base protocol, Dense, ReLU, Flatten, Dropout.
+
+Every layer implements ``forward`` (caching what ``backward`` needs) and
+``backward`` (accumulating parameter gradients, returning the input
+gradient).  Parameters are :class:`Parameter` objects the optimisers
+update in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError, TrainingError
+from .init import he_normal, zeros
+
+__all__ = ["Parameter", "Layer", "Dense", "ReLU", "Flatten", "Dropout"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray) -> None:
+        self.name = name
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base layer protocol."""
+
+    #: Layer display name (set by subclasses).
+    name: str = "layer"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching for :meth:`backward`."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` (dL/d_output) to dL/d_input,
+        accumulating parameter gradients."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters (empty for stateless layers)."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input/output widths.
+    bias:
+        Whether to include a bias term.  PIM mapping folds biases into a
+        dedicated always-on input row, so both paths are exercised.
+    rng:
+        Generator for initialisation (default: seeded from shapes for
+        reproducibility).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ShapeError("Dense dimensions must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(
+            in_features * 7919 + out_features
+        )
+        self.name = f"dense{in_features}x{out_features}"
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            f"{self.name}.weight", he_normal((in_features, out_features), in_features, rng)
+        )
+        self.bias = Parameter(f"{self.name}.bias", zeros((out_features,))) if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x if training else None
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise TrainingError(f"{self.name}: backward before training forward")
+        grad = np.asarray(grad, dtype=float)
+        self.weight.grad += self._x.T @ grad
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    name = "relu"
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise TrainingError("relu: backward before training forward")
+        return np.asarray(grad, dtype=float) * self._mask
+
+
+class Flatten(Layer):
+    """Flattens all but the batch dimension."""
+
+    name = "flatten"
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        self._shape = x.shape if training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise TrainingError("flatten: backward before training forward")
+        return np.asarray(grad, dtype=float).reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout (identity at inference)."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0 <= rate < 1:
+            raise TrainingError(f"dropout rate must be in [0, 1), got {rate!r}")
+        self.name = f"dropout{rate}"
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng(1234)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad, dtype=float)
+        if self._mask is None:
+            return grad
+        return grad * self._mask

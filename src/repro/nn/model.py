@@ -1,0 +1,118 @@
+"""The Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from .layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A stack of layers applied in order.
+
+    Supports forward/backward for training, prediction helpers, and
+    weight (de)serialisation to ``.npz`` so pretrained networks can be
+    cached between benchmark runs.
+    """
+
+    def __init__(self, layers: Sequence[Layer], name: str = "model") -> None:
+        if not layers:
+            raise ShapeError("a model needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run all layers."""
+        out = np.asarray(x, dtype=float)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate through all layers (training forward required)."""
+        g = np.asarray(grad, dtype=float)
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters in layer order."""
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def parameter_count(self) -> int:
+        """Total number of scalar weights."""
+        return sum(p.value.size for p in self.parameters())
+
+    def predict(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Class predictions (argmax over the final axis)."""
+        return np.argmax(self.predict_logits(x, batch_size), axis=-1)
+
+    def predict_logits(
+        self, x: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Raw model outputs, optionally batched to bound memory."""
+        x = np.asarray(x, dtype=float)
+        if batch_size is None:
+            return self.forward(x, training=False)
+        chunks = [
+            self.forward(x[i : i + batch_size], training=False)
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Parameter name → value mapping."""
+        state = {}
+        for i, p in enumerate(self.parameters()):
+            state[f"{i:03d}:{p.name}"] = p.value.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load values saved by :meth:`state_dict` (order + shape checked)."""
+        params = self.parameters()
+        keys = sorted(state)
+        if len(keys) != len(params):
+            raise ShapeError(
+                f"state has {len(keys)} tensors, model has {len(params)}"
+            )
+        for key, p in zip(keys, params):
+            value = np.asarray(state[key], dtype=float)
+            if value.shape != p.value.shape:
+                raise ShapeError(
+                    f"{p.name}: saved shape {value.shape} != model {p.value.shape}"
+                )
+            p.value[...] = value
+
+    def save(self, path: str) -> None:
+        """Persist weights to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load weights from an ``.npz`` file."""
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential[{self.name}]({inner})"

@@ -1,0 +1,61 @@
+"""Quantisation / normalisation helpers for hardware mapping.
+
+The crossbar stores only non-negative conductances in a bounded window,
+so trained (signed, unbounded) weights must be normalised per layer
+before programming.  These helpers are shared by the mapping compiler
+and the quantisation-sensitivity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import MappingError
+from .layers import Dense
+from .model import Sequential
+from .conv import Conv2D
+
+__all__ = ["quantize_uniform", "per_layer_scales", "normalise_signed"]
+
+
+def quantize_uniform(values: np.ndarray, bits: int, v_min: float, v_max: float) -> np.ndarray:
+    """Uniform quantisation of ``values`` to ``2**bits`` levels on
+    ``[v_min, v_max]`` (values clipped into range first)."""
+    if bits < 1:
+        raise MappingError(f"need >= 1 bit, got {bits!r}")
+    if v_max <= v_min:
+        raise MappingError(f"need v_max > v_min, got [{v_min}, {v_max}]")
+    levels = 2**bits - 1
+    clipped = np.clip(np.asarray(values, dtype=float), v_min, v_max)
+    idx = np.round((clipped - v_min) / (v_max - v_min) * levels)
+    return v_min + idx / levels * (v_max - v_min)
+
+
+def normalise_signed(weights: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Scale a signed weight matrix into ``[-1, 1]``.
+
+    Returns ``(normalised, scale)`` with ``weights = normalised * scale``.
+    An all-zero matrix returns scale 1.
+    """
+    w = np.asarray(weights, dtype=float)
+    scale = float(np.abs(w).max())
+    if scale == 0:
+        return w.copy(), 1.0
+    return w / scale, scale
+
+
+def per_layer_scales(model: Sequential) -> Dict[str, float]:
+    """Max-abs weight scale of every weighted layer in ``model``.
+
+    The mapping compiler divides each layer's weights by its scale
+    before conductance programming and multiplies the layer output back
+    in the digital domain.
+    """
+    scales: Dict[str, float] = {}
+    for layer in model:
+        if isinstance(layer, (Dense, Conv2D)):
+            scale = float(np.abs(layer.weight.value).max())
+            scales[layer.name] = scale if scale > 0 else 1.0
+    return scales

@@ -1,0 +1,127 @@
+"""Training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrainingError
+from .losses import CrossEntropyLoss
+from .model import Sequential
+
+__all__ = ["TrainingHistory", "Trainer", "evaluate_accuracy"]
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Per-epoch metrics collected by :class:`Trainer`."""
+
+    train_loss: List[float] = dataclasses.field(default_factory=list)
+    train_accuracy: List[float] = dataclasses.field(default_factory=list)
+    val_accuracy: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        """Validation accuracy of the last epoch (or nan if none)."""
+        return self.val_accuracy[-1] if self.val_accuracy else float("nan")
+
+
+def evaluate_accuracy(
+    model: Sequential, x: np.ndarray, labels: np.ndarray, batch_size: int = 256
+) -> float:
+    """Top-1 classification accuracy of ``model`` on ``(x, labels)``."""
+    predictions = model.predict(x, batch_size=batch_size)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+class Trainer:
+    """Mini-batch trainer for classification models.
+
+    Parameters
+    ----------
+    model:
+        The network.
+    optimizer:
+        Any object with ``zero_grad()`` and ``step()`` over the model's
+        parameters (see :mod:`repro.nn.optim`).
+    loss:
+        Loss callable returning ``(value, grad)``; defaults to softmax
+        cross-entropy.
+    batch_size:
+        Mini-batch size.
+    rng:
+        Shuffling generator (seeded for reproducibility).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer,
+        loss: Optional[Callable] = None,
+        batch_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise TrainingError(f"batch size must be >= 1, got {batch_size!r}")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.batch_size = batch_size
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
+        """One pass over the data; returns ``(mean_loss, accuracy)``."""
+        x = np.asarray(x, dtype=float)
+        labels = np.asarray(labels)
+        n = x.shape[0]
+        order = self.rng.permutation(n)
+        losses: List[float] = []
+        correct = 0
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xb, yb = x[idx], labels[idx]
+            self.optimizer.zero_grad()
+            logits = self.model.forward(xb, training=True)
+            value, grad = self.loss(logits, yb)
+            if not np.isfinite(value):
+                raise TrainingError(f"loss diverged to {value!r}")
+            self.model.backward(grad)
+            self.optimizer.step()
+            losses.append(value)
+            correct += int((np.argmax(logits, axis=-1) == yb).sum())
+        return float(np.mean(losses)), correct / n
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        x_val: Optional[np.ndarray] = None,
+        labels_val: Optional[np.ndarray] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes, optionally tracking validation."""
+        if epochs < 1:
+            raise TrainingError(f"epochs must be >= 1, got {epochs!r}")
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            loss, acc = self.train_epoch(x, labels)
+            history.train_loss.append(loss)
+            history.train_accuracy.append(acc)
+            if x_val is not None and labels_val is not None:
+                val_acc = evaluate_accuracy(self.model, x_val, labels_val)
+                history.val_accuracy.append(val_acc)
+                if verbose:
+                    print(
+                        f"[{self.model.name}] epoch {epoch + 1}/{epochs} "
+                        f"loss={loss:.4f} acc={acc:.3f} val={val_acc:.3f}"
+                    )
+            elif verbose:
+                print(
+                    f"[{self.model.name}] epoch {epoch + 1}/{epochs} "
+                    f"loss={loss:.4f} acc={acc:.3f}"
+                )
+        return history

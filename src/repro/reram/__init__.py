@@ -1,0 +1,41 @@
+"""ReRAM device and crossbar-array substrate.
+
+Models the storage/compute fabric the paper builds on:
+
+* :mod:`repro.reram.device` — conductance-state device model with
+  LRS/HRS bounds (paper Section III-D: 10 kΩ–1 MΩ, restricted to
+  50 kΩ–1 MΩ for linear operation).
+* :mod:`repro.reram.variation` — process-variation and fault models
+  (normal-distributed conductance variation per refs [21, 22]).
+* :mod:`repro.reram.cell` — the 1T1R cell (access transistor + device).
+* :mod:`repro.reram.crossbar` — the crossbar array: programming, reads,
+  ideal analog MVM, column conductance accounting.
+* :mod:`repro.reram.nonideal` — wire-parasitic (IR-drop) crossbar model
+  solved with modified nodal analysis.
+* :mod:`repro.reram.programming` — write-verify programming loop.
+"""
+
+from .device import DeviceSpec, ReRAMDevice
+from .variation import VariationModel, StuckAtFaultModel, apply_variation
+from .cell import OneTransistorOneReRAM
+from .crossbar import CrossbarArray
+from .nonideal import WireParasitics, IRDropSolver
+from .programming import WriteVerifyProgrammer, ProgrammingReport
+from .retention import RetentionModel
+from .endurance import EnduranceModel
+
+__all__ = [
+    "DeviceSpec",
+    "ReRAMDevice",
+    "VariationModel",
+    "StuckAtFaultModel",
+    "apply_variation",
+    "OneTransistorOneReRAM",
+    "CrossbarArray",
+    "WireParasitics",
+    "IRDropSolver",
+    "WriteVerifyProgrammer",
+    "ProgrammingReport",
+    "RetentionModel",
+    "EnduranceModel",
+]

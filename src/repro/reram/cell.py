@@ -1,0 +1,100 @@
+"""The one-transistor-one-ReRAM (1T1R) cell.
+
+The paper adopts the 1T1R structure (Sections III-D, IV-A): each ReRAM
+device is in series with an access transistor that isolates unselected
+cells and adds a (small) on-resistance to the selected path.  The cell's
+effective conductance during compute is therefore
+
+    G_cell = 1 / (R_device + R_on)        (access on)
+    G_cell = G_off_leakage ≈ 0            (access off)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DeviceError
+from .device import DeviceSpec, ReRAMDevice
+
+__all__ = ["OneTransistorOneReRAM"]
+
+
+@dataclasses.dataclass
+class OneTransistorOneReRAM:
+    """A 1T1R cell: ReRAM device plus access transistor.
+
+    Attributes
+    ----------
+    device:
+        The programmable ReRAM element.
+    r_on:
+        Access-transistor on-resistance (ohms).
+    g_leak:
+        Off-state leakage conductance (siemens); effectively zero for a
+        healthy transistor but exposed for leakage studies.
+    selected:
+        Whether the access transistor is currently on.
+    """
+
+    device: ReRAMDevice
+    r_on: float = 1e3
+    g_leak: float = 1e-12
+    selected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.r_on < 0:
+            raise DeviceError(f"access on-resistance must be >= 0, got {self.r_on!r}")
+        if self.g_leak < 0:
+            raise DeviceError(f"leakage must be >= 0, got {self.g_leak!r}")
+
+    @classmethod
+    def fresh(cls, spec: DeviceSpec, r_on: float = 1e3) -> "OneTransistorOneReRAM":
+        """A cell with a freshly-formed device at HRS."""
+        return cls(device=ReRAMDevice(spec), r_on=r_on)
+
+    @property
+    def effective_conductance(self) -> float:
+        """Conductance seen by the crossbar at this instant."""
+        if not self.selected:
+            return self.g_leak
+        return 1.0 / (self.device.resistance + self.r_on)
+
+    @property
+    def effective_resistance(self) -> float:
+        """Resistance seen by the crossbar at this instant."""
+        g = self.effective_conductance
+        if g == 0:
+            raise DeviceError("deselected cell with zero leakage has no finite resistance")
+        return 1.0 / g
+
+    def select(self) -> None:
+        """Turn the access transistor on."""
+        self.selected = True
+
+    def deselect(self) -> None:
+        """Turn the access transistor off."""
+        self.selected = False
+
+    def target_device_conductance(self, g_effective: float) -> float:
+        """Device conductance required so the *cell* presents
+        ``g_effective``, compensating the series ``r_on``.
+
+        Raises
+        ------
+        DeviceError
+            If ``g_effective`` is unreachable (``1/g_effective <= r_on``).
+        """
+        if g_effective <= 0:
+            raise DeviceError(f"target conductance must be positive, got {g_effective!r}")
+        r_total = 1.0 / g_effective
+        r_device = r_total - self.r_on
+        if r_device <= 0:
+            raise DeviceError(
+                f"effective conductance {g_effective!r} unreachable with "
+                f"access resistance {self.r_on!r}"
+            )
+        return 1.0 / r_device
+
+    def program_effective(self, g_effective: float) -> None:
+        """Program the device so the cell presents ``g_effective``."""
+        self.device.program(self.target_device_conductance(g_effective))

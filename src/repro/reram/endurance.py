@@ -1,0 +1,100 @@
+"""Write-endurance model: the conductance window closes with cycling.
+
+ReRAM cells degrade with programming cycles: the low-resistance state
+drifts up and the high-resistance state drifts down until the window
+collapses (typical quoted endurance 10⁶–10⁹ cycles).  The standard
+empirical form is power-law window closure
+
+    g_max(n) = g_max0 − (g_max0 − g_mid) · (n / N_end)^β
+    g_min(n) = g_min0 + (g_mid − g_min0) · (n / N_end)^β
+
+with ``g_mid`` the window midpoint and β ≈ 1–2.  Inference-only PIM
+(this paper's use case) writes rarely, but the write-verify programming
+loop and any in-field recalibration consume cycles; this model lets the
+programming/energy studies bound useful lifetime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DeviceError
+from .device import DeviceSpec
+
+__all__ = ["EnduranceModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnduranceModel:
+    """Power-law conductance-window closure with cycling.
+
+    Attributes
+    ----------
+    endurance_cycles:
+        Cycle count at which the window fully collapses to its midpoint.
+    beta:
+        Closure exponent (1 = linear in cycles, 2 = accelerating).
+    """
+
+    endurance_cycles: float = 1e7
+    beta: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.endurance_cycles <= 0:
+            raise DeviceError("endurance must be positive")
+        if self.beta <= 0:
+            raise DeviceError("beta must be positive")
+
+    def closure_fraction(self, cycles: float) -> float:
+        """Fraction of the window lost after ``cycles`` writes (0–1)."""
+        if cycles < 0:
+            raise DeviceError(f"cycles must be >= 0, got {cycles!r}")
+        return min(1.0, (cycles / self.endurance_cycles) ** self.beta)
+
+    def degraded_spec(self, spec: DeviceSpec, cycles: float) -> DeviceSpec:
+        """The device window after ``cycles`` programming cycles.
+
+        Raises
+        ------
+        DeviceError
+            If the window has fully collapsed (no usable device left).
+        """
+        fraction = self.closure_fraction(cycles)
+        g_mid = 0.5 * (spec.g_min + spec.g_max)
+        g_max = spec.g_max - (spec.g_max - g_mid) * fraction
+        g_min = spec.g_min + (g_mid - spec.g_min) * fraction
+        if g_max <= g_min:
+            raise DeviceError(
+                f"window collapsed after {cycles:.3g} cycles "
+                f"(endurance {self.endurance_cycles:.3g})"
+            )
+        return dataclasses.replace(
+            spec, r_lrs=1.0 / g_max, r_hrs=1.0 / g_min
+        )
+
+    def remaining_dynamic_range(self, spec: DeviceSpec, cycles: float) -> float:
+        """``g_max/g_min`` of the degraded window."""
+        degraded = self.degraded_spec(spec, cycles)
+        return degraded.dynamic_range
+
+    def cycles_to_dynamic_range(
+        self, spec: DeviceSpec, target_range: float, resolution: int = 64
+    ) -> float:
+        """Cycles until the dynamic range falls to ``target_range``
+        (bisection on the closed-form window)."""
+        if target_range <= 1:
+            raise DeviceError("target dynamic range must exceed 1")
+        if spec.dynamic_range <= target_range:
+            return 0.0
+        lo, hi = 0.0, self.endurance_cycles
+        for _ in range(resolution):
+            mid = 0.5 * (lo + hi)
+            try:
+                reached = self.remaining_dynamic_range(spec, mid) <= target_range
+            except DeviceError:
+                reached = True
+            if reached:
+                hi = mid
+            else:
+                lo = mid
+        return hi

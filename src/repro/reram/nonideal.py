@@ -1,0 +1,243 @@
+"""Wire-parasitic (IR-drop) crossbar model.
+
+The ideal array assumes every cell sees the full wordline voltage and a
+perfectly grounded bitline.  In a real crossbar the metal lines have
+per-segment resistance, so cells far from the drivers see degraded
+voltages — the classic IR-drop accuracy loss.  This module builds the
+full resistive network (one node per cell per line) and solves it with
+the MNA engine, providing the substrate for the IR-drop ablation bench.
+
+Topology (for an R×C array):
+
+* wordline i: driver node ``wl_i_0`` … ``wl_i_{C-1}``, adjacent nodes
+  joined by ``r_wire_wl``; the driver (ideal source) feeds ``wl_i_0``.
+* bitline j: nodes ``bl_0_j`` … ``bl_{R-1}_j`` joined by ``r_wire_bl``;
+  the last node connects to ground through ``r_sense`` (the
+  virtual-ground sense resistance).
+* cell (i, j): resistor ``1/G[i,j]`` from ``wl_i_j`` to ``bl_i_j``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..circuits.mna import DCCircuit
+from ..errors import DeviceError, ShapeError
+from .crossbar import CrossbarArray
+
+__all__ = ["WireParasitics", "IRDropSolver", "ParasiticThevenin"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParasiticThevenin:
+    """Precomputed parasitic-aware column Thevenin equivalents.
+
+    Attributes
+    ----------
+    response:
+        ``(cols, rows)`` linear map from wordline drive voltages to
+        per-column open-circuit voltages: ``V_oc = response @ v``.
+    r_eq:
+        Per-column Thevenin resistance (ohms), including wire segments.
+    """
+
+    response: np.ndarray
+    r_eq: np.ndarray
+
+    def __post_init__(self) -> None:
+        response = np.asarray(self.response, dtype=float)
+        r_eq = np.asarray(self.r_eq, dtype=float)
+        if response.ndim != 2 or r_eq.shape != (response.shape[0],):
+            raise ShapeError(
+                f"inconsistent Thevenin shapes: {response.shape} vs {r_eq.shape}"
+            )
+        if np.any(r_eq <= 0):
+            raise DeviceError("Thevenin resistances must be positive")
+        object.__setattr__(self, "response", response)
+        object.__setattr__(self, "r_eq", r_eq)
+
+    def v_eq(self, voltages: np.ndarray) -> np.ndarray:
+        """Open-circuit column voltages for drive vector(s).
+
+        Accepts ``(rows,)`` or ``(batch, rows)``; returns ``(cols,)`` or
+        ``(batch, cols)``.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.shape[-1] != self.response.shape[1]:
+            raise ShapeError(
+                f"drive vector length {v.shape[-1]} != rows "
+                f"{self.response.shape[1]}"
+            )
+        return v @ self.response.T
+
+
+@dataclasses.dataclass(frozen=True)
+class WireParasitics:
+    """Per-segment interconnect resistances.
+
+    Typical 65 nm crossbar values are ~1–3 Ω per cell pitch; the default
+    2.5 Ω follows common ReRAM PIM modelling practice (e.g. the ISAAC /
+    PRIME line of work).
+    """
+
+    r_wire_wl: float = 2.5
+    r_wire_bl: float = 2.5
+    r_sense: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.r_wire_wl < 0 or self.r_wire_bl < 0:
+            raise DeviceError("wire resistances must be >= 0")
+        if self.r_sense <= 0:
+            raise DeviceError("sense resistance must be positive")
+
+    @classmethod
+    def ideal(cls) -> "WireParasitics":
+        """Vanishingly small parasitics (sanity-check configuration)."""
+        return cls(r_wire_wl=1e-9, r_wire_bl=1e-9, r_sense=1e-9)
+
+
+class IRDropSolver:
+    """Solves the parasitic crossbar network for bitline currents."""
+
+    def __init__(self, array: CrossbarArray, parasitics: WireParasitics) -> None:
+        self.array = array
+        self.parasitics = parasitics
+
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        """Bitline sense currents under wordline ``voltages``.
+
+        Returns an array of length ``cols``.  With
+        :meth:`WireParasitics.ideal` this converges to the ideal
+        ``v @ G`` result.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.shape != (self.array.rows,):
+            raise ShapeError(
+                f"expected voltages of shape ({self.array.rows},), got {v.shape}"
+            )
+        rows, cols = self.array.shape
+        g = self.array.conductances
+        p = self.parasitics
+
+        circuit = DCCircuit()
+        # Wordline drivers and segments.
+        for i in range(rows):
+            circuit.add_voltage_source(f"wl_{i}_0", float(v[i]), name=f"drv{i}")
+            for j in range(cols - 1):
+                circuit.add_resistor(
+                    f"wl_{i}_{j}", f"wl_{i}_{j + 1}",
+                    max(p.r_wire_wl, 1e-12), name=f"rwl_{i}_{j}",
+                )
+        # Bitline segments and sense resistors.
+        for j in range(cols):
+            for i in range(rows - 1):
+                circuit.add_resistor(
+                    f"bl_{i}_{j}", f"bl_{i + 1}_{j}",
+                    max(p.r_wire_bl, 1e-12), name=f"rbl_{i}_{j}",
+                )
+            circuit.add_resistor(
+                f"bl_{rows - 1}_{j}", "gnd", p.r_sense, name=f"rs_{j}"
+            )
+        # Cells.
+        for i in range(rows):
+            for j in range(cols):
+                g_ij = g[i, j]
+                if g_ij <= 0:
+                    continue
+                circuit.add_resistor(
+                    f"wl_{i}_{j}", f"bl_{i}_{j}", 1.0 / g_ij, name=f"cell_{i}_{j}"
+                )
+
+        solution = circuit.solve()
+        currents = np.empty(cols, dtype=float)
+        for j in range(cols):
+            v_sense = solution.voltage(f"bl_{rows - 1}_{j}")
+            currents[j] = v_sense / p.r_sense
+        return currents
+
+    # ------------------------------------------------------------------
+    # Thevenin extraction (feeds the parasitic-aware ReSiPE engine)
+    # ------------------------------------------------------------------
+    def column_thevenin(self) -> "ParasiticThevenin":
+        """Extract per-column Thevenin equivalents *including* wire
+        parasitics, seen by the COG capacitors at the bitline feet.
+
+        The network is linear, so the open-circuit column voltage is a
+        linear map of the wordline drive vector: ``V_oc = A v``.  ``A``
+        (cols × rows) and the per-column Thevenin resistance are
+        precomputed with one MNA solve per wordline plus one per column,
+        after which parasitic-aware MVMs cost the same as ideal ones.
+        """
+        rows, cols = self.array.shape
+        # Response matrix: superposition over unit wordline drives, with
+        # the sense feet open (approximated by a huge sense resistance).
+        response = np.empty((cols, rows), dtype=float)
+        for i in range(rows):
+            unit = np.zeros(rows)
+            unit[i] = 1.0
+            # 1e9 Ohm approximates an open sense foot while keeping the
+            # MNA system well conditioned against the ~mOhm wire floor.
+            solution = self._solve_with_sense(unit, sense_resistance=1e9)
+            for j in range(cols):
+                response[j, i] = solution.voltage(f"bl_{rows - 1}_{j}")
+        # Thevenin resistance per column: drive 1 A into the sense foot
+        # with every wordline driver at 0 V.
+        r_eq = np.empty(cols, dtype=float)
+        for j in range(cols):
+            circuit = self._build_network(np.zeros(rows), sense_resistance=None)
+            circuit.add_current_source(f"bl_{rows - 1}_{j}", 1.0, name="probe")
+            solution = circuit.solve()
+            r_eq[j] = solution.voltage(f"bl_{rows - 1}_{j}")
+        return ParasiticThevenin(response=response, r_eq=r_eq)
+
+    def _build_network(self, voltages: np.ndarray, sense_resistance):
+        """Assemble the crossbar netlist (sense resistors optional)."""
+        rows, cols = self.array.shape
+        g = self.array.conductances
+        p = self.parasitics
+        circuit = DCCircuit()
+        for i in range(rows):
+            circuit.add_voltage_source(f"wl_{i}_0", float(voltages[i]), name=f"drv{i}")
+            for j in range(cols - 1):
+                circuit.add_resistor(
+                    f"wl_{i}_{j}", f"wl_{i}_{j + 1}",
+                    max(p.r_wire_wl, 1e-3), name=f"rwl_{i}_{j}",
+                )
+        for j in range(cols):
+            for i in range(rows - 1):
+                circuit.add_resistor(
+                    f"bl_{i}_{j}", f"bl_{i + 1}_{j}",
+                    max(p.r_wire_bl, 1e-3), name=f"rbl_{i}_{j}",
+                )
+            if sense_resistance is not None:
+                circuit.add_resistor(
+                    f"bl_{rows - 1}_{j}", "gnd", sense_resistance, name=f"rs_{j}"
+                )
+        for i in range(rows):
+            for j in range(cols):
+                if g[i, j] > 0:
+                    circuit.add_resistor(
+                        f"wl_{i}_{j}", f"bl_{i}_{j}", 1.0 / g[i, j],
+                        name=f"cell_{i}_{j}",
+                    )
+        return circuit
+
+    def _solve_with_sense(self, voltages: np.ndarray, sense_resistance: float):
+        return self._build_network(voltages, sense_resistance).solve()
+
+    def error_vs_ideal(self, voltages: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Per-column relative current error and its maximum.
+
+        Returns ``(relative_errors, max_relative_error)`` where the
+        reference is the ideal ``v @ G`` current.  Columns whose ideal
+        current is zero are reported as zero error.
+        """
+        ideal = self.array.mvm_currents(np.asarray(voltages, dtype=float))
+        actual = self.solve_currents(voltages)
+        denom = np.where(np.abs(ideal) > 0, np.abs(ideal), 1.0)
+        rel = np.abs(actual - ideal) / denom
+        rel = np.where(np.abs(ideal) > 0, rel, 0.0)
+        return rel, float(rel.max())

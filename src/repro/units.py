@@ -1,0 +1,122 @@
+"""SI unit constants and engineering-notation helpers.
+
+All quantities inside the library are plain floats (or numpy arrays) in
+base SI units: seconds, volts, amperes, ohms, siemens, farads, watts,
+joules and square metres.  The constants below make parameter definitions
+read like a datasheet::
+
+    C_COG = 100 * FEMTO    # 100 fF
+    SLICE = 100 * NANO     # 100 ns
+    R_GD = 100 * KILO      # 100 kΩ
+
+:func:`si_format` renders a value back into engineering notation for
+reports and benchmark tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: SI prefixes as multipliers.
+YOCTO = 1e-24
+ZEPTO = 1e-21
+ATTO = 1e-18
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` in engineering notation with an SI prefix.
+
+    Parameters
+    ----------
+    value:
+        The quantity in base SI units.
+    unit:
+        Unit symbol appended after the prefix (e.g. ``"F"``, ``"s"``).
+    digits:
+        Number of significant digits.
+
+    Examples
+    --------
+    >>> si_format(1e-13, "F")
+    '100 fF'
+    >>> si_format(2.5e-3, "S")
+    '2.5 mS'
+    >>> si_format(0.0, "W")
+    '0 W'
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text} {prefix}{unit}".rstrip()
+    scale, prefix = _PREFIXES[-1]
+    scaled = value / scale
+    return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def db(ratio: float) -> float:
+    """Convert a power ratio to decibels."""
+    if ratio <= 0:
+        raise ValueError(f"dB undefined for non-positive ratio {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels back to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def parallel(*resistances: float) -> float:
+    """Equivalent resistance of resistors in parallel.
+
+    >>> parallel(10e3, 10e3)
+    5000.0
+    """
+    if not resistances:
+        raise ValueError("parallel() requires at least one resistance")
+    total_conductance = 0.0
+    for r in resistances:
+        if r <= 0:
+            raise ValueError(f"resistance must be positive, got {r!r}")
+        total_conductance += 1.0 / r
+    return 1.0 / total_conductance
+
+
+def conductance(resistance: float) -> float:
+    """Convert a resistance in ohms to a conductance in siemens."""
+    if resistance <= 0:
+        raise ValueError(f"resistance must be positive, got {resistance!r}")
+    return 1.0 / resistance
+
+
+def resistance(g: float) -> float:
+    """Convert a conductance in siemens to a resistance in ohms."""
+    if g <= 0:
+        raise ValueError(f"conductance must be positive, got {g!r}")
+    return 1.0 / g

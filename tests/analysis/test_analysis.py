@@ -1,0 +1,134 @@
+"""Fitting, metrics, sweep and table utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SweepResult,
+    accuracy_score,
+    fit_linear,
+    fit_polynomial,
+    max_relative_error,
+    mean_relative_error,
+    r_squared,
+    render_table,
+    rmse,
+    sweep,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+class TestFitting:
+    def test_exact_line(self):
+        x = np.linspace(0, 1, 20)
+        fit = fit_linear(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_through_origin(self):
+        x = np.linspace(0.1, 1, 10)
+        fit = fit_linear(x, 4.0 * x, through_origin=True)
+        assert fit.slope == pytest.approx(4.0)
+        assert fit.intercept == 0.0
+
+    def test_predict(self):
+        fit = fit_linear(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        assert fit.predict(np.array([2.0]))[0] == pytest.approx(5.0)
+
+    def test_noisy_r2_below_one(self, rng):
+        x = np.linspace(0, 1, 200)
+        y = x + rng.normal(0, 0.3, 200)
+        fit = fit_linear(x, y)
+        assert 0.0 < fit.r2 < 1.0
+
+    def test_r_squared_constant_target(self):
+        y = np.ones(5)
+        assert r_squared(y, y) == 1.0
+
+    def test_polynomial(self):
+        x = np.linspace(-1, 1, 30)
+        coeffs = fit_polynomial(x, 2 * x**2 + 1, degree=2)
+        assert coeffs[0] == pytest.approx(2.0, abs=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            fit_linear(np.zeros(1), np.zeros(1))
+        with pytest.raises(ShapeError):
+            fit_linear(np.zeros(3), np.zeros(4))
+        with pytest.raises(ShapeError):
+            fit_linear(np.zeros(3), np.zeros(3), through_origin=True)
+        with pytest.raises(ShapeError):
+            fit_polynomial(np.arange(3.0), np.arange(3.0), degree=5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_rmse(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 3.0])) == pytest.approx(
+            np.sqrt(0.5)
+        )
+
+    def test_relative_errors(self):
+        actual = np.array([1.1, 2.0])
+        ref = np.array([1.0, 2.0])
+        assert mean_relative_error(actual, ref) == pytest.approx(0.05)
+        assert max_relative_error(actual, ref) == pytest.approx(0.1)
+
+    def test_shape_checked(self):
+        with pytest.raises(ShapeError):
+            rmse(np.zeros(2), np.zeros(3))
+
+
+class TestSweep:
+    def test_collects_measurements(self):
+        result = sweep("x", [1, 2, 3], lambda v: {"sq": v * v, "neg": -v})
+        assert result.series("sq").tolist() == [1.0, 4.0, 9.0]
+        assert result.keys() == ["neg", "sq"]
+
+    def test_as_rows(self):
+        result = sweep("x", [2], lambda v: {"a": v})
+        assert result.as_rows() == [[2, 2]]
+
+    def test_unknown_key(self):
+        result = sweep("x", [1], lambda v: {"a": v})
+        with pytest.raises(ConfigurationError):
+            result.series("b")
+
+    def test_inconsistent_keys_rejected(self):
+        def measure(v):
+            return {"a": v} if v == 1 else {"b": v}
+
+        with pytest.raises(ConfigurationError):
+            sweep("x", [1, 2], measure)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("x", [], lambda v: {"a": v})
+
+    def test_bad_measurement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("x", [1], lambda v: None)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "v"], [["a", 1.5], ["long-name", 2]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456e-7]])
+        assert "1.235e-07" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+        with pytest.raises(ConfigurationError):
+            render_table(["a"], [[1, 2]])

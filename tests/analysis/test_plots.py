@@ -1,0 +1,77 @@
+"""ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import Series, ascii_plot
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ramp_series():
+    x = np.linspace(0, 1, 20)
+    return Series(x, 2 * x, "ramp", "o")
+
+
+class TestSeries:
+    def test_valid(self, ramp_series):
+        assert ramp_series.label == "ramp"
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Series(np.zeros(3), np.zeros(4), "bad")
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            Series(np.array([]), np.array([]), "bad")
+
+    def test_long_marker(self):
+        with pytest.raises(ConfigurationError):
+            Series(np.zeros(2), np.zeros(2), "bad", marker="xx")
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self, ramp_series):
+        text = ascii_plot([ramp_series], title="T")
+        assert text.startswith("T")
+        assert "o" in text
+        assert "legend: o ramp" in text
+
+    def test_axis_annotations(self, ramp_series):
+        text = ascii_plot([ramp_series], x_unit="s", y_unit="V")
+        assert "1 s" in text
+        assert "2 V" in text
+
+    def test_extremes_land_on_borders(self):
+        s = Series(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "d", "#")
+        text = ascii_plot([s], width=20, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("#|")   # max at top-right
+        assert "|#" in rows[-1]                   # min at bottom-left
+
+    def test_later_series_draw_on_top(self):
+        a = Series(np.array([0.5]), np.array([0.5]), "under", "u")
+        b = Series(np.array([0.5]), np.array([0.5]), "over", "v")
+        # Force a shared scale so both land on the same cell.
+        anchor = Series(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "frame", ".")
+        text = ascii_plot([anchor, a, b])
+        assert "v" in text
+        assert "u" not in text.split("legend")[0]
+
+    def test_constant_series_handled(self):
+        s = Series(np.array([1.0, 2.0]), np.array([3.0, 3.0]), "flat")
+        text = ascii_plot([s])
+        assert "flat" in text
+
+    def test_auto_markers_distinct(self):
+        x = np.linspace(0, 1, 5)
+        text = ascii_plot([
+            Series(x, x, "a"), Series(x, 1 - x, "b")
+        ])
+        assert "legend: o a   x b" in text
+
+    def test_validation(self, ramp_series):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([ramp_series], width=4)

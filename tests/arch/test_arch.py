@@ -1,0 +1,184 @@
+"""Architecture-level pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ChipDescription,
+    PipelineSimulator,
+    Station,
+    chip_from_deployment,
+    render_gantt,
+    utilisation_report,
+)
+from repro.core.pipeline import schedule_pipeline
+from repro.errors import ConfigurationError
+
+SLICE = 100e-9
+
+
+def uniform_chip(layers: int, service: int = 2, capacity=None) -> ChipDescription:
+    return ChipDescription(
+        stations=tuple(
+            Station(f"layer{i}", service, buffer_capacity=capacity)
+            for i in range(layers)
+        ),
+        slice_length=SLICE,
+    )
+
+
+class TestAgainstAnalyticSchedule:
+    """The simulator must reproduce the closed-form pipeline model."""
+
+    @pytest.mark.parametrize("layers,samples", [(1, 4), (3, 6), (5, 10)])
+    def test_matches_schedule_pipeline(self, layers, samples):
+        chip = uniform_chip(layers)
+        result = PipelineSimulator(chip).run(samples)
+        analytic = schedule_pipeline(layers, samples, SLICE)
+        assert result.sample_latency_slices(0) == analytic.sample_latency_slices
+        assert result.steady_interval_slices() == pytest.approx(
+            analytic.initiation_interval_slices
+        )
+        assert result.makespan_slices == analytic.total_slices
+
+    def test_analytic_helpers_agree(self):
+        chip = uniform_chip(4)
+        result = PipelineSimulator(chip).run(8)
+        assert result.sample_latency_slices(0) == chip.analytic_latency_slices()
+        assert result.steady_interval_slices() == pytest.approx(
+            chip.analytic_interval_slices()
+        )
+
+
+class TestBottleneck:
+    def test_slow_station_sets_interval(self):
+        chip = ChipDescription(
+            stations=(
+                Station("fast", 2),
+                Station("slow", 8),
+                Station("fast2", 2),
+            ),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(12)
+        assert result.steady_interval_slices() == pytest.approx(8)
+        assert result.throughput() == pytest.approx(1.0 / (8 * SLICE))
+
+    def test_bottleneck_fully_utilised(self):
+        chip = ChipDescription(
+            stations=(Station("fast", 2), Station("slow", 6)),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(20)
+        assert result.utilisation(1) > 0.9
+        assert result.utilisation(0) < 0.5
+
+
+class TestBackpressure:
+    def test_unbounded_buffer_fills_before_slow_stage(self):
+        chip = ChipDescription(
+            stations=(Station("fast", 2), Station("slow", 10)),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(10)
+        assert result.peak_buffer_occupancy(0) > 2
+
+    def test_finite_buffer_limits_occupancy(self):
+        chip = ChipDescription(
+            stations=(
+                Station("fast", 2, buffer_capacity=2),
+                Station("slow", 10),
+            ),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(10)
+        assert result.peak_buffer_occupancy(0) <= 2
+
+    def test_backpressure_preserves_throughput(self):
+        """Finite buffers stall the producer but cannot slow the
+        bottleneck — classic pipeline theory."""
+        free = PipelineSimulator(
+            ChipDescription((Station("a", 2), Station("b", 10)), SLICE)
+        ).run(16)
+        tight = PipelineSimulator(
+            ChipDescription(
+                (Station("a", 2, buffer_capacity=1), Station("b", 10)), SLICE
+            )
+        ).run(16)
+        assert tight.steady_interval_slices() == pytest.approx(
+            free.steady_interval_slices()
+        )
+
+    def test_last_station_has_no_buffer(self):
+        chip = uniform_chip(2)
+        result = PipelineSimulator(chip).run(4)
+        assert result.peak_buffer_occupancy(1) == 0
+
+
+class TestArrivals:
+    def test_slow_arrivals_dominate(self):
+        chip = uniform_chip(2)
+        result = PipelineSimulator(chip).run(8, arrival_interval=10)
+        assert result.steady_interval_slices() == pytest.approx(10)
+
+    def test_explicit_arrivals(self):
+        chip = uniform_chip(1)
+        result = PipelineSimulator(chip).run(3, arrivals=[0, 0, 50])
+        assert result.starts[0, 2] == 50
+
+    def test_arrival_validation(self):
+        sim = PipelineSimulator(uniform_chip(1))
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+        with pytest.raises(ConfigurationError):
+            sim.run(2, arrivals=[5, 0])
+        with pytest.raises(ConfigurationError):
+            sim.run(2, arrival_interval=-1)
+
+
+class TestDeploymentBridge:
+    def test_chip_from_deployment(self, rng):
+        from repro.core.mvm import MVMMode
+        from repro.mapping import ReSiPEBackend, compile_network, plan_deployment
+        from repro.nn import Dense, ReLU, Sequential
+
+        model = Sequential(
+            [Dense(20, 12, rng=rng), ReLU(), Dense(12, 4, rng=rng)], name="m"
+        )
+        mapped = compile_network(model, ReSiPEBackend(mode=MVMMode.LINEAR))
+        report = plan_deployment(mapped)
+        chip = chip_from_deployment(report, SLICE)
+        result = PipelineSimulator(chip).run(10)
+        # Simulated throughput matches the planner's closed form.
+        assert result.throughput() == pytest.approx(report.throughput)
+
+
+class TestRendering:
+    def test_gantt(self):
+        result = PipelineSimulator(uniform_chip(3)).run(4)
+        text = render_gantt(result)
+        assert "layer0" in text
+        assert "0" in text
+
+    def test_utilisation_report(self):
+        result = PipelineSimulator(uniform_chip(2)).run(4)
+        text = utilisation_report(result)
+        assert "throughput" in text
+        assert "utilisation" in text.lower()
+
+    def test_gantt_validation(self):
+        result = PipelineSimulator(uniform_chip(1)).run(1)
+        with pytest.raises(ConfigurationError):
+            render_gantt(result, max_slices=0)
+
+
+class TestValidation:
+    def test_empty_chip(self):
+        with pytest.raises(ConfigurationError):
+            ChipDescription(stations=(), slice_length=SLICE)
+
+    def test_bad_station(self):
+        with pytest.raises(ConfigurationError):
+            Station("x", 0)
+        with pytest.raises(ConfigurationError):
+            Station("x", 2, buffer_capacity=0)

@@ -1,0 +1,82 @@
+"""Hypothesis properties of the pipeline simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ChipDescription, PipelineSimulator, Station
+
+SLICE = 100e-9
+
+services = st.lists(st.integers(1, 12), min_size=1, max_size=6)
+
+
+class TestSimulatorProperties:
+    @given(svc=services, samples=st.integers(2, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_steady_interval_is_bottleneck(self, svc, samples):
+        chip = ChipDescription(
+            stations=tuple(Station(f"s{i}", t) for i, t in enumerate(svc)),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(samples)
+        assert result.steady_interval_slices() == pytest.approx(max(svc))
+
+    @given(svc=services)
+    @settings(max_examples=40, deadline=None)
+    def test_first_sample_latency_matches_analytic(self, svc):
+        chip = ChipDescription(
+            stations=tuple(Station(f"s{i}", t) for i, t in enumerate(svc)),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(3)
+        assert result.sample_latency_slices(0) == chip.analytic_latency_slices()
+
+    @given(svc=services, samples=st.integers(1, 10), cap=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_finite_buffers_never_violate_capacity(self, svc, samples, cap):
+        chip = ChipDescription(
+            stations=tuple(
+                Station(f"s{i}", t, buffer_capacity=cap)
+                for i, t in enumerate(svc)
+            ),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(samples)
+        for i in range(len(svc) - 1):
+            assert result.peak_buffer_occupancy(i) <= cap
+
+    @given(svc=services, samples=st.integers(2, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_causality_and_ordering(self, svc, samples):
+        chip = ChipDescription(
+            stations=tuple(Station(f"s{i}", t) for i, t in enumerate(svc)),
+            slice_length=SLICE,
+        )
+        result = PipelineSimulator(chip).run(samples)
+        # In-order processing per station.
+        assert np.all(np.diff(result.starts, axis=1) >= 0)
+        # A station never finishes a sample before its producer is within
+        # the overlap window of finishing it.
+        for i in range(1, len(svc)):
+            assert np.all(
+                result.starts[i] >= result.finishes[i - 1] - chip.overlap
+            )
+
+    @given(svc=services, samples=st.integers(2, 10), cap=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_backpressure_never_improves_makespan(self, svc, samples, cap):
+        free = PipelineSimulator(
+            ChipDescription(
+                tuple(Station(f"s{i}", t) for i, t in enumerate(svc)), SLICE
+            )
+        ).run(samples)
+        tight = PipelineSimulator(
+            ChipDescription(
+                tuple(Station(f"s{i}", t, buffer_capacity=cap)
+                      for i, t in enumerate(svc)),
+                SLICE,
+            )
+        ).run(samples)
+        assert tight.makespan_slices >= free.makespan_slices

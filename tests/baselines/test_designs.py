@@ -1,0 +1,203 @@
+"""Baseline PIM designs and the comparison interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LevelBasedPIM,
+    PWMBasedPIM,
+    RateCodingPIM,
+    ReSiPEDesign,
+    all_designs,
+    design_taxonomy,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return all_designs()
+
+
+@pytest.fixture(scope="module")
+def stimulus():
+    rng = np.random.default_rng(0)
+    return rng.random((4, 32)), rng.random((32, 32))
+
+
+class TestCommonInterface:
+    def test_four_designs(self, designs):
+        assert len(designs) == 4
+        assert "ReSiPE (this work)" in designs
+
+    def test_ops_accounting(self, designs):
+        for d in designs.values():
+            assert d.ops_per_mvm() == 2048
+
+    def test_metrics_consistent(self, designs):
+        for d in designs.values():
+            m = d.metrics()
+            assert m.power > 0
+            assert m.area > 0
+            assert m.throughput == pytest.approx(2048 / m.initiation_interval)
+            assert m.power_efficiency == pytest.approx(m.throughput / m.power)
+
+    def test_functional_fidelity(self, designs, stimulus):
+        x, w = stimulus
+        reference = x @ w
+        for name, d in designs.items():
+            y = np.asarray(d.mvm_values(x, w))
+            assert y.shape == reference.shape
+            err = np.abs(y - reference).max() / reference.max()
+            assert err < 0.05, f"{name} error {err}"
+
+    def test_shape_validation(self, designs, stimulus):
+        x, w = stimulus
+        for d in designs.values():
+            with pytest.raises(ShapeError):
+                d.mvm_values(x[:, :16], w)
+            with pytest.raises(ShapeError):
+                d.mvm_values(x, w[:16])
+
+
+class TestPaperOrderings:
+    """The qualitative Table II structure must hold."""
+
+    def test_resipe_lowest_power(self, designs):
+        resipe = designs["ReSiPE (this work)"].power
+        for name, d in designs.items():
+            if name != "ReSiPE (this work)":
+                assert resipe < d.power
+
+    def test_resipe_best_power_efficiency(self, designs):
+        resipe = designs["ReSiPE (this work)"].power_efficiency
+        for name, d in designs.items():
+            if name != "ReSiPE (this work)":
+                assert resipe > d.power_efficiency
+
+    def test_resipe_smallest_area(self, designs):
+        resipe = designs["ReSiPE (this work)"].area
+        for name, d in designs.items():
+            if name != "ReSiPE (this work)":
+                assert resipe < d.area
+
+    def test_latency_ordering(self, designs):
+        level = designs["level-based [14,17]"].latency
+        resipe = designs["ReSiPE (this work)"].latency
+        rate = designs["rate-coding [11,13]"].latency
+        pwm = designs["PWM-based [15]"].latency
+        assert level <= resipe < rate < pwm
+
+    def test_paper_latency_reductions(self, designs):
+        resipe = designs["ReSiPE (this work)"].latency
+        assert 1 - resipe / designs["rate-coding [11,13]"].latency == pytest.approx(0.5)
+        assert 1 - resipe / designs["PWM-based [15]"].latency == pytest.approx(
+            0.688, abs=0.005
+        )
+
+
+class TestLevelBased:
+    def test_quantisation_error_bounded_by_bits(self, rng):
+        d = LevelBasedPIM(dac_bits=6, adc_bits=8)
+        x = rng.random(32)
+        assert np.abs(d.quantise_inputs(x) - x).max() <= 0.5 / (2**6 - 1)
+
+    def test_adc_count(self):
+        assert LevelBasedPIM(adc_share=8).num_adcs == 4
+        assert LevelBasedPIM(cols=30, adc_share=8).num_adcs == 4
+
+    def test_interface_dominates_power(self):
+        report = LevelBasedPIM().budget()
+        assert report.group_power_share("interface") > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LevelBasedPIM(dac_bits=0)
+        with pytest.raises(ConfigurationError):
+            LevelBasedPIM(conversion_time=0.0)
+
+
+class TestRateCoding:
+    def test_double_buffered_ii(self):
+        d = RateCodingPIM()
+        assert d.initiation_interval == pytest.approx(d.window / 2)
+
+    def test_quantisation_from_spike_budget(self):
+        d = RateCodingPIM(max_spikes=128)
+        x = np.array([0.5004])
+        q = d.encode_counts(x)
+        assert q[0] == 64.0
+
+    def test_stochastic_mode(self, rng):
+        d = RateCodingPIM(stochastic=True)
+        counts = d.encode_counts(np.full(1000, 0.5), rng)
+        assert counts.mean() == pytest.approx(64, rel=0.05)
+
+    def test_stochastic_requires_rng(self):
+        d = RateCodingPIM(stochastic=True)
+        with pytest.raises(ConfigurationError):
+            d.encode_counts(np.array([0.5]))
+
+    def test_wordline_activity_scales_with_input(self):
+        quiet = RateCodingPIM(mean_input=0.1)
+        loud = RateCodingPIM(mean_input=0.9)
+        assert loud.wordline_activity() > quiet.wordline_activity()
+        assert loud.power > quiet.power  # data-coupled energy
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateCodingPIM(max_spikes=0)
+        with pytest.raises(ConfigurationError):
+            RateCodingPIM(max_spikes=1000, window=100e-9, spike_width=1e-9)
+
+
+class TestPWM:
+    def test_time_levels(self):
+        d = PWMBasedPIM(pulse_window=320e-9, clock=1e9)
+        assert d.time_levels == 320
+
+    def test_longest_latency(self):
+        d = PWMBasedPIM()
+        assert d.latency == pytest.approx(640e-9)
+
+    def test_still_requires_adc(self):
+        report = PWMBasedPIM().budget()
+        labels = [line.label for line in report.lines]
+        assert any("ADC" in label for label in labels)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PWMBasedPIM(pulse_window=0.0)
+        with pytest.raises(ConfigurationError):
+            PWMBasedPIM(mean_input=1.5)
+
+
+class TestReSiPEDesign:
+    def test_cog_share(self):
+        d = ReSiPEDesign()
+        assert 0.8 < d.cog_power_share() < 1.0
+
+    def test_functional_exact_in_linear_mode(self, stimulus):
+        x, w = stimulus
+        d = ReSiPEDesign()
+        y = d.mvm_values(x, w)
+        assert np.allclose(y, x @ w, atol=1e-9)
+
+
+class TestTaxonomy:
+    def test_five_families(self):
+        tax = design_taxonomy()
+        assert set(tax) == {
+            "Level", "PWM", "Rate coding", "Temporal coding", "This work"
+        }
+
+    def test_this_work_is_short_duration(self):
+        tax = design_taxonomy()
+        assert tax["This work"].nonzero_voltage_duration == "short"
+        durations = {k: v.nonzero_voltage_duration for k, v in tax.items()}
+        assert durations["Level"] == "long"
+
+    def test_only_rate_coding_changes_scale(self):
+        tax = design_taxonomy()
+        assert tax["Rate coding"].in_out_scale == "different"
+        assert tax["This work"].in_out_scale == "same"

@@ -1,0 +1,184 @@
+"""Event-driven transient engine."""
+
+import math
+
+import pytest
+
+from repro.circuits.transient import (
+    Branch,
+    Comparator,
+    PiecewiseConstantSource,
+    PulseShaper,
+    RCNodeSpec,
+    SampleHold,
+    SwitchSpec,
+    TransientEngine,
+)
+from repro.errors import CircuitError
+
+
+def simple_rc_engine(tau_r=1e3, cap=1e-9, t_stop=10e-6):
+    eng = TransientEngine(t_stop=t_stop, points_per_segment=512)
+    eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+    eng.add_rc_node(RCNodeSpec("out", cap, (Branch("vs", tau_r),)))
+    return eng
+
+
+class TestRCCharging:
+    def test_matches_closed_form(self):
+        eng = simple_rc_engine()
+        res = eng.run()
+        tau = 1e3 * 1e-9
+        for t in (0.5e-6, 1e-6, 3e-6):
+            expected = 1.0 - math.exp(-t / tau)
+            assert res.value_at("out", t) == pytest.approx(expected, rel=1e-3)
+
+    def test_initial_condition(self):
+        eng = TransientEngine(t_stop=1e-6)
+        eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+        eng.add_rc_node(RCNodeSpec("out", 1e-9, (Branch("vs", 1e3),), v0=0.4))
+        res = eng.run()
+        assert res.value_at("out", 0.0) == pytest.approx(0.4, abs=1e-3)
+
+    def test_source_step_retargets(self):
+        eng = TransientEngine(t_stop=10e-6)
+        eng.add_source(
+            PiecewiseConstantSource("vs", ((0.0, 1.0), (5e-6, 0.0)))
+        )
+        eng.add_rc_node(RCNodeSpec("out", 1e-9, (Branch("vs", 100.0),)))
+        res = eng.run()
+        assert res.value_at("out", 4.9e-6) == pytest.approx(1.0, abs=1e-3)
+        assert res.value_at("out", 9.9e-6) == pytest.approx(0.0, abs=1e-3)
+
+
+class TestSwitches:
+    def test_switch_gates_branch(self):
+        eng = TransientEngine(t_stop=2e-6)
+        eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+        eng.add_switch(SwitchSpec("sw", ((0.0, False), (1e-6, True))))
+        eng.add_rc_node(RCNodeSpec("out", 1e-9, (Branch("vs", 100.0, switch="sw"),)))
+        res = eng.run()
+        assert res.value_at("out", 0.9e-6) == pytest.approx(0.0, abs=1e-6)
+        assert res.value_at("out", 1.9e-6) == pytest.approx(1.0, abs=1e-3)
+
+    def test_floating_node_holds(self):
+        eng = TransientEngine(t_stop=2e-6)
+        eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+        eng.add_switch(SwitchSpec("sw", ((0.0, True), (1e-6, False))))
+        eng.add_rc_node(RCNodeSpec("out", 1e-9, (Branch("vs", 100.0, switch="sw"),)))
+        res = eng.run()
+        held = res.value_at("out", 1.5e-6)
+        assert held == pytest.approx(1.0, abs=1e-3)
+
+
+class TestSampleHold:
+    def test_captures_ramp(self):
+        eng = simple_rc_engine()
+        eng.add_sample_hold(SampleHold("out", "held", (1e-6,)))
+        res = eng.run()
+        tau = 1e-6
+        expected = 1.0 - math.exp(-1e-6 / tau)
+        assert res.value_at("held", 5e-6) == pytest.approx(expected, rel=1e-3)
+
+    def test_initial_value_before_sampling(self):
+        eng = simple_rc_engine()
+        eng.add_sample_hold(SampleHold("out", "held", (5e-6,), initial=0.2))
+        res = eng.run()
+        assert res.value_at("held", 1e-6) == pytest.approx(0.2)
+
+
+class TestComparator:
+    def test_fires_at_crossing(self):
+        eng = simple_rc_engine()
+        eng.add_source(PiecewiseConstantSource.constant("ref", 0.5))
+        eng.add_comparator(Comparator(pos="out", neg="ref", output="cmp"))
+        res = eng.run()
+        spikes = res.spike_times("cmp")
+        tau = 1e-6
+        expected = -tau * math.log(0.5)
+        assert len(spikes) == 1
+        assert spikes[0] == pytest.approx(expected, rel=1e-4)
+
+    def test_enable_window_blocks_early(self):
+        eng = simple_rc_engine()
+        eng.add_source(PiecewiseConstantSource.constant("ref", 0.5))
+        eng.add_comparator(
+            Comparator(pos="out", neg="ref", output="cmp", enable=(5e-6, 10e-6))
+        )
+        res = eng.run()
+        spikes = res.spike_times("cmp")
+        assert len(spikes) == 1
+        assert spikes[0] == pytest.approx(5e-6, rel=1e-6)
+
+    def test_output_drops_at_window_close(self):
+        eng = simple_rc_engine()
+        eng.add_source(PiecewiseConstantSource.constant("ref", 0.5))
+        eng.add_comparator(
+            Comparator(pos="out", neg="ref", output="cmp", enable=(0.0, 5e-6))
+        )
+        res = eng.run()
+        assert res.value_at("cmp", 9e-6) == pytest.approx(0.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CircuitError):
+            Comparator(pos="a", neg="b", output="c", enable=(1.0, 1.0))
+
+
+class TestPulseShaper:
+    def test_fixed_width_pulse(self):
+        eng = simple_rc_engine()
+        eng.add_source(PiecewiseConstantSource.constant("ref", 0.5))
+        eng.add_comparator(Comparator(pos="out", neg="ref", output="cmp"))
+        eng.add_pulse_shaper(PulseShaper("cmp", "spk", width=50e-9))
+        res = eng.run()
+        edges = res.waveform("spk").pulse_edges()
+        assert len(edges) == 1
+        rise, fall = edges[0]
+        assert fall - rise == pytest.approx(50e-9, rel=1e-3)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(CircuitError):
+            PulseShaper("a", "b", width=0.0)
+
+
+class TestValidation:
+    def test_empty_engine(self):
+        with pytest.raises(CircuitError):
+            TransientEngine(t_stop=1e-6).run()
+
+    def test_duplicate_driver(self):
+        eng = TransientEngine(t_stop=1e-6)
+        eng.add_source(PiecewiseConstantSource.constant("n", 1.0))
+        with pytest.raises(CircuitError):
+            eng.add_source(PiecewiseConstantSource.constant("n", 0.5))
+
+    def test_unknown_switch(self):
+        eng = TransientEngine(t_stop=1e-6)
+        eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+        eng.add_rc_node(RCNodeSpec("out", 1e-9, (Branch("vs", 1e3, switch="nope"),)))
+        with pytest.raises(CircuitError):
+            eng.run()
+
+    def test_branch_to_undriven_node(self):
+        eng = TransientEngine(t_stop=1e-6)
+        eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+        eng.add_rc_node(RCNodeSpec("out", 1e-9, (Branch("ghost", 1e3),)))
+        with pytest.raises(CircuitError):
+            eng.run()
+
+    def test_dynamic_dynamic_coupling_rejected(self):
+        eng = TransientEngine(t_stop=1e-6)
+        eng.add_source(PiecewiseConstantSource.constant("vs", 1.0))
+        eng.add_rc_node(RCNodeSpec("a", 1e-9, (Branch("vs", 1e3), Branch("b", 1e3))))
+        eng.add_rc_node(RCNodeSpec("b", 1e-9, (Branch("vs", 1e3),)))
+        with pytest.raises(CircuitError):
+            eng.run()
+
+    def test_ground_cannot_be_driven(self):
+        eng = TransientEngine(t_stop=1e-6)
+        with pytest.raises(CircuitError):
+            eng.add_source(PiecewiseConstantSource.constant("gnd", 1.0))
+
+    def test_bad_time_range(self):
+        with pytest.raises(CircuitError):
+            TransientEngine(t_stop=0.0)

@@ -1,0 +1,128 @@
+"""Waveform container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.waveform import Waveform
+from repro.errors import CircuitError, ShapeError
+
+
+@pytest.fixture
+def ramp():
+    return Waveform([0.0, 1.0], [0.0, 1.0])
+
+
+class TestConstruction:
+    def test_from_function(self):
+        w = Waveform.from_function(np.sin, 0.0, np.pi, n=100)
+        assert len(w) == 100
+        assert w.maximum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_constant(self):
+        w = Waveform.constant(0.7, 0.0, 2.0)
+        assert w(1.3) == pytest.approx(0.7)
+
+    def test_step(self):
+        w = Waveform.step(0.5, 0.0, 1.0, low=0.0, high=1.0)
+        assert w(0.4) == pytest.approx(0.0)
+        assert w(0.6) == pytest.approx(1.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(CircuitError):
+            Waveform([0.0], [1.0])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ShapeError):
+            Waveform([0.0, 1.0], [1.0])
+
+    def test_rejects_decreasing_time(self):
+        with pytest.raises(CircuitError):
+            Waveform([1.0, 0.0], [0.0, 1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            Waveform(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestEvaluation:
+    def test_interpolation(self, ramp):
+        assert ramp(0.25) == pytest.approx(0.25)
+
+    def test_clamps_outside(self, ramp):
+        assert ramp(-1.0) == pytest.approx(0.0)
+        assert ramp(2.0) == pytest.approx(1.0)
+
+    def test_array_call(self, ramp):
+        out = ramp(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_sample(self, ramp):
+        resampled = ramp.sample(11)
+        assert len(resampled) == 11
+        assert resampled(0.5) == pytest.approx(0.5)
+
+    def test_window(self, ramp):
+        cut = ramp.window(0.25, 0.75)
+        assert cut.t_start == pytest.approx(0.25)
+        assert cut.t_end == pytest.approx(0.75)
+        assert cut(0.5) == pytest.approx(0.5)
+
+    def test_window_rejects_outside(self, ramp):
+        with pytest.raises(CircuitError):
+            ramp.window(-0.5, 0.5)
+
+
+class TestArithmetic:
+    def test_add_scalar(self, ramp):
+        assert (ramp + 1.0)(0.5) == pytest.approx(1.5)
+
+    def test_subtract_waveforms(self, ramp):
+        diff = ramp - ramp
+        assert diff.maximum() == pytest.approx(0.0)
+
+    def test_multiply(self, ramp):
+        assert (ramp * 2.0)(0.5) == pytest.approx(1.0)
+
+    def test_negate(self, ramp):
+        assert (-ramp)(1.0) == pytest.approx(-1.0)
+
+    def test_merged_time_base(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([0.0, 0.5, 1.0], [1.0, 0.0, 1.0])
+        total = a + b
+        assert total(0.5) == pytest.approx(0.5)
+
+
+class TestAnalysis:
+    def test_mean_of_ramp(self, ramp):
+        assert ramp.mean() == pytest.approx(0.5)
+
+    def test_integral(self, ramp):
+        assert ramp.integral() == pytest.approx(0.5)
+
+    def test_rising_crossing(self, ramp):
+        crossings = ramp.rising_crossings(0.3)
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(0.3)
+
+    def test_falling_crossing(self):
+        w = Waveform([0.0, 1.0], [1.0, 0.0])
+        assert w.falling_crossings(0.5) == [pytest.approx(0.5)]
+
+    def test_first_rising_none(self, ramp):
+        assert ramp.first_rising_crossing(2.0) is None
+
+    def test_pulse_edges(self):
+        w = Waveform(
+            [0.0, 1.0, 1.0, 2.0, 2.0, 3.0], [0.0, 0.0, 1.0, 1.0, 0.0, 0.0]
+        )
+        edges = w.pulse_edges()
+        assert len(edges) == 1
+        rise, fall = edges[0]
+        assert rise == pytest.approx(1.0)
+        assert fall == pytest.approx(2.0)
+
+    def test_pulse_without_fall_uses_end(self):
+        w = Waveform([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 1.0, 1.0])
+        edges = w.pulse_edges()
+        assert edges[0][1] == pytest.approx(2.0)

@@ -1,0 +1,24 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.config import CircuitParameters
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_params():
+    """The paper-literal operating point."""
+    return CircuitParameters.paper()
+
+
+@pytest.fixture
+def calibrated_params():
+    """The calibrated (linear-regime) operating point."""
+    return CircuitParameters.calibrated()

@@ -1,0 +1,103 @@
+"""Single-spiking codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.spike import NO_SPIKE, SingleSpike
+from repro.core.encoding import SingleSpikeCodec
+from repro.errors import EncodingError
+
+
+@pytest.fixture
+def codec():
+    return SingleSpikeCodec(t_max=80e-9, slice_length=100e-9)
+
+
+class TestArrayInterface:
+    def test_full_scale(self, codec):
+        assert codec.times_from_values(1.0) == pytest.approx(80e-9)
+
+    def test_zero(self, codec):
+        assert codec.times_from_values(0.0) == pytest.approx(0.0)
+
+    def test_vectorised(self, codec, rng):
+        v = rng.random((3, 5))
+        t = codec.times_from_values(v)
+        assert t.shape == (3, 5)
+        assert np.allclose(t, v * 80e-9)
+
+    def test_rejects_out_of_range(self, codec):
+        with pytest.raises(EncodingError):
+            codec.times_from_values(1.5)
+        with pytest.raises(EncodingError):
+            codec.times_from_values(-0.1)
+
+    def test_inverse(self, codec):
+        assert codec.values_from_times(40e-9) == pytest.approx(0.5)
+
+    def test_saturating_decode(self, codec):
+        assert codec.saturating_values_from_times(200e-9) == pytest.approx(1.0)
+
+    @given(v=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, v):
+        codec = SingleSpikeCodec()
+        t = codec.times_from_values(v)
+        assert codec.values_from_times(t) == pytest.approx(v, abs=1e-12)
+
+
+class TestObjectInterface:
+    def test_encode_produces_spike(self, codec):
+        spike = codec.encode(0.5)
+        assert spike.fired
+        assert spike.time == pytest.approx(40e-9)
+
+    def test_sparse_zero(self, codec):
+        assert codec.encode(0.0) is NO_SPIKE
+
+    def test_dense_zero(self):
+        codec = SingleSpikeCodec(sparse_zero=False)
+        spike = codec.encode(0.0)
+        assert spike.fired
+        assert spike.time == pytest.approx(0.0)
+
+    def test_decode_no_spike(self, codec):
+        assert codec.decode(NO_SPIKE) == 0.0
+
+    def test_decode_rejects_outside_slice(self, codec):
+        with pytest.raises(EncodingError):
+            codec.decode(SingleSpike(time=150e-9))
+
+    def test_vector_round_trip(self, codec, rng):
+        values = rng.random(16)
+        values[3] = 0.0
+        spikes = codec.encode_vector(values)
+        decoded = codec.decode_vector(spikes)
+        assert np.allclose(decoded, values, atol=1e-12)
+
+    def test_spike_times_or_nan(self, codec):
+        spikes = [codec.encode(0.5), NO_SPIKE]
+        times = codec.spike_times_or_nan(spikes)
+        assert times[0] == pytest.approx(40e-9)
+        assert np.isnan(times[1])
+
+
+class TestValidation:
+    def test_t_max_within_slice(self):
+        with pytest.raises(EncodingError):
+            SingleSpikeCodec(t_max=200e-9, slice_length=100e-9)
+
+    def test_positive_parameters(self):
+        with pytest.raises(EncodingError):
+            SingleSpikeCodec(t_max=0.0)
+        with pytest.raises(EncodingError):
+            SingleSpikeCodec(spike_width=0.0)
+
+    def test_width_independence(self):
+        """The encoded value is independent of the spike width — the
+        property the paper highlights for the single-spiking format."""
+        narrow = SingleSpikeCodec(spike_width=1e-9)
+        wide = SingleSpikeCodec(spike_width=5e-9)
+        assert narrow.encode(0.7).time == wide.encode(0.7).time

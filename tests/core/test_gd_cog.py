@@ -1,0 +1,124 @@
+"""Global decoder (Eq. 1) and column output generator (Eqs. 3-4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.comparator import ComparatorModel
+from repro.core.cog import ColumnOutputGenerator
+from repro.core.global_decoder import GlobalDecoder
+from repro.errors import CircuitError, EncodingError
+
+
+class TestGlobalDecoder:
+    def test_eq1_exact(self, paper_params):
+        gd = GlobalDecoder(paper_params)
+        t = 40e-9
+        expected = paper_params.v_s * (1 - math.exp(-t / paper_params.tau_gd))
+        assert gd.voltages_from_times(t) == pytest.approx(expected)
+
+    def test_eq1_linear(self, paper_params):
+        gd = GlobalDecoder(paper_params, exact=False)
+        t = 5e-9
+        expected = paper_params.v_s * t / paper_params.tau_gd
+        assert gd.voltages_from_times(t) == pytest.approx(expected)
+
+    def test_no_spike_is_zero_volts(self, paper_params):
+        gd = GlobalDecoder(paper_params)
+        v = gd.voltages_from_times(np.array([np.nan, 10e-9]))
+        assert v[0] == 0.0
+        assert v[1] > 0.0
+
+    def test_monotone_in_time(self, calibrated_params):
+        gd = GlobalDecoder(calibrated_params)
+        t = np.linspace(1e-9, 80e-9, 50)
+        v = gd.voltages_from_times(t)
+        assert np.all(np.diff(v) > 0)
+
+    def test_rejects_time_outside_slice(self, paper_params):
+        gd = GlobalDecoder(paper_params)
+        with pytest.raises(EncodingError):
+            gd.voltages_from_times(150e-9)
+        with pytest.raises(EncodingError):
+            gd.voltages_from_times(-1e-9)
+
+    def test_ramp_nonlinearity_grows(self, paper_params):
+        gd = GlobalDecoder(paper_params)
+        early = gd.ramp_nonlinearity(5e-9)
+        late = gd.ramp_nonlinearity(50e-9)
+        assert 0 < early < late
+
+    def test_calibrated_point_nearly_linear(self, calibrated_params):
+        gd = GlobalDecoder(calibrated_params)
+        # At t_in_max the calibrated ramp deviates < 5 % from linear.
+        assert gd.ramp_nonlinearity(calibrated_params.t_in_max) < 0.05
+
+
+class TestCOG:
+    def test_eq3_exact(self, paper_params):
+        cog = ColumnOutputGenerator(paper_params)
+        v_eq, r_eq = 0.5, 1e3
+        depth = paper_params.dt / (r_eq * paper_params.c_cog)
+        expected = v_eq * (1 - math.exp(-depth))
+        assert cog.column_voltage(v_eq, r_eq) == pytest.approx(expected)
+
+    def test_eq3_linear(self, calibrated_params):
+        cog = ColumnOutputGenerator(calibrated_params, exact=False)
+        v_eq, r_eq = 0.5, 1e4
+        expected = v_eq * calibrated_params.dt / (r_eq * calibrated_params.c_cog)
+        assert cog.column_voltage(v_eq, r_eq) == pytest.approx(expected)
+
+    def test_eq4_inverts_ramp(self, paper_params):
+        """t_out must satisfy V_out = V_s (1 - e^{-t/tau}) exactly."""
+        cog = ColumnOutputGenerator(paper_params)
+        result = cog.times_from_voltages(0.3)
+        t = result.times[0]
+        recovered = paper_params.v_s * (1 - math.exp(-t / paper_params.tau_gd))
+        assert recovered == pytest.approx(0.3, rel=1e-9)
+
+    def test_gd_cog_round_trip(self, paper_params):
+        """Encoding a time and decoding the same voltage is the identity
+        — the shared-ramp cancellation (paper Section III-D)."""
+        gd = GlobalDecoder(paper_params)
+        cog = ColumnOutputGenerator(paper_params)
+        t_in = 37e-9
+        v = float(gd.voltages_from_times(t_in))
+        result = cog.times_from_voltages(v)
+        assert result.times[0] == pytest.approx(t_in, rel=1e-9)
+
+    def test_saturation_flagged(self, paper_params):
+        cog = ColumnOutputGenerator(paper_params)
+        # A voltage the ramp cannot reach within the slice.
+        v_unreachable = paper_params.v_s * 0.9999999
+        result = cog.times_from_voltages(v_unreachable)
+        assert not result.fired[0]
+        assert result.times[0] == pytest.approx(paper_params.slice_length)
+        assert result.any_saturated
+
+    def test_generate_composes(self, paper_params):
+        cog = ColumnOutputGenerator(paper_params)
+        v_out = cog.column_voltage(0.4, 1e4)
+        direct = cog.times_from_voltages(v_out)
+        composed = cog.generate(0.4, 1e4)
+        assert composed.times[0] == pytest.approx(direct.times[0])
+
+    def test_comparator_offset_shifts_timing(self, paper_params):
+        ideal = ColumnOutputGenerator(paper_params)
+        offset = ColumnOutputGenerator(
+            paper_params, comparator=ComparatorModel(offset=0.05)
+        )
+        t_ideal = ideal.times_from_voltages(0.3).times[0]
+        t_offset = offset.times_from_voltages(0.3).times[0]
+        assert t_offset > t_ideal
+
+    def test_charging_energy_positive(self, paper_params):
+        cog = ColumnOutputGenerator(paper_params)
+        assert cog.charging_energy(0.5) > 0
+
+    def test_validation(self, paper_params):
+        cog = ColumnOutputGenerator(paper_params)
+        with pytest.raises(CircuitError):
+            cog.column_voltage(0.5, 0.0)
+        with pytest.raises(CircuitError):
+            cog.times_from_voltages(-0.1)

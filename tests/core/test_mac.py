@@ -1,0 +1,99 @@
+"""Circuit-level MAC vs closed-form model (the Fig. 2/3 circuit)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CircuitParameters
+from repro.core.mac import SingleSpikeMAC
+from repro.errors import CircuitError, EncodingError, ShapeError
+
+
+class TestTransientVsClosedForm:
+    def test_two_input_mac(self, paper_params):
+        mac = SingleSpikeMAC(paper_params, [1 / 50e3, 1 / 200e3])
+        waves = mac.run([40e-9, 70e-9])
+        predicted = mac.predicted_t_out([40e-9, 70e-9])
+        assert waves.t_out is not None
+        assert waves.t_out == pytest.approx(predicted, abs=5e-12)
+
+    def test_single_input(self, paper_params):
+        mac = SingleSpikeMAC(paper_params, [1 / 100e3])
+        waves = mac.run([25e-9])
+        assert waves.t_out == pytest.approx(mac.predicted_t_out([25e-9]), abs=5e-12)
+
+    def test_no_spike_input(self, paper_params):
+        mac = SingleSpikeMAC(paper_params, [1 / 50e3, 1 / 50e3])
+        waves = mac.run([None, 60e-9])
+        predicted = mac.predicted_t_out([None, 60e-9])
+        assert waves.t_out == pytest.approx(predicted, abs=5e-12)
+
+    def test_all_silent_inputs_no_output(self, paper_params):
+        mac = SingleSpikeMAC(paper_params, [1 / 50e3])
+        waves = mac.run([None])
+        # V_out = 0 => comparator crosses immediately at the S2 start.
+        assert waves.t_out is not None
+        assert waves.t_out == pytest.approx(0.0, abs=1e-10)
+
+    def test_calibrated_point(self, calibrated_params):
+        mac = SingleSpikeMAC(calibrated_params, [1e-5, 2e-5, 5e-6])
+        stimulus = [10e-9, 40e-9, 75e-9]
+        waves = mac.run(stimulus)
+        assert waves.t_out == pytest.approx(
+            mac.predicted_t_out(stimulus), abs=5e-12
+        )
+
+
+class TestWaveformContent:
+    @pytest.fixture(scope="class")
+    def waves(self):
+        params = CircuitParameters.paper()
+        mac = SingleSpikeMAC(params, [1 / 50e3, 1 / 200e3])
+        return mac.run([40e-9, 70e-9]), params
+
+    def test_ramp_resets_in_compute_stage(self, waves):
+        w, p = waves
+        t_reset = p.slice_length - p.dt / 2
+        assert w.ramp(t_reset) < 0.05
+
+    def test_ramp_repeats_in_s2(self, waves):
+        w, p = waves
+        v1 = w.ramp(30e-9)
+        v2 = w.ramp(p.slice_length + 30e-9)
+        assert v1 == pytest.approx(v2, rel=1e-2)
+
+    def test_held_voltage_matches_eq1(self, waves):
+        w, p = waves
+        expected = p.ramp_voltage(40e-9)
+        assert w.held_inputs[0](90e-9) == pytest.approx(expected, rel=1e-6)
+
+    def test_column_capacitor_idle_until_compute(self, waves):
+        w, p = waves
+        assert w.column(p.slice_length - p.dt - 1e-9) == pytest.approx(0.0, abs=1e-9)
+        assert w.column(p.slice_length + 1e-9) > 0.0
+
+    def test_output_pulse_width(self, waves):
+        w, p = waves
+        edges = w.output_spike.pulse_edges()
+        assert len(edges) == 1
+        rise, fall = edges[0]
+        assert fall - rise == pytest.approx(p.spike_width, rel=1e-3)
+
+
+class TestValidation:
+    def test_spike_count_mismatch(self, paper_params):
+        mac = SingleSpikeMAC(paper_params, [1e-5, 2e-5])
+        with pytest.raises(ShapeError):
+            mac.run([10e-9])
+
+    def test_spike_in_compute_stage_rejected(self, paper_params):
+        mac = SingleSpikeMAC(paper_params, [1e-5])
+        with pytest.raises(EncodingError):
+            mac.run([99.5e-9])
+
+    def test_nonpositive_conductance(self, paper_params):
+        with pytest.raises(CircuitError):
+            SingleSpikeMAC(paper_params, [0.0])
+
+    def test_empty_conductances(self, paper_params):
+        with pytest.raises(ShapeError):
+            SingleSpikeMAC(paper_params, [])

@@ -1,0 +1,89 @@
+"""ReSiPE power/latency/area model."""
+
+import pytest
+
+from repro.config import CircuitParameters
+from repro.core.power import ReSiPEPowerModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model(paper_params):
+    return ReSiPEPowerModel(paper_params)
+
+
+class TestTiming:
+    def test_latency_two_slices(self, model, paper_params):
+        assert model.latency == pytest.approx(paper_params.mvm_latency)
+
+    def test_ops_per_mvm(self, model):
+        assert model.ops_per_mvm() == 2 * 32 * 32
+
+    def test_throughput(self, model):
+        assert model.throughput() == pytest.approx(2048 / 200e-9)
+
+
+class TestEnergyPhysics:
+    def test_crossbar_energy_tiny_at_calibrated_point(self):
+        """The short computation stage + small held voltages make the
+        crossbar contribution negligible — the core energy claim."""
+        model = ReSiPEPowerModel(CircuitParameters.calibrated())
+        crossbar = model.crossbar_energy_per_mvm() / model.latency
+        assert crossbar / model.power() < 0.01
+
+    def test_full_scale_voltage_follows_ramp(self, paper_params):
+        model = ReSiPEPowerModel(paper_params)
+        assert model.full_scale_input_voltage() == pytest.approx(
+            paper_params.ramp_voltage(paper_params.t_in_max)
+        )
+
+    def test_ramp_energy(self, model, paper_params):
+        expected = 2 * paper_params.c_gd * paper_params.v_s**2
+        assert model.ramp_energy_per_mvm() == pytest.approx(expected)
+
+    def test_cog_bank_scales_with_cols(self, paper_params):
+        import dataclasses
+
+        wide = ReSiPEPowerModel(dataclasses.replace(paper_params, cols=64))
+        narrow = ReSiPEPowerModel(paper_params)
+        assert wide.cog_capacitor_energy_per_mvm() == pytest.approx(
+            2 * narrow.cog_capacitor_energy_per_mvm()
+        )
+
+
+class TestBudget:
+    def test_groups_present(self, model):
+        report = model.budget()
+        assert set(report.group_power) == {"GD", "crossbar", "COG cluster", "control"}
+
+    def test_cog_dominates(self, model):
+        """The paper attributes most power to the COG cluster."""
+        assert model.cog_power_share() > 0.8
+
+    def test_cog_share_highest_at_calibrated_point(self):
+        """At the calibrated point (3.2 pF bank) the COG share reaches
+        the paper's 98.1 % figure."""
+        model = ReSiPEPowerModel(CircuitParameters.calibrated())
+        assert model.cog_power_share() > 0.97
+
+    def test_power_positive_and_small(self, model):
+        assert 0 < model.power() < 1e-3  # sub-mW engine
+
+    def test_area_dominated_by_periphery_not_cells(self, model):
+        report = model.budget()
+        assert report.group_area["crossbar"] < 0.1 * report.total_area
+
+    def test_power_efficiency(self, model):
+        assert model.power_efficiency() == pytest.approx(
+            model.throughput() / model.power()
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_conductance(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            ReSiPEPowerModel(paper_params, mean_cell_conductance=0.0)
+
+    def test_rejects_bad_input_ms(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            ReSiPEPowerModel(paper_params, input_mean_square=2.0)

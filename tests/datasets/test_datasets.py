@@ -1,0 +1,148 @@
+"""Synthetic datasets and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    SyntheticCIFAR,
+    SyntheticMNIST,
+    batches,
+    make_cifar_like,
+    make_mnist_like,
+    one_hot,
+    train_test_split,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+class TestSyntheticMNIST:
+    def test_shapes_and_range(self):
+        data = make_mnist_like(100)
+        assert data.images.shape == (100, 28, 28)
+        assert data.images.min() >= 0.0
+        assert data.images.max() <= 1.0
+        assert data.num_classes == 10
+
+    def test_deterministic(self):
+        a = make_mnist_like(50, seed=7)
+        b = make_mnist_like(50, seed=7)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a = make_mnist_like(50, seed=1)
+        b = make_mnist_like(50, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_balanced_classes(self):
+        data = make_mnist_like(200)
+        counts = np.bincount(data.labels, minlength=10)
+        assert counts.min() == counts.max() == 20
+
+    def test_classes_are_distinguishable(self):
+        """Mean images of distinct classes differ markedly — the dataset
+        carries class structure, not just noise."""
+        data = make_mnist_like(400, seed=0)
+        means = [data.images[data.labels == c].mean(axis=0) for c in range(10)]
+        gaps = [
+            np.abs(means[a] - means[b]).mean()
+            for a in range(10)
+            for b in range(a + 1, 10)
+        ]
+        assert min(gaps) > 0.01
+
+    def test_jitter_adds_variance(self):
+        clean = SyntheticMNIST(jitter=0.0, noise=0.0, seed=0).generate(40)
+        noisy = SyntheticMNIST(jitter=1.0, noise=0.1, seed=0).generate(40)
+        var_clean = np.mean([
+            clean.images[clean.labels == c].var(axis=0).mean() for c in range(10)
+        ])
+        var_noisy = np.mean([
+            noisy.images[noisy.labels == c].var(axis=0).mean() for c in range(10)
+        ])
+        assert var_noisy > var_clean
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticMNIST(size=4)
+        with pytest.raises(ConfigurationError):
+            SyntheticMNIST().generate(5)
+        with pytest.raises(ConfigurationError):
+            SyntheticMNIST().sample(10, np.random.default_rng(0))
+
+
+class TestSyntheticCIFAR:
+    def test_shapes_and_range(self):
+        data = make_cifar_like(60)
+        assert data.images.shape == (60, 3, 16, 16)
+        assert 0.0 <= data.images.min() and data.images.max() <= 1.0
+
+    def test_full_size_supported(self):
+        data = SyntheticCIFAR(size=32).generate(20)
+        assert data.images.shape == (20, 3, 32, 32)
+
+    def test_deterministic(self):
+        a = make_cifar_like(30, seed=3)
+        b = make_cifar_like(30, seed=3)
+        assert np.array_equal(a.images, b.images)
+
+    def test_class_colour_separation(self):
+        data = make_cifar_like(300, seed=0)
+        means = np.stack([
+            data.images[data.labels == c].mean(axis=(0, 2, 3)) for c in range(10)
+        ])
+        # Not all classes share a mean colour.
+        assert means.std(axis=0).max() > 0.02
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCIFAR(size=4)
+        with pytest.raises(ConfigurationError):
+            SyntheticCIFAR(num_classes=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticCIFAR().sample(99, np.random.default_rng(0))
+
+
+class TestLoaders:
+    @pytest.fixture
+    def data(self):
+        return make_mnist_like(100)
+
+    def test_split_sizes(self, data):
+        train, test = train_test_split(data, test_fraction=0.25)
+        assert len(train) == 75
+        assert len(test) == 25
+
+    def test_split_disjoint_cover(self, data):
+        train, test = train_test_split(data)
+        assert len(train) + len(test) == len(data)
+
+    def test_split_validation(self, data):
+        with pytest.raises(ShapeError):
+            train_test_split(data, test_fraction=0.0)
+
+    def test_batches_cover_everything(self, data):
+        seen = 0
+        for images, labels in batches(data, batch_size=32):
+            assert images.shape[0] == labels.shape[0]
+            seen += images.shape[0]
+        assert seen == len(data)
+
+    def test_flattened(self, data):
+        flat = data.flattened()
+        assert flat.images.shape == (100, 784)
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+
+    def test_dataset_validation(self):
+        with pytest.raises(ShapeError):
+            Dataset(images=np.zeros((5, 4)), labels=np.zeros(3, int), num_classes=2)
+        with pytest.raises(ShapeError):
+            Dataset(images=np.zeros((3, 4)), labels=np.zeros(3, int), num_classes=1)

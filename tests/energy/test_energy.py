@@ -1,0 +1,140 @@
+"""Energy framework: technology, components, budgets."""
+
+import pytest
+
+from repro.energy.components import (
+    COMPONENT_LIBRARY,
+    Component,
+    capacitor_charge_energy,
+    get_component,
+)
+from repro.energy.model import BudgetLine, DesignBudget
+from repro.energy.technology import TechnologyParameters
+from repro.errors import ConfigurationError
+
+
+class TestTechnology:
+    def test_paper_node(self):
+        tech = TechnologyParameters.tsmc65()
+        assert tech.node == pytest.approx(65e-9)
+        assert tech.clock == pytest.approx(1e9)
+
+    def test_crossbar_area(self):
+        tech = TechnologyParameters.tsmc65()
+        area = tech.crossbar_area(32, 32)
+        assert area == pytest.approx(32 * 32 * 30 * (65e-9) ** 2)
+
+    def test_mim_capacitor_area(self):
+        tech = TechnologyParameters.tsmc65()
+        # 2 fF/um² -> 100 fF needs 50 um².
+        assert tech.mim_capacitor_area(100e-15) == pytest.approx(50e-12)
+
+    def test_scaling_shrinks_everything(self):
+        tech65 = TechnologyParameters.tsmc65()
+        tech28 = tech65.scaled(28e-9)
+        assert tech28.supply < tech65.supply
+        assert tech28.clock > tech65.clock
+        assert tech28.crossbar_area(32, 32) < tech65.crossbar_area(32, 32)
+        assert tech28.mim_capacitor_area(100e-15) < tech65.mim_capacitor_area(100e-15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParameters(node=0.0)
+        tech = TechnologyParameters.tsmc65()
+        with pytest.raises(ConfigurationError):
+            tech.crossbar_area(0, 4)
+        with pytest.raises(ConfigurationError):
+            tech.mim_capacitor_area(0.0)
+        with pytest.raises(ConfigurationError):
+            tech.scaled(-1.0)
+
+
+class TestComponents:
+    def test_library_nonempty_and_typed(self):
+        assert len(COMPONENT_LIBRARY) >= 10
+        for comp in COMPONENT_LIBRARY.values():
+            assert comp.active_power >= comp.idle_power >= 0
+            assert comp.area > 0
+            assert comp.note
+
+    def test_get_component(self):
+        assert get_component("sar_adc_8b").name == "sar_adc_8b"
+
+    def test_get_unknown_component(self):
+        with pytest.raises(ConfigurationError):
+            get_component("flux_capacitor")
+
+    def test_average_power(self):
+        comp = Component("x", active_power=10e-6, idle_power=1e-6, area=1e-12)
+        assert comp.average_power(0.5) == pytest.approx(5.5e-6)
+        assert comp.average_power(0.0) == pytest.approx(1e-6)
+        assert comp.average_power(1.0) == pytest.approx(10e-6)
+
+    def test_average_power_validates_duty(self):
+        comp = get_component("sample_hold")
+        with pytest.raises(ConfigurationError):
+            comp.average_power(1.5)
+
+    def test_energy(self):
+        comp = Component("x", active_power=1e-6, idle_power=0.0, area=1e-12)
+        assert comp.energy(1e-3) == pytest.approx(1e-9)
+        with pytest.raises(ConfigurationError):
+            comp.energy(-1.0)
+
+    def test_capacitor_charge_energy(self):
+        assert capacitor_charge_energy(100e-15, 1.0) == pytest.approx(1e-13)
+        with pytest.raises(ConfigurationError):
+            capacitor_charge_energy(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            capacitor_charge_energy(1e-15, -1.0)
+
+    def test_adc_dominates_row_dac(self):
+        """The sizing assumption behind the level-design area story."""
+        adc = get_component("sar_adc_8b")
+        dac = get_component("dac_6b_row")
+        assert adc.area > 10 * dac.area
+
+
+class TestBudget:
+    def test_aggregation(self):
+        b = DesignBudget("test")
+        b.add_component("comps", "grp_a", get_component("comparator_ct"), count=4)
+        b.add_raw("physics", "grp_b", power=1e-6, area=2e-12)
+        report = b.report()
+        expected_a = 4 * get_component("comparator_ct").average_power(1.0)
+        assert report.group_power["grp_a"] == pytest.approx(expected_a)
+        assert report.total_power == pytest.approx(expected_a + 1e-6)
+        assert report.group_area["grp_b"] == pytest.approx(2e-12)
+
+    def test_group_share(self):
+        b = DesignBudget("test")
+        b.add_raw("x", "a", power=3e-6)
+        b.add_raw("y", "b", power=1e-6)
+        report = b.report()
+        assert report.group_power_share("a") == pytest.approx(0.75)
+
+    def test_unknown_group(self):
+        b = DesignBudget("test").add_raw("x", "a", power=1e-6)
+        with pytest.raises(ConfigurationError):
+            b.report().group_power_share("zzz")
+
+    def test_empty_budget(self):
+        with pytest.raises(ConfigurationError):
+            DesignBudget("empty").report()
+
+    def test_line_validation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetLine(label="bad", group="g")
+        with pytest.raises(ConfigurationError):
+            BudgetLine(label="bad", group="g", raw_power=-1.0)
+        with pytest.raises(ConfigurationError):
+            BudgetLine(
+                label="bad", group="g",
+                component=get_component("sample_hold"), duty=2.0,
+            )
+
+    def test_render_contains_groups(self):
+        b = DesignBudget("demo").add_raw("x", "stuff", power=1e-6, area=1e-12)
+        text = b.report().render()
+        assert "demo" in text
+        assert "stuff" in text

@@ -1,0 +1,59 @@
+"""Fig. 1 signal-relation harness."""
+
+import pytest
+
+from repro.config import CircuitParameters
+from repro.experiments.fig1_signal_relation import render_fig1, run_fig1
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1()
+
+    def test_chain_matches_closed_form(self, result):
+        assert result.chain_error < 20e-12
+
+    def test_handoff_inside_shared_slice(self, result):
+        assert 0 < result.layer1_output < result.params.slice_length
+
+    def test_timeline_ordered(self, result):
+        times = [t for t, _ in result.absolute_times]
+        assert times == sorted(times)
+        assert times[-1] > 2 * result.params.slice_length
+
+    def test_identical_format_across_layers(self, result):
+        """Both layers' outputs are plain in-slice spike times — the
+        'In/Out scale: same' row of Table I."""
+        for t in (result.layer1_output, result.layer2_output):
+            assert 0 <= t <= result.params.slice_length
+
+    def test_render(self, result):
+        text = render_fig1(result)
+        assert "layer-1 output spike == layer-2 input spike" in text
+        assert "worst chain error" in text
+
+    def test_paper_point_also_chains(self):
+        result = run_fig1(params=CircuitParameters.paper())
+        assert result.chain_error < 20e-12
+
+    def test_extreme_configuration_stays_in_slice(self):
+        """Even a fully-saturating column (tiny C_cog, LRS cells, late
+        spikes) cannot push the output past the slice: the shared ramp
+        bounds V_out by construction (V_eq < V(ramp) at slice end), so
+        the chain degrades gracefully instead of dropping spikes."""
+        import dataclasses
+
+        params = dataclasses.replace(
+            CircuitParameters.calibrated(), c_cog=1e-15
+        )
+        result = run_fig1(
+            params=params,
+            layer1_spikes=(80e-9, 80e-9),
+            layer1_resistances=(1e3, 1e3),
+        )
+        assert result.layer1_output <= params.slice_length
+        assert result.layer2_output <= params.slice_length
+        # Fully saturated = weighted-mean regime: equal inputs pass
+        # through essentially unchanged (the cancellation identity).
+        assert result.layer1_output == pytest.approx(80e-9, rel=1e-3)

@@ -1,0 +1,92 @@
+"""Fig. 3 and Fig. 5 experiment harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.config import CircuitParameters
+from repro.experiments.fig3_waveform import render_fig3, run_fig3
+from repro.experiments.fig5_characterization import render_fig5, run_fig5
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3()
+
+    def test_transient_matches_closed_form(self, result):
+        assert result.t_out_measured is not None
+        assert result.timing_error < 10e-12  # sub-10 ps agreement
+
+    def test_waveforms_present(self, result):
+        assert result.waveforms.ramp.duration == pytest.approx(200e-9)
+        assert 0 in result.waveforms.held_inputs
+        assert 1 in result.waveforms.held_inputs
+
+    def test_held_voltages_follow_eq1(self, result):
+        p = result.params
+        for t, v in zip(result.spike_times, result.held_voltages):
+            assert v == pytest.approx(p.ramp_voltage(t), rel=1e-6)
+
+    def test_v_out_below_supply(self, result):
+        assert 0 < result.v_out < result.params.v_s
+
+    def test_render(self, result):
+        text = render_fig3(result)
+        assert "Fig. 3" in text
+        assert "output spike" in text
+
+    def test_custom_stimulus(self):
+        result = run_fig3(spike_times=(20e-9, 50e-9), resistances=(100e3, 100e3))
+        assert result.t_out_measured is not None
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(seed=0)
+
+    def test_sample_count(self, result):
+        assert result.t_out.size == 100
+        assert result.input_strength.size == 100
+
+    def test_conductance_range(self, result):
+        assert result.total_g.min() >= 0.32e-3
+        assert result.total_g.max() <= 3.2e-3
+
+    def test_curve1_near_ideal_slope(self, result):
+        """In the linear regime Curve 1 tracks the Eq. 6 gain."""
+        ideal = result.params.mac_gain
+        assert 0.6 * ideal < result.curve1.slope < ideal
+
+    def test_curve1_good_fit(self, result):
+        assert result.curve1.r2 > 0.95
+
+    def test_saturation_ordering(self, result):
+        """Curves 2-3 (high ΣG) droop below Curve 1, Curve 3 the most —
+        the paper's central Fig. 5 observation."""
+        assert result.curve2.slope < result.curve1.slope
+        assert result.curve3.slope < result.curve2.slope
+        assert result.droop(result.curve3) > result.droop(result.curve2) > 0
+
+    def test_high_g_points_below_curve1(self, result):
+        """Light-blue points (ΣG > 1.6 mS) fall below the Curve 1 line."""
+        mask = ~result.linear_mask
+        predicted = result.curve1.predict(result.input_strength[mask])
+        below = np.mean(result.t_out[mask] < predicted)
+        assert below > 0.9
+
+    def test_outputs_monotone_in_strength_within_regime(self, result):
+        s = result.curve2_strength
+        t = result.curve2_tout
+        assert np.all(np.diff(t[np.argsort(s)]) > 0)
+
+    def test_render(self, result):
+        text = render_fig5(result)
+        assert "Curve 1" in text
+        assert "droop" in text
+
+    def test_paper_literal_point_fully_saturated(self):
+        """With the literal 100 fF C_cog the transfer collapses toward
+        the weighted-mean regime: Curve 1 slope far below ideal."""
+        result = run_fig5(params=CircuitParameters.paper(), seed=0)
+        assert result.curve1.slope < 0.1 * result.params.mac_gain

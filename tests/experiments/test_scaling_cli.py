@@ -1,0 +1,114 @@
+"""Technology-scaling study and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.experiments.scaling import render_scaling, run_scaling
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scaling()
+
+    def test_four_default_nodes(self, points):
+        assert [round(p.node * 1e9) for p in points] == [65, 45, 28, 16]
+
+    def test_energy_falls_with_node(self, points):
+        energies = [p.energy_per_mvm for p in points]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_superlinear_energy_reduction(self, points):
+        """Smaller MIM caps + lower supply + shorter slices compound —
+        the paper's closing-remark prediction."""
+        node_ratio = points[0].node / points[-1].node
+        energy_ratio = points[0].energy_per_mvm / points[-1].energy_per_mvm
+        assert energy_ratio > node_ratio
+
+    def test_cog_still_dominates_at_all_nodes(self, points):
+        for p in points:
+            assert p.cog_share > 0.9
+
+    def test_supply_scales_down(self, points):
+        supplies = [p.params.v_s for p in points]
+        assert supplies == sorted(supplies, reverse=True)
+
+    def test_render(self, points):
+        text = render_scaling(points)
+        assert "65 nm" in text
+        assert "16 nm" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_scaling(nodes=())
+        with pytest.raises(ConfigurationError):
+            run_scaling(nodes=(-1.0,))
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5", "--samples", "42"])
+        assert args.command == "fig5"
+        assert args.samples == 42
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "operating point" in out
+        assert "component library" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "This work" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "ReSiPE" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "output spike" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--samples", "20"]) == 0
+        assert "Curve 1" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--budgets", "0.05", "0.5"]) == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys):
+        code = main([
+            "fig7", "--networks", "mlp-1", "--sigmas", "0", "0.2",
+            "--trials", "1", "--samples", "300", "--eval-samples", "50",
+        ])
+        assert code == 0
+        assert "MLP-1" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "signal relation" in capsys.readouterr().out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--nodes", "65", "28"]) == 0
+        out = capsys.readouterr().out
+        assert "65 nm" in out
+        assert "28 nm" in out
+
+    def test_deploy_with_simulation(self, capsys):
+        code = main([
+            "deploy", "--network", "mlp-1", "--samples", "300",
+            "--simulate", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Deployment" in out
+        assert "Pipeline simulation" in out

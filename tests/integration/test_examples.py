@@ -1,0 +1,59 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Only the fast examples run here (the training-heavy ones are exercised
+through their underlying APIs elsewhere); each is executed as a real
+subprocess so import paths, ``__main__`` guards and stdout formatting
+are covered.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    path = os.path.join(_EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "operating point" in out
+        assert "single-spiking codec" in out
+        assert "power efficiency" in out
+
+    def test_pipelined_multilayer(self):
+        out = run_example("pipelined_multilayer.py")
+        assert "pipelined timeline" in out
+        assert "initiation interval" in out
+        assert "hand-off" in out
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "Table II" in out
+        assert "winner" in out
+        assert "calibrated" in out
+
+
+class TestCLIEntryPoint:
+    def test_python_dash_m(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "table1"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "This work" in result.stdout

@@ -1,0 +1,132 @@
+"""Hypothesis property tests on cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config import CircuitParameters
+from repro.core.encoding import SingleSpikeCodec
+from repro.core.engine import ReSiPEEngine
+from repro.core.mvm import MVMMode
+from repro.core.nonlinearity import exact_mac_output, linear_mac_output
+from repro.core.pipeline import schedule_pipeline
+from repro.mapping.weight_mapping import map_signed_weights
+from repro.mapping.tiling import tile_matrix
+
+PARAMS = CircuitParameters.calibrated()
+
+unit_floats = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestCodecProperties:
+    @given(values=hnp.arrays(np.float64, (8,), elements=unit_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_vector_round_trip(self, values):
+        codec = SingleSpikeCodec()
+        spikes = codec.encode_vector(values)
+        assert np.allclose(codec.decode_vector(spikes), values, atol=1e-12)
+
+    @given(a=unit_floats, b=unit_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_order_preserving(self, a, b):
+        codec = SingleSpikeCodec()
+        if a < b:
+            assert codec.times_from_values(a) <= codec.times_from_values(b)
+
+
+class TestMACProperties:
+    @given(
+        times=hnp.arrays(np.float64, (8,), elements=st.floats(10e-9, 80e-9)),
+        g_scale=st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_never_exceeds_linear(self, times, g_scale):
+        g = np.full(8, g_scale * 2e-5)
+        assert exact_mac_output(times, g, PARAMS) <= linear_mac_output(
+            times, g, PARAMS
+        ) * (1 + 1e-12)
+
+    @given(scale=st.floats(0.1, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_homogeneity(self, scale):
+        """Eq. 6 is homogeneous: scaling all inputs scales the output."""
+        g = np.full(8, 1e-5)
+        t = np.full(8, 60e-9)
+        base = linear_mac_output(t, g, PARAMS)
+        scaled = linear_mac_output(t * scale, g, PARAMS)
+        assert scaled == pytest.approx(base * scale, rel=1e-9)
+
+
+class TestEngineProperties:
+    @given(
+        x=hnp.arrays(np.float64, (8,), elements=unit_floats),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_outputs_nonnegative_and_finite(self, x):
+        rng = np.random.default_rng(0)
+        engine = ReSiPEEngine.from_normalised_weights(
+            rng.random((8, 4)), PARAMS, mode=MVMMode.EXACT
+        )
+        y = engine.mvm_values(x)
+        assert np.all(np.isfinite(y))
+        assert np.all(y >= -1e-15)
+
+    @given(
+        x=hnp.arrays(np.float64, (8,), elements=unit_floats),
+        y=hnp.arrays(np.float64, (8,), elements=unit_floats),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_inputs(self, x, y):
+        """If x <= y elementwise then engine(x) <= engine(y) — positivity
+        of conductances makes the MVM monotone."""
+        rng = np.random.default_rng(1)
+        engine = ReSiPEEngine.from_normalised_weights(
+            rng.random((8, 4)), PARAMS, mode=MVMMode.EXACT
+        )
+        lo = np.minimum(x, y)
+        hi = np.maximum(x, y)
+        assert np.all(engine.mvm_values(lo) <= engine.mvm_values(hi) + 1e-12)
+
+
+class TestMappingProperties:
+    @given(
+        w=hnp.arrays(np.float64, (5, 4), elements=st.floats(-3, 3)),
+        x=hnp.arrays(np.float64, (5,), elements=unit_floats),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_differential_identity(self, w, x):
+        diff = map_signed_weights(w)
+        reconstructed = diff.scale * (x @ diff.positive - x @ diff.negative)
+        assert np.allclose(reconstructed, x @ w, atol=1e-9)
+
+    @given(
+        rows=st.integers(1, 30),
+        cols=st.integers(1, 30),
+        tr=st.integers(1, 8),
+        tc=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_matmul_identity(self, rows, cols, tr, tc):
+        rng = np.random.default_rng(rows * 31 + cols)
+        m = rng.random((rows, cols))
+        x = rng.random(rows)
+        grid = tile_matrix(m, tr, tc)
+        out = grid.matmul_through(x, lambda xb, i, j: xb @ grid.tiles[i][j])
+        assert np.allclose(out, x @ m, atol=1e-10)
+
+
+class TestPipelineProperties:
+    @given(layers=st.integers(1, 8), samples=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_pipelined_never_slower(self, layers, samples):
+        pipe = schedule_pipeline(layers, samples, 100e-9)
+        serial = schedule_pipeline(layers, samples, 100e-9, pipelined=False)
+        assert pipe.makespan <= serial.makespan
+
+    @given(layers=st.integers(1, 8), samples=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_task_count(self, layers, samples):
+        sched = schedule_pipeline(layers, samples, 100e-9)
+        assert len(sched.tasks) == 2 * layers * samples

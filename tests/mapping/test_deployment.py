@@ -1,0 +1,92 @@
+"""Chip-level deployment planner."""
+
+import numpy as np
+import pytest
+
+from repro.config import CircuitParameters
+from repro.core.mvm import MVMMode
+from repro.errors import MappingError
+from repro.mapping import ReSiPEBackend, compile_network, plan_deployment
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+
+@pytest.fixture
+def mlp_network(rng):
+    model = Sequential([Dense(40, 16, rng=rng), ReLU(), Dense(16, 4, rng=rng)],
+                       name="mlp")
+    return compile_network(model, ReSiPEBackend(mode=MVMMode.LINEAR))
+
+
+@pytest.fixture
+def conv_network(rng):
+    model = Sequential(
+        [
+            Conv2D(1, 4, kernel=3, pad=1, rng=rng), ReLU(), MaxPool2D(2),
+            Flatten(), Dense(4 * 4 * 4, 4, rng=rng),
+        ],
+        name="cnn",
+    )
+    return compile_network(model, ReSiPEBackend(mode=MVMMode.LINEAR))
+
+
+class TestMLPDeployment:
+    def test_tile_accounting(self, mlp_network):
+        report = plan_deployment(mlp_network)
+        assert report.total_tiles == mlp_network.total_tiles()
+        assert len(report.layers) == 2
+
+    def test_dense_is_one_mvm(self, mlp_network):
+        report = plan_deployment(mlp_network)
+        assert all(l.mvms_per_input == 1 for l in report.layers)
+
+    def test_energy_consistent_with_engine(self, mlp_network):
+        from repro.core.power import ReSiPEPowerModel
+
+        params = CircuitParameters.paper()
+        engine = ReSiPEPowerModel(params)
+        report = plan_deployment(mlp_network, params=params)
+        expected = (
+            report.total_tiles * engine.power() * engine.latency
+        )
+        assert report.energy_per_inference == pytest.approx(expected)
+
+    def test_throughput_set_by_bottleneck(self, mlp_network):
+        params = CircuitParameters.paper()
+        report = plan_deployment(mlp_network, params=params)
+        # Dense-only network: bottleneck is one MVM = 2 slices.
+        assert report.throughput == pytest.approx(
+            1.0 / (2 * params.slice_length)
+        )
+
+    def test_power_is_energy_times_rate(self, mlp_network):
+        report = plan_deployment(mlp_network)
+        assert report.average_power == pytest.approx(
+            report.energy_per_inference * report.throughput
+        )
+
+
+class TestConvDeployment:
+    def test_conv_mvm_count_is_output_positions(self, conv_network):
+        report = plan_deployment(conv_network, input_hw=(8, 8))
+        conv_layer = report.layers[0]
+        assert conv_layer.mvms_per_input == 64  # 8x8 with pad=1, stride=1
+
+    def test_pooling_traced(self, conv_network):
+        report = plan_deployment(conv_network, input_hw=(8, 8))
+        # Dense after 2x pooling: spatial reduced to 4x4 before flatten.
+        assert report.layers[1].mvms_per_input == 1
+
+    def test_conv_requires_input_hw(self, conv_network):
+        with pytest.raises(MappingError):
+            plan_deployment(conv_network)
+
+    def test_conv_slower_than_mlp(self, conv_network, mlp_network):
+        conv = plan_deployment(conv_network, input_hw=(8, 8))
+        mlp = plan_deployment(mlp_network)
+        assert conv.latency_per_inference > mlp.latency_per_inference
+        assert conv.throughput < mlp.throughput
+
+    def test_render(self, conv_network):
+        text = plan_deployment(conv_network, input_hw=(8, 8)).render()
+        assert "Deployment" in text
+        assert "inferences/s" in text

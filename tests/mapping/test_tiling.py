@@ -1,0 +1,66 @@
+"""Matrix tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError, ShapeError
+from repro.mapping.tiling import tile_matrix
+
+
+class TestTiling:
+    def test_exact_fit(self, rng):
+        m = rng.random((8, 8))
+        grid = tile_matrix(m, 4, 4)
+        assert grid.row_bands == 2
+        assert grid.col_bands == 2
+        assert grid.num_tiles == 4
+
+    def test_ragged_edges(self, rng):
+        grid = tile_matrix(rng.random((10, 7)), 4, 4)
+        assert grid.row_bands == 3
+        assert grid.col_bands == 2
+        assert grid.tiles[2][1].shape == (2, 3)
+
+    def test_single_tile(self, rng):
+        m = rng.random((3, 3))
+        grid = tile_matrix(m, 32, 32)
+        assert grid.num_tiles == 1
+        assert np.array_equal(grid.tiles[0][0], m)
+
+    @given(
+        rows=st.integers(1, 40),
+        cols=st.integers(1, 40),
+        tile=st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reassembly_property(self, rows, cols, tile):
+        m = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        grid = tile_matrix(m, tile, tile)
+        assert np.array_equal(grid.reassemble(), m)
+
+    def test_matmul_through_matches_direct(self, rng):
+        m = rng.random((20, 13))
+        grid = tile_matrix(m, 6, 5)
+        x = rng.random((4, 20))
+        out = grid.matmul_through(x, lambda xb, i, j: xb @ grid.tiles[i][j])
+        assert np.allclose(out, x @ m)
+
+    def test_matmul_through_1d(self, rng):
+        m = rng.random((9, 5))
+        grid = tile_matrix(m, 4, 4)
+        x = rng.random(9)
+        out = grid.matmul_through(x, lambda xb, i, j: xb @ grid.tiles[i][j])
+        assert np.allclose(out, x @ m)
+
+    def test_matmul_shape_checked(self, rng):
+        grid = tile_matrix(rng.random((8, 8)), 4, 4)
+        with pytest.raises(ShapeError):
+            grid.matmul_through(rng.random(7), lambda xb, i, j: xb)
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            tile_matrix(np.zeros(4), 4, 4)
+        with pytest.raises(MappingError):
+            tile_matrix(np.zeros((4, 4)), 0, 4)

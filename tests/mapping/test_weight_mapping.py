@@ -1,0 +1,106 @@
+"""Differential weight mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import MappingError
+from repro.mapping.weight_mapping import DifferentialWeights, map_signed_weights
+
+
+class TestMapping:
+    def test_reconstruction(self, rng):
+        w = rng.normal(size=(8, 4))
+        diff = map_signed_weights(w)
+        recon, bias = diff.reconstruct()
+        assert bias is None
+        assert np.allclose(recon, w)
+
+    def test_bias_folding(self, rng):
+        w = rng.normal(size=(8, 4))
+        b = rng.normal(size=4)
+        diff = map_signed_weights(w, b)
+        assert diff.has_bias_row
+        assert diff.rows == 9
+        recon, bias = diff.reconstruct()
+        assert np.allclose(recon, w)
+        assert np.allclose(bias, b)
+
+    def test_polarity_split_disjoint(self, rng):
+        diff = map_signed_weights(rng.normal(size=(6, 6)))
+        overlap = (diff.positive > 0) & (diff.negative > 0)
+        assert not overlap.any()
+
+    def test_matrices_in_unit_range(self, rng):
+        diff = map_signed_weights(rng.normal(scale=100.0, size=(5, 5)))
+        for m in (diff.positive, diff.negative):
+            assert m.min() >= 0.0
+            assert m.max() <= 1.0
+
+    def test_scale_is_max_abs(self, rng):
+        w = rng.normal(size=(5, 5))
+        assert map_signed_weights(w).scale == pytest.approx(np.abs(w).max())
+
+    def test_zero_matrix(self):
+        diff = map_signed_weights(np.zeros((3, 3)))
+        assert diff.scale == 1.0
+        recon, _ = diff.reconstruct()
+        assert np.all(recon == 0)
+
+    @given(
+        w=hnp.arrays(
+            np.float64, (6, 3),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_differential_mvm_identity(self, w):
+        """x @ W == scale * (x @ W+ - x @ W-) for any x — the algebraic
+        backbone of the whole mapping path."""
+        diff = map_signed_weights(w)
+        x = np.linspace(0, 1, 6)
+        direct = x @ w
+        differential = diff.scale * (x @ diff.positive - x @ diff.negative)
+        assert np.allclose(direct, differential, atol=1e-9)
+
+    def test_augment_inputs(self, rng):
+        diff = map_signed_weights(rng.normal(size=(4, 2)), rng.normal(size=2))
+        x = rng.random((3, 4))
+        aug = diff.augment_inputs(x)
+        assert aug.shape == (3, 5)
+        assert np.all(aug[:, 0] == 1.0)
+
+    def test_augment_noop_without_bias(self, rng):
+        diff = map_signed_weights(rng.normal(size=(4, 2)))
+        x = rng.random((3, 4))
+        assert diff.augment_inputs(x) is x
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(MappingError):
+            map_signed_weights(np.zeros(4))
+
+    def test_rejects_bias_shape(self):
+        with pytest.raises(MappingError):
+            map_signed_weights(np.zeros((4, 2)), np.zeros(3))
+
+    def test_rejects_inconsistent_matrices(self):
+        with pytest.raises(MappingError):
+            DifferentialWeights(
+                positive=np.zeros((2, 2)),
+                negative=np.zeros((3, 2)),
+                scale=1.0,
+                has_bias_row=False,
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MappingError):
+            DifferentialWeights(
+                positive=np.full((2, 2), 2.0),
+                negative=np.zeros((2, 2)),
+                scale=1.0,
+                has_bias_row=False,
+            )

@@ -1,0 +1,136 @@
+"""Conv2D and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn.conv import AvgPool2D, Conv2D, MaxPool2D, col2im, im2col
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        x = rng.random((2, 3, 8, 8))
+        cols, (h, w) = im2col(x, kernel=3, stride=1, pad=1)
+        assert (h, w) == (8, 8)
+        assert cols.shape == (2 * 64, 27)
+
+    def test_stride_and_no_pad(self, rng):
+        x = rng.random((1, 1, 6, 6))
+        cols, (h, w) = im2col(x, kernel=2, stride=2, pad=0)
+        assert (h, w) == (3, 3)
+        assert cols.shape == (9, 4)
+
+    def test_content_matches_naive(self, rng):
+        x = rng.random((1, 2, 5, 5))
+        cols, _ = im2col(x, kernel=3, stride=1, pad=0)
+        # First patch = x[0, :, 0:3, 0:3] flattened channel-major.
+        assert np.allclose(cols[0], x[0, :, 0:3, 0:3].reshape(-1))
+
+    def test_col2im_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the adjoint property that
+        makes the conv backward pass correct."""
+        x = rng.random((2, 3, 6, 6))
+        cols, _ = im2col(x, kernel=3, stride=1, pad=1)
+        y = rng.random(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(ShapeError):
+            im2col(rng.random((1, 1, 4, 4)), kernel=6, stride=1, pad=0)
+
+
+class TestConv2D:
+    def test_matches_naive_convolution(self, rng):
+        conv = Conv2D(2, 3, kernel=3, stride=1, pad=1, rng=rng)
+        x = rng.random((1, 2, 5, 5))
+        out = conv.forward(x)
+        # Naive check at one output location.
+        w = conv.weight.value  # (C*k*k, out)
+        patch = np.pad(x[0], ((0, 0), (1, 1), (1, 1)))[:, 0:3, 0:3].reshape(-1)
+        expected = patch @ w + conv.bias.value
+        assert np.allclose(out[0, :, 0, 0], expected)
+
+    def test_output_shape_strided(self, rng):
+        conv = Conv2D(3, 8, kernel=3, stride=2, pad=1)
+        out = conv.forward(rng.random((2, 3, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_gradient_shapes(self, rng):
+        conv = Conv2D(2, 4, kernel=3)
+        x = rng.random((2, 2, 6, 6))
+        out = conv.forward(x, training=True)
+        dx = conv.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert conv.weight.grad.shape == conv.weight.value.shape
+
+    def test_weight_gradient_numeric(self, rng):
+        conv = Conv2D(1, 2, kernel=3, pad=1, rng=rng)
+        x = rng.random((1, 1, 4, 4))
+        g = rng.random((1, 2, 4, 4))
+        conv.forward(x, training=True)
+        conv.backward(g)
+        analytic = conv.weight.grad.copy()
+
+        eps = 1e-6
+        w = conv.weight.value
+        idx = (3, 1)
+        old = w[idx]
+        w[idx] = old + eps
+        up = float((conv.forward(x) * g).sum())
+        w[idx] = old - eps
+        down = float((conv.forward(x) * g).sum())
+        w[idx] = old
+        assert analytic[idx] == pytest.approx((up - down) / (2 * eps), abs=1e-4)
+
+    def test_backward_requires_training(self, rng):
+        conv = Conv2D(1, 1)
+        conv.forward(rng.random((1, 1, 4, 4)))
+        with pytest.raises(TrainingError):
+            conv.backward(np.zeros((1, 1, 4, 4)))
+
+    def test_channel_validation(self, rng):
+        conv = Conv2D(3, 4)
+        with pytest.raises(ShapeError):
+            conv.forward(rng.random((1, 2, 8, 8)))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_max(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool.forward(x, training=True)
+        dx = pool.backward(np.ones((1, 1, 2, 2)))
+        assert dx.sum() == pytest.approx(4.0)
+        assert dx[0, 0, 1, 1] == 1.0  # the max of the first window
+
+    def test_maxpool_tie_breaking_single_route(self):
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        pool.forward(x, training=True)
+        dx = pool.backward(np.ones((1, 1, 1, 1)))
+        assert dx.sum() == pytest.approx(1.0)
+
+    def test_avgpool_values(self):
+        pool = AvgPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_avgpool_gradient_uniform(self):
+        pool = AvgPool2D(2)
+        x = np.ones((1, 1, 4, 4))
+        pool.forward(x, training=True)
+        dx = pool.backward(np.ones((1, 1, 2, 2)))
+        assert np.allclose(dx, 0.25)
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            MaxPool2D(3).forward(rng.random((1, 1, 4, 4)))

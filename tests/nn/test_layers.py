@@ -1,0 +1,147 @@
+"""Dense/ReLU/Flatten/Dropout layers, with numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn.layers import Dense, Dropout, Flatten, Parameter, ReLU
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = f()
+        flat[i] = old - eps
+        down = f()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter("w", np.ones((2, 2)))
+        p.grad += 1.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+
+class TestDense:
+    def test_forward(self, rng):
+        layer = Dense(4, 3)
+        x = rng.random((5, 4))
+        out = layer.forward(x)
+        assert np.allclose(out, x @ layer.weight.value + layer.bias.value)
+
+    def test_no_bias(self, rng):
+        layer = Dense(4, 3, bias=False)
+        assert layer.bias is None
+        out = layer.forward(rng.random((2, 4)))
+        assert out.shape == (2, 3)
+
+    def test_weight_gradient_numeric(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.random((4, 3))
+        target_grad = rng.random((4, 2))
+
+        def loss():
+            return float((layer.forward(x) * target_grad).sum())
+
+        layer.forward(x, training=True)
+        layer.backward(target_grad)
+        numeric = numeric_gradient(loss, layer.weight.value)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_input_gradient_numeric(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.random((4, 3))
+        target_grad = rng.random((4, 2))
+        layer.forward(x, training=True)
+        dx = layer.backward(target_grad)
+
+        def loss():
+            return float((layer.forward(x) * target_grad).sum())
+
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(dx, numeric, atol=1e-5)
+
+    def test_bias_gradient(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.random((4, 3))
+        g = rng.random((4, 2))
+        layer.forward(x, training=True)
+        layer.backward(g)
+        assert np.allclose(layer.bias.grad, g.sum(axis=0))
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Dense(3, 2)
+        layer.forward(rng.random((2, 3)), training=False)
+        with pytest.raises(TrainingError):
+            layer.backward(np.zeros((2, 2)))
+
+    def test_shape_validation(self, rng):
+        layer = Dense(3, 2)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.random((2, 5)))
+        with pytest.raises(ShapeError):
+            Dense(0, 2)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert np.allclose(relu.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        relu.forward(x, training=True)
+        dx = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.allclose(dx, [[0.0, 5.0]])
+
+    def test_backward_requires_forward(self):
+        with pytest.raises(TrainingError):
+            ReLU().backward(np.zeros((1, 1)))
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        flat = Flatten()
+        x = rng.random((2, 3, 4, 4))
+        out = flat.forward(x, training=True)
+        assert out.shape == (2, 48)
+        back = flat.backward(out)
+        assert back.shape == x.shape
+        assert np.allclose(back, x)
+
+
+class TestDropout:
+    def test_inference_identity(self, rng):
+        drop = Dropout(0.5)
+        x = rng.random((4, 4))
+        assert np.array_equal(drop.forward(x, training=False), x)
+
+    def test_training_scales_survivors(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop.forward(x, training=True)
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 10))
+        out = drop.forward(x, training=True)
+        g = drop.backward(np.ones_like(x))
+        assert np.array_equal(g == 0, out == 0)
+
+    def test_rate_validation(self):
+        with pytest.raises(TrainingError):
+            Dropout(1.0)

@@ -1,0 +1,127 @@
+"""1T1R cell, IR-drop solver and write-verify programming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, ShapeError
+from repro.reram.cell import OneTransistorOneReRAM
+from repro.reram.crossbar import CrossbarArray
+from repro.reram.device import DeviceSpec, ReRAMDevice
+from repro.reram.nonideal import IRDropSolver, WireParasitics
+from repro.reram.programming import WriteVerifyProgrammer
+
+
+class TestCell:
+    def test_effective_conductance_includes_access(self):
+        spec = DeviceSpec.paper_linear_range()
+        cell = OneTransistorOneReRAM(ReRAMDevice(spec, initial_g=1e-5), r_on=1e3)
+        assert cell.effective_resistance == pytest.approx(1e5 + 1e3)
+
+    def test_deselected_leaks(self):
+        spec = DeviceSpec.paper_linear_range()
+        cell = OneTransistorOneReRAM.fresh(spec)
+        cell.deselect()
+        assert cell.effective_conductance == pytest.approx(cell.g_leak)
+        cell.select()
+        assert cell.effective_conductance > cell.g_leak
+
+    def test_program_effective_compensates_access(self):
+        spec = DeviceSpec.paper_full_range()
+        cell = OneTransistorOneReRAM.fresh(spec, r_on=5e3)
+        cell.program_effective(1e-5)  # 100 kOhm effective
+        assert cell.effective_conductance == pytest.approx(1e-5, rel=1e-9)
+
+    def test_unreachable_target(self):
+        spec = DeviceSpec.paper_linear_range()
+        cell = OneTransistorOneReRAM.fresh(spec, r_on=5e3)
+        with pytest.raises(DeviceError):
+            cell.target_device_conductance(1.0 / 4e3)
+
+    def test_validation(self):
+        spec = DeviceSpec.paper_linear_range()
+        with pytest.raises(DeviceError):
+            OneTransistorOneReRAM(ReRAMDevice(spec), r_on=-1.0)
+
+
+class TestIRDrop:
+    def test_ideal_parasitics_match_matmul(self, rng):
+        xb = CrossbarArray(6, 6)
+        xb.program_normalised(rng.random((6, 6)))
+        v = rng.random(6)
+        solver = IRDropSolver(xb, WireParasitics.ideal())
+        assert np.allclose(
+            solver.solve_currents(v), xb.mvm_currents(v), rtol=1e-6
+        )
+
+    def test_wire_resistance_reduces_current(self, rng):
+        xb = CrossbarArray(8, 8)
+        xb.program_normalised(np.ones((8, 8)))  # worst case: all LRS
+        v = np.ones(8)
+        heavy = IRDropSolver(xb, WireParasitics(r_wire_wl=50.0, r_wire_bl=50.0))
+        currents = heavy.solve_currents(v)
+        ideal = xb.mvm_currents(v)
+        assert np.all(currents < ideal)
+
+    def test_error_grows_with_wire_resistance(self, rng):
+        xb = CrossbarArray(8, 8)
+        xb.program_normalised(rng.random((8, 8)))
+        v = rng.random(8)
+        _, small = IRDropSolver(xb, WireParasitics(1.0, 1.0)).error_vs_ideal(v)
+        _, large = IRDropSolver(xb, WireParasitics(25.0, 25.0)).error_vs_ideal(v)
+        assert large > small
+
+    def test_shape_checked(self, rng):
+        xb = CrossbarArray(4, 4)
+        solver = IRDropSolver(xb, WireParasitics())
+        with pytest.raises(ShapeError):
+            solver.solve_currents(np.zeros(5))
+
+    def test_parasitics_validation(self):
+        with pytest.raises(DeviceError):
+            WireParasitics(r_wire_wl=-1.0)
+        with pytest.raises(DeviceError):
+            WireParasitics(r_sense=0.0)
+
+
+class TestWriteVerify:
+    def test_converges(self, rng):
+        spec = DeviceSpec.paper_linear_range()
+        xb = CrossbarArray(8, 8, spec)
+        target = spec.g_min + rng.random((8, 8)) * spec.g_range
+        report = WriteVerifyProgrammer(tolerance=0.02).program(xb, target, rng)
+        assert report.converged_fraction == pytest.approx(1.0)
+        assert report.max_relative_error <= 0.02 * 1.001
+        assert np.allclose(xb.conductances, target, rtol=0.025)
+
+    def test_tighter_tolerance_needs_more_pulses(self, rng):
+        spec = DeviceSpec.paper_linear_range()
+        target = spec.g_min + rng.random((8, 8)) * spec.g_range
+        loose_xb = CrossbarArray(8, 8, spec)
+        tight_xb = CrossbarArray(8, 8, spec)
+        loose = WriteVerifyProgrammer(tolerance=0.10).program(
+            loose_xb, target, np.random.default_rng(0)
+        )
+        tight = WriteVerifyProgrammer(tolerance=0.005).program(
+            tight_xb, target, np.random.default_rng(0)
+        )
+        assert tight.total_pulses > loose.total_pulses
+
+    def test_energy_positive(self, rng):
+        spec = DeviceSpec.paper_linear_range()
+        xb = CrossbarArray(4, 4, spec)
+        target = np.full((4, 4), 0.5 * (spec.g_min + spec.g_max))
+        report = WriteVerifyProgrammer().program(xb, target, rng)
+        assert report.programming_energy > 0
+
+    def test_shape_checked(self, rng):
+        xb = CrossbarArray(4, 4)
+        with pytest.raises(ShapeError):
+            WriteVerifyProgrammer().program(xb, np.zeros((3, 3)), rng)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            WriteVerifyProgrammer(tolerance=0.0)
+        with pytest.raises(DeviceError):
+            WriteVerifyProgrammer(max_iterations=0)
+        with pytest.raises(DeviceError):
+            WriteVerifyProgrammer(step_gain=2.0)

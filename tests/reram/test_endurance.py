@@ -1,0 +1,84 @@
+"""Endurance (write-cycling) model."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.reram.device import DeviceSpec
+from repro.reram.endurance import EnduranceModel
+
+
+@pytest.fixture
+def spec():
+    return DeviceSpec.paper_linear_range()
+
+
+class TestClosure:
+    def test_fresh_window_intact(self, spec):
+        model = EnduranceModel()
+        degraded = model.degraded_spec(spec, 0)
+        assert degraded.g_max == pytest.approx(spec.g_max)
+        assert degraded.g_min == pytest.approx(spec.g_min)
+
+    def test_window_shrinks_monotonically(self, spec):
+        model = EnduranceModel(endurance_cycles=1e6)
+        ranges = [
+            model.remaining_dynamic_range(spec, n)
+            for n in (0, 1e4, 1e5, 5e5, 9e5)
+        ]
+        assert ranges == sorted(ranges, reverse=True)
+
+    def test_closure_fraction_saturates(self):
+        model = EnduranceModel(endurance_cycles=100)
+        assert model.closure_fraction(1_000_000) == 1.0
+
+    def test_beta_accelerates_late_life(self, spec):
+        half = 0.5e7
+        gentle = EnduranceModel(beta=1.0).closure_fraction(half)
+        steep = EnduranceModel(beta=2.0).closure_fraction(half)
+        assert steep < gentle  # steeper beta is healthier at mid-life
+
+    def test_collapse_raises(self, spec):
+        model = EnduranceModel(endurance_cycles=100)
+        with pytest.raises(DeviceError):
+            model.degraded_spec(spec, 100)
+
+    def test_midpoint_preserved(self, spec):
+        model = EnduranceModel()
+        degraded = model.degraded_spec(spec, 0.6 * model.endurance_cycles)
+        mid0 = 0.5 * (spec.g_min + spec.g_max)
+        mid1 = 0.5 * (degraded.g_min + degraded.g_max)
+        assert mid1 == pytest.approx(mid0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            EnduranceModel(endurance_cycles=0)
+        with pytest.raises(DeviceError):
+            EnduranceModel(beta=0)
+        with pytest.raises(DeviceError):
+            EnduranceModel().closure_fraction(-1)
+
+
+class TestLifetime:
+    def test_cycles_to_dynamic_range(self, spec):
+        model = EnduranceModel(endurance_cycles=1e6, beta=1.0)
+        cycles = model.cycles_to_dynamic_range(spec, target_range=5.0)
+        assert 0 < cycles < 1e6
+        assert model.remaining_dynamic_range(spec, cycles) == pytest.approx(
+            5.0, rel=0.05
+        )
+
+    def test_already_below_target(self, spec):
+        model = EnduranceModel()
+        assert model.cycles_to_dynamic_range(spec, spec.dynamic_range + 1) == 0.0
+
+    def test_inference_only_use_is_safe(self, spec):
+        """The paper's inference-only deployment writes each cell only
+        during (re)programming: thousands of write-verify pulses are
+        harmless against a 10^7 endurance."""
+        model = EnduranceModel()
+        degraded = model.degraded_spec(spec, 5_000)
+        assert degraded.dynamic_range > 0.99 * spec.dynamic_range
+
+    def test_validation(self, spec):
+        with pytest.raises(DeviceError):
+            EnduranceModel().cycles_to_dynamic_range(spec, 0.5)

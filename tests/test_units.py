@@ -1,0 +1,106 @@
+"""Unit helpers."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    FEMTO,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    conductance,
+    db,
+    from_db,
+    parallel,
+    resistance,
+    si_format,
+)
+
+
+class TestPrefixes:
+    def test_prefix_values(self):
+        assert FEMTO == 1e-15
+        assert PICO == 1e-12
+        assert NANO == 1e-9
+        assert MICRO == 1e-6
+        assert MILLI == 1e-3
+        assert KILO == 1e3
+        assert MEGA == 1e6
+        assert GIGA == 1e9
+
+    def test_datasheet_style_composition(self):
+        assert 100 * FEMTO == pytest.approx(1e-13)
+        assert 100 * NANO == pytest.approx(1e-7)
+
+
+class TestSiFormat:
+    def test_basic(self):
+        assert si_format(1e-13, "F") == "100 fF"
+        assert si_format(2.5e-3, "S") == "2.5 mS"
+        assert si_format(1e9, "Hz") == "1 GHz"
+
+    def test_zero(self):
+        assert si_format(0.0, "W") == "0 W"
+
+    def test_negative(self):
+        assert si_format(-3e-9, "s") == "-3 ns"
+
+    def test_no_unit(self):
+        assert si_format(1500.0) == "1.5 k"
+
+    def test_non_finite(self):
+        assert "inf" in si_format(float("inf"), "s")
+
+    def test_tiny_below_prefix_table(self):
+        text = si_format(5e-19, "F")
+        assert "a" in text  # atto
+
+
+class TestDecibels:
+    def test_round_trip(self):
+        assert from_db(db(100.0)) == pytest.approx(100.0)
+
+    def test_known_values(self):
+        assert db(10.0) == pytest.approx(10.0)
+        assert db(2.0) == pytest.approx(3.0103, rel=1e-4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            db(0.0)
+        with pytest.raises(ValueError):
+            db(-1.0)
+
+
+class TestParallel:
+    def test_two_equal(self):
+        assert parallel(10e3, 10e3) == pytest.approx(5e3)
+
+    def test_single(self):
+        assert parallel(42.0) == pytest.approx(42.0)
+
+    def test_dominated_by_smallest(self):
+        assert parallel(1.0, 1e9) == pytest.approx(1.0, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            parallel(10.0, -5.0)
+        with pytest.raises(ValueError):
+            parallel()
+
+
+class TestConductanceResistance:
+    def test_inverse_pair(self):
+        assert conductance(50e3) == pytest.approx(2e-5)
+        assert resistance(2e-5) == pytest.approx(50e3)
+        assert resistance(conductance(123.0)) == pytest.approx(123.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            conductance(0.0)
+        with pytest.raises(ValueError):
+            resistance(-1.0)
