@@ -32,6 +32,7 @@ from .core import (
     SingleSpikeMVM,
 )
 from .errors import (
+    ArtifactError,
     CircuitError,
     ConfigurationError,
     DeviceError,
@@ -60,6 +61,7 @@ __all__ = [
     "DeviceSpec",
     "VariationModel",
     "ReproError",
+    "ArtifactError",
     "ConfigurationError",
     "CircuitError",
     "DeviceError",

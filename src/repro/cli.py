@@ -82,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="synthetic dataset size for (cached) training")
     deploy.add_argument("--simulate", type=int, default=0, metavar="N",
                         help="also pipeline-simulate N samples (with Gantt)")
+    deploy.add_argument("--save-report", metavar="PATH", default=None,
+                        help="also write the report as JSON (atomic)")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the model artifact store "
+             "($REPRO_CACHE or .cache/models)",
+    )
+    cache.add_argument("--root", default=None,
+                       help="store directory (default: $REPRO_CACHE or "
+                            "<repo>/.cache/models)")
+    action = cache.add_mutually_exclusive_group()
+    action.add_argument("--verify", action="store_true",
+                        help="scrub the store: quarantine entries that fail "
+                             "integrity checks")
+    action.add_argument("--clear", action="store_true",
+                        help="delete all entries (including quarantined "
+                             "files)")
 
     return parser
 
@@ -183,6 +201,9 @@ def _run_deploy(args: argparse.Namespace) -> str:
         mapped, input_hw=_DEPLOY_INPUT_HW.get(args.network)
     )
     text = report.render()
+    if args.save_report:
+        report.save(args.save_report)
+        text += f"\n\nreport saved to {args.save_report}"
     if args.simulate > 0:
         from .arch import PipelineSimulator, chip_from_deployment
         from .arch.trace import render_gantt, utilisation_report
@@ -194,6 +215,35 @@ def _run_deploy(args: argparse.Namespace) -> str:
         text += "\n\n" + utilisation_report(result)
         text += "\n\n" + render_gantt(result)
     return text
+
+
+def _run_cache(args: argparse.Namespace) -> str:
+    from .store import get_store
+
+    store = get_store(args.root)
+    lines = [f"artifact store: {store.root}"]
+    if args.clear:
+        removed = store.clear()
+        lines.append(f"cleared {removed} file(s)")
+        return "\n".join(lines)
+    if args.verify:
+        bad = store.verify()
+        lines.append(
+            f"verified store: quarantined {len(bad)} corrupt entr"
+            f"{'y' if len(bad) == 1 else 'ies'}"
+        )
+        for key in bad:
+            lines.append(f"  quarantined: {key}")
+    entries = store.entries()
+    if not entries:
+        lines.append("store is empty")
+    for entry in entries:
+        spec = f"  spec={entry.spec_hash}" if entry.spec_hash else ""
+        lines.append(
+            f"  {entry.status:<13} {entry.size:>9d} B  {entry.key}{spec}"
+        )
+    lines.append(f"session counters: {store.stats.describe()}")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -211,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig7": lambda: _run_fig7(args),
         "scaling": lambda: _run_scaling(args),
         "deploy": lambda: _run_deploy(args),
+        "cache": lambda: _run_cache(args),
     }
     print(handlers[args.command]())
     return 0

@@ -15,7 +15,14 @@ DESIGN.md §2.
 
 from .synthetic_mnist import SyntheticMNIST, make_mnist_like
 from .synthetic_cifar import SyntheticCIFAR, make_cifar_like
-from .loaders import Dataset, train_test_split, batches, one_hot
+from .loaders import (
+    Dataset,
+    train_test_split,
+    batches,
+    one_hot,
+    save_dataset,
+    load_dataset,
+)
 
 __all__ = [
     "SyntheticMNIST",
@@ -26,4 +33,6 @@ __all__ = [
     "train_test_split",
     "batches",
     "one_hot",
+    "save_dataset",
+    "load_dataset",
 ]

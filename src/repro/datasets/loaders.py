@@ -1,15 +1,24 @@
-"""Dataset container, splitting and batching."""
+"""Dataset container, splitting, batching and (atomic) persistence."""
 
 from __future__ import annotations
 
 import dataclasses
+import zipfile
 from typing import Iterator, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import ArtifactError, ShapeError
+from ..store.atomic import atomic_write_npz
 
-__all__ = ["Dataset", "train_test_split", "batches", "one_hot"]
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "batches",
+    "one_hot",
+    "save_dataset",
+    "load_dataset",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,6 +86,40 @@ def batches(
     for start in range(0, len(data), batch_size):
         idx = order[start : start + batch_size]
         yield data.images[idx], data.labels[idx]
+
+
+def save_dataset(data: Dataset, path: str) -> None:
+    """Persist a dataset as an ``.npz`` archive, atomically.
+
+    Goes through the artifact-store writer (temp file +
+    ``os.replace``), so an interrupted export never leaves a truncated
+    archive behind.
+    """
+    atomic_write_npz(path, {
+        "images": data.images,
+        "labels": data.labels,
+        "num_classes": np.asarray(data.num_classes),
+        "name": np.asarray(data.name),
+    })
+
+
+def load_dataset(path: str) -> Dataset:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Raises :class:`~repro.errors.ArtifactError` when the archive is
+    missing, truncated, or lacks the expected fields.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            images = np.asarray(npz["images"])
+            labels = np.asarray(npz["labels"])
+            num_classes = int(npz["num_classes"])
+            name = str(npz["name"])
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile) as exc:
+        raise ArtifactError(f"cannot read dataset from {path!r}: {exc}") from exc
+    return Dataset(images=images, labels=labels, num_classes=num_classes,
+                   name=name)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

@@ -29,6 +29,10 @@ class EncodingError(ReproError):
     """A value cannot be represented in the single-spiking data format."""
 
 
+class ArtifactError(ReproError):
+    """A persisted artifact is unreadable, corrupt, or locked."""
+
+
 class MappingError(ReproError):
     """A neural network cannot be mapped onto the target hardware."""
 

@@ -15,21 +15,24 @@ The CNN-2/3/4 substitution preserves the property Fig. 7 depends on —
 the *depth/parameter-count ordering* across the six networks — while
 keeping pure-numpy training inside benchmark time budgets (DESIGN.md §2).
 
-Trained weights are cached under ``.cache/models`` so repeated benchmark
-runs skip training.
+Trained weights are cached under ``.cache/models`` (override with
+``$REPRO_CACHE``) through :mod:`repro.store` — writes are atomic, every
+entry carries a SHA-256 manifest plus a hash of the producing spec, and
+a corrupt or stale entry is quarantined and retrained instead of
+crashing the run.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
-import os
+import logging
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets import Dataset, make_cifar_like, make_mnist_like, train_test_split
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
+from ..store import ArtifactStore, get_store, spec_hash
 from ..nn import (
     Adam,
     AvgPool2D,
@@ -43,7 +46,14 @@ from ..nn import (
     evaluate_accuracy,
 )
 
-__all__ = ["NetworkSpec", "TrainedNetwork", "NETWORK_SPECS", "get_benchmark_networks"]
+__all__ = [
+    "NetworkSpec",
+    "TrainedNetwork",
+    "NETWORK_SPECS",
+    "get_benchmark_networks",
+    "model_cache_key",
+    "model_spec_hash",
+]
 
 
 # ----------------------------------------------------------------------
@@ -195,10 +205,36 @@ class TrainedNetwork:
 # Training with caching
 # ----------------------------------------------------------------------
 def _default_cache_dir() -> str:
-    return os.environ.get(
-        "REPRO_CACHE", os.path.join(os.path.dirname(__file__), "..", "..", "..",
-                                    ".cache", "models")
-    )
+    # Kept for backwards compatibility; the normalisation + REPRO_CACHE
+    # handling lives in repro.store so experiments and the CLI agree.
+    from ..store import default_model_cache_dir
+
+    return default_model_cache_dir()
+
+
+def model_cache_key(spec: NetworkSpec, n_samples: int, seed: int) -> str:
+    """Human-readable cache key stem for one training run."""
+    return f"{spec.key}-n{n_samples}-s{seed}-e{spec.epochs}"
+
+
+def model_spec_hash(spec: NetworkSpec, model: Sequential) -> str:
+    """Content hash binding a cache entry to its producing spec.
+
+    Covers the training recipe *and* an architecture fingerprint
+    (parameter names + shapes), so editing a network definition turns
+    its old cache entries into misses instead of silent wrong answers.
+    """
+    return spec_hash({
+        "key": spec.key,
+        "dataset": spec.dataset,
+        "epochs": spec.epochs,
+        "lr": spec.lr,
+        "batch_size": spec.batch_size,
+        "flatten_input": spec.flatten_input,
+        "parameters": [
+            (p.name, tuple(p.value.shape)) for p in model.parameters()
+        ],
+    })
 
 
 def _dataset_for(spec: NetworkSpec, n: int, seed: int) -> Tuple[Dataset, Dataset]:
@@ -220,6 +256,34 @@ def _dataset_for(spec: NetworkSpec, n: int, seed: int) -> Tuple[Dataset, Dataset
     return train_test_split(data, rng=np.random.default_rng(seed + 1))
 
 
+def _load_cached(
+    store: ArtifactStore, key: str, fingerprint: str, model: Sequential
+) -> Optional[float]:
+    """Try to restore a cached training run; ``None`` means cache miss.
+
+    Every failure mode — truncated archive, garbage JSON sidecar,
+    missing manifest, hash mismatch, state dict that no longer fits
+    the architecture — is a *miss* (with the bad entry quarantined),
+    never an exception: the caller retrains and rewrites.
+    """
+    state = store.get_npz(key + ".npz", spec_hash=fingerprint)
+    if state is None:
+        return None
+    meta = store.get_json(key + ".json", spec_hash=fingerprint)
+    if not isinstance(meta, dict) or not isinstance(
+        meta.get("software_accuracy"), (int, float)
+    ):
+        if meta is not None:
+            store.quarantine(key + ".json", "sidecar missing software_accuracy")
+        return None
+    try:
+        model.load_state_dict(state)
+    except ReproError as exc:
+        store.quarantine(key + ".npz", f"state dict incompatible: {exc}")
+        return None
+    return float(meta["software_accuracy"])
+
+
 def _train_one(
     spec: NetworkSpec,
     n_samples: int,
@@ -229,30 +293,40 @@ def _train_one(
 ) -> TrainedNetwork:
     train, test = _dataset_for(spec, n_samples, seed)
     model = spec.build()
-    cache_base = None
+    store = key = fingerprint = None
     if cache_dir:
-        os.makedirs(cache_dir, exist_ok=True)
-        cache_base = os.path.join(
-            cache_dir, f"{spec.key}-n{n_samples}-s{seed}-e{spec.epochs}"
-        )
-    if cache_base and os.path.exists(cache_base + ".npz"):
-        model.load(cache_base + ".npz")
-        with open(cache_base + ".json") as fh:
-            accuracy = json.load(fh)["software_accuracy"]
-    else:
-        trainer = Trainer(
-            model,
-            Adam(model.parameters(), lr=spec.lr),
-            batch_size=spec.batch_size,
-            rng=np.random.default_rng(seed + 2),
-        )
-        trainer.fit(train.images, train.labels, epochs=spec.epochs,
-                    x_val=test.images, labels_val=test.labels, verbose=verbose)
-        accuracy = evaluate_accuracy(model, test.images, test.labels)
-        if cache_base:
-            model.save(cache_base + ".npz")
-            with open(cache_base + ".json", "w") as fh:
-                json.dump({"software_accuracy": accuracy}, fh)
+        store = get_store(cache_dir)
+        key = model_cache_key(spec, n_samples, seed)
+        fingerprint = model_spec_hash(spec, model)
+        accuracy = _load_cached(store, key, fingerprint, model)
+        if accuracy is not None:
+            return TrainedNetwork(
+                spec=spec, model=model, train=train, test=test,
+                software_accuracy=accuracy,
+            )
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=spec.lr),
+        batch_size=spec.batch_size,
+        rng=np.random.default_rng(seed + 2),
+    )
+    trainer.fit(train.images, train.labels, epochs=spec.epochs,
+                x_val=test.images, labels_val=test.labels, verbose=verbose)
+    accuracy = evaluate_accuracy(model, test.images, test.labels)
+    if store is not None:
+        # Best-effort: an unusable cache (unwritable root, REPRO_CACHE
+        # pointing at a file, disk full) must never lose a finished
+        # training run.
+        try:
+            store.put_npz(key + ".npz", model.state_dict(),
+                          spec_hash=fingerprint)
+            store.put_json(key + ".json",
+                           {"software_accuracy": float(accuracy)},
+                           spec_hash=fingerprint)
+        except (OSError, ReproError) as exc:
+            logging.getLogger("repro.store").warning(
+                "could not persist %s to cache %s: %s", key, store.root, exc
+            )
     return TrainedNetwork(
         spec=spec, model=model, train=train, test=test,
         software_accuracy=float(accuracy),

@@ -19,12 +19,14 @@ the :class:`~repro.core.power.ReSiPEPowerModel`:
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import List, Optional
 
 from ..config import CircuitParameters
 from ..core.power import ReSiPEPowerModel
 from ..core.pipeline import schedule_pipeline
-from ..errors import MappingError
+from ..errors import ArtifactError, MappingError
+from ..store.atomic import atomic_write_json
 from ..nn.conv import Conv2D
 from ..nn.layers import Dense
 from ..analysis.tables import render_table
@@ -109,6 +111,46 @@ class DeploymentReport:
             f"throughput           : {self.throughput:.0f} inferences/s",
         ])
         return table + "\n" + summary
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeploymentReport":
+        """Rebuild a report saved by :meth:`to_dict`."""
+        try:
+            layers = [LayerDeployment(**l) for l in payload["layers"]]
+            return cls(**{**payload, "layers": layers})
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(
+                f"deployment report payload is malformed: {exc}"
+            ) from exc
+
+    def save(self, path: str) -> None:
+        """Persist the report as JSON, atomically."""
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "DeploymentReport":
+        """Load a report saved by :meth:`save`.
+
+        Raises :class:`~repro.errors.ArtifactError` on a missing,
+        unreadable, or malformed file.
+        """
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ArtifactError(
+                f"cannot read deployment report from {path!r}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                f"deployment report {path!r} is not a JSON object"
+            )
+        return cls.from_dict(payload)
 
 
 def plan_deployment(

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import zipfile
 from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import ArtifactError, ShapeError
+from ..store.atomic import atomic_write_npz
 from .layers import Layer, Parameter
 
 __all__ = ["Sequential"]
@@ -98,13 +100,32 @@ class Sequential:
             p.value[...] = value
 
     def save(self, path: str) -> None:
-        """Persist weights to an ``.npz`` file."""
-        np.savez(path, **self.state_dict())
+        """Persist weights to an ``.npz`` file, atomically.
+
+        The archive is staged to a temp file and ``os.replace``-d into
+        place, so an interrupted run can never leave a truncated
+        archive that poisons every future cached load.
+        """
+        atomic_write_npz(path, self.state_dict())
 
     def load(self, path: str) -> None:
-        """Load weights from an ``.npz`` file."""
-        with np.load(path) as data:
-            self.load_state_dict({k: data[k] for k in data.files})
+        """Load weights from an ``.npz`` file.
+
+        Raises :class:`~repro.errors.ArtifactError` when the file is
+        missing or not a readable archive (callers that cache decide
+        whether that means "recompute" — see ``repro.store``), and
+        :class:`~repro.errors.ShapeError` when the archive decodes but
+        does not fit this architecture.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                state = {k: data[k] for k in data.files}
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile) as exc:
+            raise ArtifactError(
+                f"cannot read weights from {path!r}: {exc}"
+            ) from exc
+        self.load_state_dict(state)
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Layer]:

@@ -1,0 +1,91 @@
+"""Resilient artifact persistence for the ReSiPE reproduction.
+
+The store is the single gateway for everything the project persists —
+trained model weights, accuracy sidecars, datasets, deployment
+reports.  See :mod:`repro.store.artifacts` for the guarantees (atomic
+writes, SHA-256 manifests, quarantine-on-corruption, LRU, locking,
+counters) and ``docs/artifact_store.md`` for the on-disk layout.
+
+:func:`get_store` memoises one :class:`ArtifactStore` per root so the
+in-memory LRU and the hit/miss counters survive across calls within a
+process — a benchmark sweep re-reading a trained model hits memory,
+and a test can assert that its second run was served from cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from .artifacts import (
+    ArtifactStore,
+    StoreEntry,
+    CORRUPT_SUFFIX,
+    MANIFEST_SUFFIX,
+    STORE_VERSION,
+)
+from .atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    encode_npz,
+    sha256_bytes,
+    sha256_file,
+)
+from .keys import canonical_json, spec_hash
+from .locking import FileLock
+from .lru import MemoryLRU
+from .stats import StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "StoreStats",
+    "FileLock",
+    "MemoryLRU",
+    "STORE_VERSION",
+    "MANIFEST_SUFFIX",
+    "CORRUPT_SUFFIX",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "encode_npz",
+    "sha256_bytes",
+    "sha256_file",
+    "canonical_json",
+    "spec_hash",
+    "default_model_cache_dir",
+    "get_store",
+]
+
+_STORES: Dict[str, ArtifactStore] = {}
+
+
+def default_model_cache_dir() -> str:
+    """The model cache root: ``$REPRO_CACHE`` or ``<repo>/.cache/models``.
+
+    Always returns a normalised absolute path (the historical bug: a
+    raw ``.../__file__/../../../.cache/models`` string leaked into
+    logs and made identical caches look distinct to the memoiser).
+    """
+    env = os.environ.get("REPRO_CACHE")
+    if env:
+        return os.path.abspath(env)
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(
+        os.path.join(here, "..", "..", "..", ".cache", "models")
+    )
+
+
+def get_store(root: Optional[str] = None) -> ArtifactStore:
+    """The process-wide :class:`ArtifactStore` for ``root``.
+
+    ``root`` defaults to :func:`default_model_cache_dir`; one store is
+    kept per normalised root so counters and the LRU are shared by all
+    users of that directory.
+    """
+    resolved = os.path.abspath(root) if root else default_model_cache_dir()
+    store = _STORES.get(resolved)
+    if store is None:
+        store = _STORES[resolved] = ArtifactStore(resolved)
+    return store

@@ -1,0 +1,402 @@
+"""The resilient artifact store.
+
+Replaces the ad-hoc ``cache_base + ".npz"`` / bare-``open`` persistence
+pattern that let a single truncated archive poison every benchmark run.
+Guarantees:
+
+* **Atomic writes** — payloads land via temp file + ``os.replace``;
+  a crash mid-write leaves the previous entry (or nothing), never a
+  torn archive.
+* **Integrity manifests** — every payload carries a sidecar
+  ``<name>.manifest.json`` recording its SHA-256, size, store version
+  and the producing spec's hash.  Reads verify all of it.
+* **Quarantine, not crash** — a payload that is unreadable, fails its
+  hash, or has a missing/invalid manifest is renamed to ``*.corrupt``
+  (manifest alongside), a structured warning is logged, and the read
+  reports a cache **miss** so callers recompute and rewrite.
+* **Staleness is a miss** — a valid entry whose spec hash does not
+  match the request is left on disk (the next write overwrites it) but
+  never returned.
+* **Concurrency** — per-key file locks serialise writers; an in-memory
+  LRU serves repeated reads without touching disk.
+* **Observability** — hit/miss/corruption counters on every store.
+
+Layout of a store rooted at ``R`` holding key ``k``::
+
+    R/k                    payload (.npz, .json, anything bytes)
+    R/k.manifest.json      integrity manifest
+    R/k.lock               advisory writer lock
+    R/k.corrupt            quarantined payload (after corruption)
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+import zipfile
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ArtifactError
+from .atomic import atomic_write_bytes, sha256_bytes, sha256_file
+from .locking import FileLock
+from .lru import MemoryLRU
+from .stats import StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "STORE_VERSION",
+    "MANIFEST_SUFFIX",
+    "CORRUPT_SUFFIX",
+]
+
+logger = logging.getLogger("repro.store")
+
+STORE_VERSION = 1
+MANIFEST_SUFFIX = ".manifest.json"
+CORRUPT_SUFFIX = ".corrupt"
+LOCK_SUFFIX = ".lock"
+
+# Exceptions that mean "this payload is unreadable", not "caller bug".
+_DECODE_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+    json.JSONDecodeError,
+)
+
+_RESERVED_SUFFIXES = (MANIFEST_SUFFIX, CORRUPT_SUFFIX, LOCK_SUFFIX, ".tmp")
+
+
+class StoreEntry:
+    """One artifact as seen by :meth:`ArtifactStore.entries`."""
+
+    def __init__(self, key: str, size: int, status: str,
+                 spec_hash: Optional[str]):
+        self.key = key
+        self.size = size
+        self.status = status  # "ok" | "no-manifest" | "bad-manifest" | "hash-mismatch" | "quarantined"
+        self.spec_hash = spec_hash
+
+    def __repr__(self) -> str:
+        return (f"StoreEntry(key={self.key!r}, size={self.size}, "
+                f"status={self.status!r})")
+
+
+class ArtifactStore:
+    """A directory of integrity-checked, atomically written artifacts.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily).
+    max_memory_entries:
+        In-memory LRU capacity (0 disables the memory layer).
+    lock_timeout:
+        Seconds to wait for a per-key writer lock.
+    """
+
+    def __init__(self, root: str, max_memory_entries: int = 64,
+                 lock_timeout: float = 30.0):
+        self.root = os.path.abspath(root)
+        self.stats = StoreStats()
+        self._memory = MemoryLRU(max_memory_entries)
+        self._lock_timeout = lock_timeout
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        """Absolute payload path for ``key`` (validated)."""
+        if not key or key.startswith(("/", ".")) or ".." in key.split("/"):
+            raise ArtifactError(f"invalid artifact key {key!r}")
+        if key.endswith(_RESERVED_SUFFIXES):
+            raise ArtifactError(
+                f"key {key!r} ends with a reserved store suffix"
+            )
+        return os.path.join(self.root, key)
+
+    def _manifest_path(self, key: str) -> str:
+        return self.path_for(key) + MANIFEST_SUFFIX
+
+    def _lock(self, key: str) -> FileLock:
+        return FileLock(self.path_for(key) + LOCK_SUFFIX,
+                        timeout=self._lock_timeout)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put_bytes(self, key: str, data: bytes,
+                  spec_hash: Optional[str] = None) -> str:
+        """Atomically persist ``data`` under ``key`` with a manifest.
+
+        Returns the payload path.  The manifest is written *after* the
+        payload; a crash between the two leaves a payload without a
+        manifest, which readers treat as corrupt and quarantine — fail
+        safe, never fail wrong.
+        """
+        path = self.path_for(key)
+        manifest = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "sha256": sha256_bytes(data),
+            "size": len(data),
+            "spec_hash": spec_hash,
+        }
+        with self._lock(key):
+            atomic_write_bytes(path, data)
+            atomic_write_bytes(
+                self._manifest_path(key),
+                (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+            )
+        self._memory.put((key, spec_hash), data)
+        self.stats.writes += 1
+        return path
+
+    def put_npz(self, key: str, arrays: Dict[str, np.ndarray],
+                spec_hash: Optional[str] = None) -> str:
+        """Atomically persist an array mapping as ``.npz``."""
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        return self.put_bytes(key, buf.getvalue(), spec_hash=spec_hash)
+
+    def put_json(self, key: str, obj: Any,
+                 spec_hash: Optional[str] = None) -> str:
+        """Atomically persist a JSON document."""
+        data = (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
+        return self.put_bytes(key, data, spec_hash=spec_hash)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get_bytes(self, key: str,
+                  spec_hash: Optional[str] = None) -> Optional[bytes]:
+        """Verified payload bytes, or ``None`` on any kind of miss.
+
+        Misses never raise: absent → miss; valid manifest but wrong
+        spec hash/version → stale miss (entry left for overwrite);
+        unreadable payload, hash mismatch, or missing/garbled manifest
+        → quarantine + miss.
+        """
+        found, cached = self._memory.get((key, spec_hash))
+        if found:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return cached
+
+        path = self.path_for(key)
+        if not os.path.exists(path):
+            self.stats.misses += 1
+            return None
+
+        manifest = self._read_manifest(key)
+        if manifest is None:
+            self.quarantine(key, "missing or unreadable manifest")
+            self.stats.misses += 1
+            return None
+        if manifest.get("store_version") != STORE_VERSION or (
+            manifest.get("spec_hash") != spec_hash
+        ):
+            self.stats.stale += 1
+            self.stats.misses += 1
+            return None
+
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            self.quarantine(key, f"unreadable payload: {exc}")
+            self.stats.misses += 1
+            return None
+        if len(data) != manifest.get("size") or (
+            sha256_bytes(data) != manifest.get("sha256")
+        ):
+            self.quarantine(key, "payload does not match manifest sha256/size")
+            self.stats.misses += 1
+            return None
+
+        self._memory.put((key, spec_hash), data)
+        self.stats.hits += 1
+        return data
+
+    def get_npz(self, key: str, spec_hash: Optional[str] = None
+                ) -> Optional[Dict[str, np.ndarray]]:
+        """Verified + decoded ``.npz`` entry, or ``None`` on a miss."""
+        data = self.get_bytes(key, spec_hash=spec_hash)
+        if data is None:
+            return None
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                return {k: npz[k] for k in npz.files}
+        except _DECODE_ERRORS as exc:
+            self._memory.invalidate((key, spec_hash))
+            self.quarantine(key, f"npz decode failed: {exc}")
+            # The bad bytes passed the hash check, so the entry was
+            # *written* corrupt — retract the hit we just counted.
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def get_json(self, key: str, spec_hash: Optional[str] = None
+                 ) -> Optional[Any]:
+        """Verified + decoded JSON entry, or ``None`` on a miss."""
+        data = self.get_bytes(key, spec_hash=spec_hash)
+        if data is None:
+            return None
+        try:
+            return json.loads(data.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._memory.invalidate((key, spec_hash))
+            self.quarantine(key, f"json decode failed: {exc}")
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def fetch_json(self, key: str, compute: Callable[[], Any],
+                   spec_hash: Optional[str] = None) -> Any:
+        """Get-or-compute helper: read, else ``compute()`` and persist."""
+        value = self.get_json(key, spec_hash=spec_hash)
+        if value is not None:
+            return value
+        value = compute()
+        self.put_json(key, value, spec_hash=spec_hash)
+        return value
+
+    # ------------------------------------------------------------------
+    # corruption handling
+    # ------------------------------------------------------------------
+    def quarantine(self, key: str, reason: str) -> Optional[str]:
+        """Move ``key``'s payload (and manifest) aside as ``*.corrupt``.
+
+        Returns the quarantine path, or ``None`` if nothing existed.
+        Never raises — quarantine is a best-effort cleanup on an
+        already-failing read path.
+        """
+        path = self.path_for(key)
+        # Drop every cached variant of this key, whatever spec hash it
+        # was read under.
+        self._memory.invalidate_where(lambda k: k[0] == key)
+        dest = None
+        for src, dst in (
+            (path, path + CORRUPT_SUFFIX),
+            (self._manifest_path(key),
+             self._manifest_path(key) + CORRUPT_SUFFIX),
+        ):
+            if os.path.exists(src):
+                try:
+                    os.replace(src, dst)
+                    if dest is None:
+                        dest = dst
+                except OSError:  # pragma: no cover - racing cleaner
+                    pass
+        if dest is not None:
+            self.stats.corruptions += 1
+            logger.warning(
+                "quarantined corrupt artifact key=%s reason=%s moved_to=%s",
+                key, reason, dest,
+            )
+        return dest
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance
+    # ------------------------------------------------------------------
+    def drop_memory(self) -> None:
+        """Empty the in-memory LRU (reads fall through to disk again).
+
+        Useful when another process may have rewritten entries, and for
+        tests that corrupt on-disk payloads behind the store's back.
+        """
+        self._memory.clear()
+
+    def _read_manifest(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._manifest_path(key)) as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def keys(self) -> List[str]:
+        """All payload keys currently on disk (sorted)."""
+        if not os.path.isdir(self.root):
+            return []
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            rel = os.path.relpath(dirpath, self.root)
+            for name in filenames:
+                if name.endswith(_RESERVED_SUFFIXES):
+                    continue
+                found.append(name if rel == "." else f"{rel}/{name}")
+        return sorted(found)
+
+    def entries(self) -> List[StoreEntry]:
+        """Inspection view: every payload plus its integrity status."""
+        out = []
+        for key in self.keys():
+            path = self.path_for(key)
+            size = os.path.getsize(path)
+            manifest = self._read_manifest(key)
+            if manifest is None:
+                status = ("no-manifest"
+                          if not os.path.exists(self._manifest_path(key))
+                          else "bad-manifest")
+                spec = None
+            else:
+                spec = manifest.get("spec_hash")
+                ok = (size == manifest.get("size")
+                      and sha256_file(path) == manifest.get("sha256"))
+                status = "ok" if ok else "hash-mismatch"
+            out.append(StoreEntry(key, size, status, spec))
+        if os.path.isdir(self.root):
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                rel = os.path.relpath(dirpath, self.root)
+                for name in filenames:
+                    if name.endswith(CORRUPT_SUFFIX) and not name.endswith(
+                        MANIFEST_SUFFIX + CORRUPT_SUFFIX
+                    ):
+                        key = name if rel == "." else f"{rel}/{name}"
+                        out.append(StoreEntry(
+                            key, os.path.getsize(os.path.join(dirpath, name)),
+                            "quarantined", None,
+                        ))
+        return out
+
+    def verify(self) -> List[str]:
+        """Scrub the store: quarantine every non-verifying payload.
+
+        Returns the keys that were quarantined.
+        """
+        bad = []
+        for entry in self.entries():
+            if entry.status in ("no-manifest", "bad-manifest",
+                                "hash-mismatch"):
+                self.quarantine(entry.key, f"verify scrub: {entry.status}")
+                bad.append(entry.key)
+        return bad
+
+    def clear(self, include_quarantine: bool = True) -> int:
+        """Delete store contents; returns the number of files removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(self.root,
+                                                     topdown=False):
+            for name in filenames:
+                if name.endswith(CORRUPT_SUFFIX) and not include_quarantine:
+                    continue
+                try:
+                    os.unlink(os.path.join(dirpath, name))
+                    removed += 1
+                except OSError:  # pragma: no cover - racing cleaner
+                    pass
+        self._memory.clear()
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={self.root!r}, {self.stats.describe()})"

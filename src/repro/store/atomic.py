@@ -1,0 +1,91 @@
+"""Atomic file I/O primitives for the artifact store.
+
+Every write lands under its final name only after the bytes are fully
+on disk: payloads go to a same-directory temp file which is fsynced and
+then ``os.replace``-d into place.  A reader therefore either sees the
+complete old file, the complete new file, or no file — never a
+truncated archive, which is exactly the failure mode that poisoned the
+seed model cache (``zipfile.BadZipFile`` on every run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "encode_npz",
+    "sha256_bytes",
+    "sha256_file",
+]
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 digest of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of a file, streamed in chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + ``os.replace``.
+
+    The temp file lives in the destination directory so the final
+    rename stays on one filesystem (``os.replace`` is atomic only
+    within a filesystem).
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj: Any) -> None:
+    """Atomically serialise ``obj`` as pretty-printed JSON."""
+    atomic_write_bytes(
+        path, (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
+    )
+
+
+def encode_npz(arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialise an array mapping to ``.npz`` bytes in memory."""
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def atomic_write_npz(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    """Atomically persist an array mapping as an ``.npz`` archive."""
+    atomic_write_bytes(path, encode_npz(arrays))

@@ -1,0 +1,43 @@
+"""Versioned cache keys: stable content hashes over artifact specs.
+
+A cache entry is only trustworthy when the thing that produced it can
+be identified.  :func:`spec_hash` canonicalises an arbitrary
+JSON-serialisable spec (training recipe, architecture fingerprint,
+dataset parameters, ...) and hashes it; the digest is stored in the
+entry's manifest and checked on every read, so a stale or mismatched
+entry surfaces as a cache *miss* instead of a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["spec_hash", "canonical_json"]
+
+
+def canonical_json(spec: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"), default=_coerce)
+
+
+def _coerce(value: Any) -> Any:
+    # Tuples/sets arrive from dataclass specs; shapes arrive as tuples.
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+def spec_hash(spec: Any, length: int = 16) -> str:
+    """Hex digest (truncated SHA-256) of a canonicalised spec.
+
+    ``length`` trades key readability against collision resistance;
+    16 hex chars (64 bits) is plenty for a per-project cache.
+    """
+    digest = hashlib.sha256(canonical_json(spec).encode()).hexdigest()
+    return digest[:length]

@@ -1,0 +1,80 @@
+"""Per-key file locking so concurrent processes don't torn-write.
+
+POSIX ``fcntl.flock`` when available (Linux/macOS — the benchmark
+fleet), a best-effort no-op elsewhere.  Locks are advisory: they
+serialise *this library's* writers against each other, which is the
+failure mode that matters for parallel benchmark sweeps sharing one
+``.cache`` directory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..errors import ArtifactError
+
+try:  # pragma: no cover - platform gate
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """Advisory exclusive lock on ``<path>`` (a dedicated lock file).
+
+    Usage::
+
+        with FileLock(path + ".lock"):
+            ...  # exclusive among cooperating processes
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0, poll: float = 0.05):
+        self.path = path
+        self.timeout = timeout
+        self.poll = poll
+        self._fh = None
+
+    def acquire(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        os.makedirs(os.path.dirname(os.path.abspath(self.path)) or ".",
+                    exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        self._fh = open(self.path, "a+b")
+        while True:
+            try:
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    self._fh.close()
+                    self._fh = None
+                    raise ArtifactError(
+                        f"timed out after {self.timeout:.0f}s waiting for "
+                        f"lock {self.path!r}"
+                    )
+                time.sleep(self.poll)
+
+    def release(self) -> None:
+        if self._fh is None:
+            return
+        try:
+            if fcntl is not None:  # pragma: no branch
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    @property
+    def locked(self) -> bool:
+        return self._fh is not None

@@ -1,0 +1,56 @@
+"""A small in-memory LRU layer in front of the on-disk store.
+
+Benchmark sweeps re-request the same trained model for every σ/trial
+combination; serving those repeats from memory skips the read + hash
+verification entirely.  Capacity is bounded by entry count — artifacts
+here are model state dicts and JSON sidecars, tens to hundreds of KB.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+__all__ = ["MemoryLRU"]
+
+
+class MemoryLRU:
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries!r}")
+        self.max_entries = max_entries
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Tuple[bool, Optional[Any]]:
+        """``(found, value)`` — a tuple so ``None`` values stay storable."""
+        if key not in self._data:
+            return False, None
+        self._data.move_to_end(key)
+        return True, self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.max_entries == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
+    def invalidate(self, key: Any) -> None:
+        self._data.pop(key, None)
+
+    def invalidate_where(self, predicate) -> None:
+        """Drop every entry whose key satisfies ``predicate``."""
+        for key in [k for k in self._data if predicate(k)]:
+            del self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data

@@ -1,0 +1,56 @@
+"""Hit/miss/corruption counters for the artifact store.
+
+Each :class:`~repro.store.artifacts.ArtifactStore` owns a
+:class:`StoreStats`; benchmarks read them to report cache behaviour
+alongside timings, and the corruption-recovery tests assert on them
+(first run: misses + corruptions; second run: hits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["StoreStats"]
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Monotonic event counters for one store.
+
+    Attributes
+    ----------
+    hits:
+        Reads served (memory or disk).
+    memory_hits:
+        The subset of ``hits`` served from the in-memory LRU.
+    misses:
+        Reads that found nothing usable (absent, stale, or corrupt).
+    stale:
+        The subset of ``misses`` whose manifest was valid but whose
+        spec/version hash did not match the request.
+    corruptions:
+        Artifacts quarantined (bad bytes, bad manifest, failed decode).
+    writes:
+        Artifacts persisted.
+    """
+
+    hits: int = 0
+    memory_hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    corruptions: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, field.default)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} (memory={self.memory_hits}) "
+            f"misses={self.misses} (stale={self.stale}) "
+            f"corruptions={self.corruptions} writes={self.writes}"
+        )

@@ -146,3 +146,43 @@ class TestLoaders:
             Dataset(images=np.zeros((5, 4)), labels=np.zeros(3, int), num_classes=2)
         with pytest.raises(ShapeError):
             Dataset(images=np.zeros((3, 4)), labels=np.zeros(3, int), num_classes=1)
+
+
+class TestDatasetPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.datasets import load_dataset, save_dataset
+
+        data = make_mnist_like(20, seed=3)
+        path = str(tmp_path / "mnist.npz")
+        save_dataset(data, path)
+        back = load_dataset(path)
+        assert np.array_equal(back.images, data.images)
+        assert np.array_equal(back.labels, data.labels)
+        assert back.num_classes == data.num_classes
+        assert back.name == data.name
+
+    def test_load_corrupt_raises_artifact_error(self, tmp_path):
+        from repro.datasets import load_dataset
+        from repro.errors import ArtifactError
+
+        path = str(tmp_path / "bad.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"PK\x03\x04 not really a zip")
+        with pytest.raises(ArtifactError):
+            load_dataset(path)
+
+    def test_load_missing_raises_artifact_error(self, tmp_path):
+        from repro.datasets import load_dataset
+        from repro.errors import ArtifactError
+
+        with pytest.raises(ArtifactError):
+            load_dataset(str(tmp_path / "absent.npz"))
+
+    def test_load_wrong_fields_raises_artifact_error(self, tmp_path):
+        from repro.datasets import load_dataset
+        from repro.errors import ArtifactError
+
+        path = str(tmp_path / "odd.npz")
+        np.savez(path, something_else=np.zeros(3))
+        with pytest.raises(ArtifactError):
+            load_dataset(path)

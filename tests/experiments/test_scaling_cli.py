@@ -112,3 +112,45 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Deployment" in out
         assert "Pipeline simulation" in out
+
+
+class TestCacheCLI:
+    def test_list_empty(self, tmp_path, capsys):
+        assert main(["cache", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store" in out
+        assert "store is empty" in out
+
+    def test_verify_quarantines_corrupt_entry(self, tmp_path, capsys):
+        bad = tmp_path / "model.npz"
+        bad.write_bytes(b"definitely not a zip")
+        assert main(["cache", "--root", str(tmp_path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 corrupt entry" in out
+        assert (tmp_path / "model.npz.corrupt").exists()
+
+    def test_clear(self, tmp_path, capsys):
+        (tmp_path / "model.npz").write_bytes(b"junk")
+        assert main(["cache", "--root", str(tmp_path), "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert not (tmp_path / "model.npz").exists()
+
+    def test_respects_repro_cache_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        assert main(["cache"]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+
+    def test_deploy_save_report(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        report_path = tmp_path / "report.json"
+        code = main([
+            "deploy", "--network", "mlp-1", "--samples", "300",
+            "--save-report", str(report_path),
+        ])
+        assert code == 0
+        with open(report_path) as fh:
+            payload = json.load(fh)
+        assert payload["network_name"] == "MLP-1"
+        assert payload["total_tiles"] >= 1

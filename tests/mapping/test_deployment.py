@@ -90,3 +90,34 @@ class TestConvDeployment:
         text = plan_deployment(conv_network, input_hw=(8, 8)).render()
         assert "Deployment" in text
         assert "inferences/s" in text
+
+
+class TestReportPersistence:
+    def test_save_load_round_trip(self, mlp_network, tmp_path):
+        from repro.mapping.deployment import DeploymentReport
+
+        report = plan_deployment(mlp_network)
+        path = str(tmp_path / "report.json")
+        report.save(path)
+        back = DeploymentReport.load(path)
+        assert back == report  # frozen dataclasses compare by value
+
+    def test_load_corrupt_raises_artifact_error(self, tmp_path):
+        from repro.errors import ArtifactError
+        from repro.mapping.deployment import DeploymentReport
+
+        path = str(tmp_path / "report.json")
+        with open(path, "w") as fh:
+            fh.write('{"network_name": "m", "layers": [')
+        with pytest.raises(ArtifactError):
+            DeploymentReport.load(path)
+
+    def test_load_malformed_payload_raises_artifact_error(self, tmp_path):
+        from repro.errors import ArtifactError
+        from repro.mapping.deployment import DeploymentReport
+
+        path = str(tmp_path / "report.json")
+        with open(path, "w") as fh:
+            fh.write('{"unexpected": true}')
+        with pytest.raises(ArtifactError):
+            DeploymentReport.load(path)

@@ -1,9 +1,11 @@
 """Losses, optimisers, Sequential, Trainer, quantise helpers."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.errors import ShapeError, TrainingError
+from repro.errors import ArtifactError, ShapeError, TrainingError
 from repro.nn import (
     SGD,
     Adam,
@@ -133,6 +135,26 @@ class TestSequential:
         other = Sequential([Dense(4, 5)])
         with pytest.raises(ShapeError):
             other.load(path)
+
+    def test_load_corrupt_archive_raises_artifact_error(self, tmp_path):
+        path = str(tmp_path / "w.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"PK\x03\x04 truncated, not a real archive")
+        with pytest.raises(ArtifactError):
+            Sequential([Dense(4, 3)]).load(path)
+
+    def test_load_missing_file_raises_artifact_error(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            Sequential([Dense(4, 3)]).load(str(tmp_path / "absent.npz"))
+
+    def test_save_is_atomic_no_temp_litter(self, tmp_path):
+        model = Sequential([Dense(4, 3)])
+        path = str(tmp_path / "w.npz")
+        model.save(path)
+        model.save(path)  # overwrite in place
+        assert os.listdir(tmp_path) == ["w.npz"]
+        fresh = Sequential([Dense(4, 3)])
+        fresh.load(path)  # still a readable archive
 
     def test_predict_batched_matches_full(self, rng):
         model = Sequential([Dense(4, 3)])

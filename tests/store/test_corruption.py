@@ -1,0 +1,170 @@
+"""Corruption injection: the model cache must heal itself, not crash.
+
+Regression suite for the seed failure: 17 truncated ``.npz`` files in
+``.cache/models`` made every fig7/CLI run die with
+``zipfile.BadZipFile``.  Each scenario here plants a differently-broken
+cache entry and asserts the store quarantines it, retrains, rewrites
+atomically, and serves the second run from cache.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.networks import (
+    NETWORK_SPECS,
+    get_benchmark_networks,
+    model_cache_key,
+    model_spec_hash,
+)
+from repro.store import get_store
+
+SPEC = NETWORK_SPECS["mlp-1"]
+N = 200
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    return str(tmp_path)
+
+
+def _key() -> str:
+    return model_cache_key(SPEC, N, 0)
+
+
+def _train_once():
+    return get_benchmark_networks(keys=["mlp-1"], n_samples=N)[0]
+
+
+def _plant(cache: str, name: str, data: bytes) -> str:
+    path = os.path.join(cache, name)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return path
+
+
+class TestSeedStateRegression:
+    """Reproduce the exact seed failure mode: manifest-less truncated
+    archives + unparseable sidecars sitting where the cache looks."""
+
+    def test_corrupt_seed_cache_recovers_and_second_run_hits(self, cache):
+        npz_path = _plant(cache, _key() + ".npz",
+                          b"PK\x03\x04" + b"\x00" * 64)  # truncated zip
+        _plant(cache, _key() + ".json", b'{"software_accuracy": ')
+
+        net = _train_once()  # must not raise BadZipFile
+        assert net.software_accuracy > 0.5
+
+        # quarantined, not deleted — forensics stay available
+        assert os.path.exists(npz_path + ".corrupt")
+        store = get_store(cache)
+        assert store.stats.corruptions >= 1
+
+        # re-persisted with a valid manifest
+        assert os.path.exists(npz_path + ".manifest.json")
+        with open(npz_path + ".manifest.json") as fh:
+            assert "sha256" in json.load(fh)
+
+        # second run is served from cache: no new writes, hits recorded
+        hits0, writes0 = store.stats.hits, store.stats.writes
+        net2 = _train_once()
+        assert store.stats.hits > hits0
+        assert store.stats.writes == writes0
+        assert net2.software_accuracy == net.software_accuracy
+        assert np.allclose(net.model.layers[0].weight.value,
+                           net2.model.layers[0].weight.value)
+
+    def test_cli_fig7_survives_corrupt_cache(self, cache, capsys):
+        from repro.cli import main
+
+        _plant(cache, "mlp-1-n300-s0-e10.npz", b"not a zip at all")
+        code = main([
+            "fig7", "--networks", "mlp-1", "--sigmas", "0",
+            "--trials", "1", "--samples", "300", "--eval-samples", "50",
+        ])
+        assert code == 0
+        assert "MLP-1" in capsys.readouterr().out
+        assert os.path.exists(
+            os.path.join(cache, "mlp-1-n300-s0-e10.npz.corrupt")
+        )
+
+
+class TestInjectedCorruption:
+    def test_truncated_mid_archive(self, cache):
+        first = _train_once()  # writes a valid entry
+        path = os.path.join(cache, _key() + ".npz")
+        size = os.path.getsize(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(size // 2)
+        get_store(cache).drop_memory()  # corruption happened "behind" us
+        fresh_stats_before = get_store(cache).stats.corruptions
+        second = _train_once()  # hash check catches it -> retrain
+        assert get_store(cache).stats.corruptions == fresh_stats_before + 1
+        assert os.path.exists(path + ".corrupt")
+        assert second.software_accuracy == first.software_accuracy
+
+    def test_garbage_json_sidecar(self, cache):
+        _train_once()
+        json_path = os.path.join(cache, _key() + ".json")
+        with open(json_path, "wb") as fh:
+            fh.write(b"\xff\xfe garbage")
+        get_store(cache).drop_memory()
+        net = _train_once()  # json integrity fails -> retrain
+        assert net.software_accuracy > 0.5
+        with open(json_path) as fh:  # rewritten, valid again
+            assert "software_accuracy" in json.load(fh)
+
+    def test_json_sidecar_missing_field(self, cache):
+        _train_once()
+        store = get_store(cache)
+        fingerprint = model_spec_hash(SPEC, SPEC.build())
+        store.put_json(_key() + ".json", {"wrong": 1}, spec_hash=fingerprint)
+        net = _train_once()  # sidecar quarantined -> retrain
+        assert net.software_accuracy > 0.5
+        meta = store.get_json(_key() + ".json", spec_hash=fingerprint)
+        assert isinstance(meta["software_accuracy"], float)
+
+    def test_shape_mismatched_state_dict(self, cache):
+        store = get_store(cache)
+        fingerprint = model_spec_hash(SPEC, SPEC.build())
+        # valid manifest + hash, but tensors from some other network
+        store.put_npz(_key() + ".npz", {"000:w": np.zeros((3, 3))},
+                      spec_hash=fingerprint)
+        store.put_json(_key() + ".json", {"software_accuracy": 0.99},
+                       spec_hash=fingerprint)
+        net = _train_once()  # load_state_dict fails -> quarantine + retrain
+        assert net.software_accuracy != 0.99
+        assert os.path.exists(os.path.join(cache, _key() + ".npz.corrupt"))
+
+    def test_stale_spec_hash_retrains_without_quarantine(self, cache):
+        store = get_store(cache)
+        store.put_npz(_key() + ".npz", {"000:w": np.zeros((784, 10))},
+                      spec_hash="0123456789abcdef")
+        corruptions = store.stats.corruptions
+        net = _train_once()  # stale -> miss -> retrain + overwrite
+        assert net.software_accuracy > 0.5
+        assert store.stats.corruptions == corruptions
+        assert not os.path.exists(os.path.join(cache, _key() + ".npz.corrupt"))
+
+    def test_cache_disabled_ignores_store(self, cache):
+        _plant(cache, _key() + ".npz", b"junk")
+        net = get_benchmark_networks(keys=["mlp-1"], n_samples=N,
+                                     cache=False)[0]
+        assert net.software_accuracy > 0.5
+        # untouched: nothing read it, nothing quarantined it
+        assert os.path.exists(os.path.join(cache, _key() + ".npz"))
+
+
+class TestUnusableCacheRoot:
+    def test_training_survives_cache_root_that_is_a_file(
+        self, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "not-a-dir"
+        root.write_text("occupied")
+        monkeypatch.setenv("REPRO_CACHE", str(root))
+        net = get_benchmark_networks(keys=["mlp-1"], n_samples=N)[0]
+        assert net.software_accuracy > 0.5  # result survives, cache doesn't
+        assert root.read_text() == "occupied"  # nothing clobbered it
