@@ -5,6 +5,7 @@ Usage::
     python -m repro table2
     python -m repro fig5 --samples 200 --seed 3
     python -m repro fig7 --networks mlp-1 mlp-2 --sigmas 0 0.1 0.2
+    python -m repro faults --rates 0 0.01 0.05 --trials 3 --seed 1
     python -m repro info
 
 Each subcommand prints the same rendered artefact the corresponding
@@ -67,6 +68,52 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--samples", type=int, default=1500,
                       help="synthetic dataset size per network")
     fig7.add_argument("--eval-samples", type=int, default=200)
+    fig7.add_argument("--seed", type=int, default=0,
+                      help="master seed for training and Monte-Carlo draws")
+    fig7.add_argument("--stuck-on", type=float, default=0.0,
+                      help="stuck-at-LRS cell fraction layered on each σ")
+    fig7.add_argument("--stuck-off", type=float, default=0.0,
+                      help="stuck-at-HRS cell fraction layered on each σ")
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign with detect-and-remap recovery",
+    )
+    faults.add_argument("--network", default="mlp-1",
+                        help="benchmark network key (e.g. mlp-1, cnn-1)")
+    faults.add_argument("--rates", nargs="+", type=float,
+                        default=[0.0, 0.01, 0.02, 0.05],
+                        help="total stuck-at fault rates to sweep")
+    faults.add_argument("--sigmas", nargs="+", type=float, default=[0.0],
+                        help="variation sigmas to sweep")
+    faults.add_argument("--ages", nargs="+", type=float, default=[0.0],
+                        help="shelf ages in seconds to sweep")
+    faults.add_argument("--trials", type=int, default=3,
+                        help="Monte-Carlo draws per grid point")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="master seed for every RNG stream")
+    faults.add_argument("--samples", type=int, default=600,
+                        help="synthetic dataset size for (cached) training")
+    faults.add_argument("--eval-samples", type=int, default=100)
+    faults.add_argument("--stuck-on-fraction", type=float, default=0.5,
+                        help="portion of the fault rate pinned to LRS")
+    faults.add_argument("--spare-fraction", type=float, default=0.2,
+                        help="per-layer spare-column reserve")
+    faults.add_argument("--threshold", type=float, default=0.05,
+                        help="health-probe deviation threshold")
+    faults.add_argument("--max-retries", type=int, default=2,
+                        help="spare re-programming attempts before "
+                             "software fallback")
+    faults.add_argument("--backend", choices=["resipe", "ideal"],
+                        default="resipe")
+    faults.add_argument("--mode", choices=["linear", "exact"],
+                        default="linear",
+                        help="ReSiPE circuit fidelity")
+    faults.add_argument("--no-remap", action="store_true",
+                        help="skip detection/remapping (unprotected only)")
+    faults.add_argument("--max-trials", type=int, default=None, metavar="N",
+                        help="compute at most N new trials this run "
+                             "(resume later from the store)")
 
     sub.add_parser("fig1", help="two-layer signal relation (Fig. 1)")
 
@@ -170,8 +217,36 @@ def _run_fig7(args: argparse.Namespace) -> str:
         networks=tuple(args.networks) if args.networks else None,
         n_samples=args.samples,
         eval_samples=args.eval_samples,
+        seed=args.seed,
+        stuck_on=args.stuck_on,
+        stuck_off=args.stuck_off,
     )
     return render_fig7(run_fig7(config))
+
+
+def _run_faults(args: argparse.Namespace) -> str:
+    from .faults import CampaignSpec, FaultCampaign, render_campaign
+
+    spec = CampaignSpec(
+        network=args.network,
+        rates=tuple(args.rates),
+        sigmas=tuple(args.sigmas),
+        ages=tuple(args.ages),
+        trials=args.trials,
+        seed=args.seed,
+        n_samples=args.samples,
+        eval_samples=args.eval_samples,
+        stuck_on_fraction=args.stuck_on_fraction,
+        spare_fraction=args.spare_fraction,
+        probe_threshold=args.threshold,
+        max_retries=args.max_retries,
+        backend=args.backend,
+        mode=args.mode,
+        remap=not args.no_remap,
+    )
+    campaign = FaultCampaign(spec)
+    result = campaign.run(max_trials=args.max_trials, verbose=True)
+    return render_campaign(result)
 
 
 def _run_fig1() -> str:
@@ -259,6 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table2": lambda: _run_table2(args),
         "fig6": lambda: _run_fig6(args),
         "fig7": lambda: _run_fig7(args),
+        "faults": lambda: _run_faults(args),
         "scaling": lambda: _run_scaling(args),
         "deploy": lambda: _run_deploy(args),
         "cache": lambda: _run_cache(args),

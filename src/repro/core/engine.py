@@ -125,6 +125,22 @@ class ReSiPEEngine:
             compensate=self.compensate,
         )
 
+    def faulted(
+        self, injector, rng: np.random.Generator
+    ) -> "ReSiPEEngine":
+        """A clone whose conductances are disturbed by ``injector`` (a
+        :class:`~repro.faults.injectors.FaultInjector` — stuck-at,
+        drift, wear, or any composition).  The original engine is
+        untouched, mirroring :meth:`perturbed`."""
+        return ReSiPEEngine(
+            self.array.injected(injector, rng),
+            self.params,
+            mode=self.mode,
+            codec=self.codec,
+            output_scale=self.output_scale,
+            compensate=self.compensate,
+        )
+
     def aged(
         self,
         retention,

@@ -49,6 +49,11 @@ class Fig7Config:
         Circuit fidelity (EXACT carries the non-linearity).
     seed:
         Master seed.
+    stuck_on / stuck_off:
+        Stuck-at fault rates (fraction of cells pinned to LRS/HRS)
+        layered on top of the variation at every σ — extends the
+        paper's study to hard defects.  0 (default) reproduces the
+        paper exactly.
     """
 
     sigmas: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
@@ -58,6 +63,8 @@ class Fig7Config:
     eval_samples: int = 200
     mode: MVMMode = MVMMode.EXACT
     seed: int = 0
+    stuck_on: float = 0.0
+    stuck_off: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.sigmas:
@@ -68,6 +75,13 @@ class Fig7Config:
             raise ConfigurationError("need at least one trial")
         if self.eval_samples < 10:
             raise ConfigurationError("need at least 10 evaluation samples")
+        if not 0 <= self.stuck_on <= 1 or not 0 <= self.stuck_off <= 1:
+            raise ConfigurationError("stuck-at rates must be in [0, 1]")
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether any stuck-at defects are layered on the variation."""
+        return self.stuck_on > 0 or self.stuck_off > 0
 
 
 @dataclasses.dataclass
@@ -111,6 +125,18 @@ class Fig7Result:
         )
 
 
+def _make_injector(config: Fig7Config, sigma: float):
+    """Stuck-at (+ optional variation) composite for one σ column."""
+    from ..faults import CompositeInjector, StuckAtInjector, VariationInjector
+
+    stuck = StuckAtInjector(
+        stuck_on_rate=config.stuck_on, stuck_off_rate=config.stuck_off
+    )
+    if sigma == 0:
+        return stuck
+    return CompositeInjector(VariationInjector(sigma=sigma), stuck)
+
+
 def _evaluate_network(
     net: TrainedNetwork, config: Fig7Config
 ) -> NetworkAccuracy:
@@ -126,7 +152,7 @@ def _evaluate_network(
 
     by_sigma: Dict[float, Tuple[float, float]] = {}
     for sigma in config.sigmas:
-        if sigma == 0:
+        if sigma == 0 and not config.has_faults:
             acc = executor.accuracy(x_eval, y_eval)
             by_sigma[sigma] = (acc, acc)
             continue
@@ -136,7 +162,13 @@ def _evaluate_network(
             rng = np.random.default_rng(
                 config.seed + zlib.crc32(token)
             )
-            accs.append(executor.perturbed(rng, sigma).accuracy(x_eval, y_eval))
+            if config.has_faults:
+                trial_exec = executor.faulted(
+                    _make_injector(config, sigma), rng
+                )
+            else:
+                trial_exec = executor.perturbed(rng, sigma)
+            accs.append(trial_exec.accuracy(x_eval, y_eval))
         by_sigma[sigma] = (float(np.mean(accs)), float(np.min(accs)))
     software = float(
         np.mean(net.model.predict(x_eval, batch_size=128) == y_eval)
@@ -172,6 +204,10 @@ def render_fig7(result: Fig7Result) -> str:
             + [r.by_sigma[s][0] for s in sigmas]
             + [r.drop(sigmas[-1])]
         )
-    return render_table(
-        headers, rows, title="Fig. 7 — accuracy under process variation (ReSiPE, exact circuit)"
-    )
+    title = "Fig. 7 — accuracy under process variation (ReSiPE, exact circuit)"
+    if result.config.has_faults:
+        title += (
+            f" + stuck-at on={result.config.stuck_on:.1%} "
+            f"off={result.config.stuck_off:.1%}"
+        )
+    return render_table(headers, rows, title=title)

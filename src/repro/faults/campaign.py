@@ -1,0 +1,429 @@
+"""Seeded, resumable Monte-Carlo fault-injection campaigns.
+
+Extends the paper's Fig. 7 study (Gaussian variation only) across the
+full defect landscape: stuck-at fault rate × variation sigma × shelf
+age, each point sampled over several seeded trials.  Every trial
+
+1. draws a fault pattern and clones the calibrated executor through
+   :meth:`~repro.mapping.executor.PIMExecutor.faulted`;
+2. measures the **unprotected** accuracy of the faulted chip;
+3. runs detect-and-remap
+   (:func:`~repro.mapping.remap.detect_and_remap`) — probe, spare
+   columns, bounded retry, software fallback — and measures the
+   **protected** accuracy;
+4. persists a structured record through the
+   :class:`~repro.store.ArtifactStore` under a key derived from the
+   campaign fingerprint.
+
+Because records are keyed by the spec fingerprint + grid point, an
+interrupted campaign resumes exactly where it stopped: finished trials
+are served from the store (``CampaignResult.cached``) and only missing
+ones are recomputed (``CampaignResult.computed``).  Records are
+bit-reproducible for a fixed seed — the per-trial RNG stream is
+derived from ``(seed, rate, sigma, age, trial)`` exactly like the
+Fig. 7 runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from ..config import CircuitParameters
+from ..core.mvm import MVMMode
+from ..errors import ConfigurationError
+from ..mapping import (
+    IdealBackend,
+    PIMExecutor,
+    ReSiPEBackend,
+    compile_network,
+)
+from ..mapping.remap import detect_and_remap
+from ..store import ArtifactStore, get_store, spec_hash
+from .injectors import (
+    CompositeInjector,
+    DriftInjector,
+    FaultInjector,
+    StuckAtInjector,
+    VariationInjector,
+)
+from .probe import HealthProbe
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignResult",
+    "FaultCampaign",
+    "render_campaign",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """Full description of one fault campaign (hashable → resumable).
+
+    Attributes
+    ----------
+    network:
+        Benchmark network key (``repro.experiments.networks``).
+    rates:
+        Total stuck-at fault rates to sweep (fraction of cells).
+    sigmas:
+        Variation sigmas to sweep (0 = none).
+    ages:
+        Shelf ages in seconds to sweep (0 = fresh).
+    trials:
+        Monte-Carlo draws per grid point.
+    seed:
+        Master seed; every RNG stream (injection, spare draws, probes)
+        derives from it, so records are bit-reproducible.
+    n_samples / eval_samples:
+        Synthetic dataset size / evaluated test images per trial.
+    stuck_on_fraction:
+        Portion of the stuck-at rate that pins to LRS (the rest to
+        HRS).
+    spare_fraction:
+        Per-layer spare-column reserve for the remap stage.
+    probe_threshold / probe_vectors:
+        Health-probe configuration.
+    max_retries:
+        Spare re-programming attempts before software fallback.
+    backend:
+        ``"resipe"`` (circuit-accurate) or ``"ideal"`` (fast numpy).
+    mode:
+        ReSiPE circuit fidelity, ``"exact"`` or ``"linear"``.
+    remap:
+        Also run the detect-and-remap stage (else unprotected only).
+    """
+
+    network: str = "mlp-1"
+    rates: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05)
+    sigmas: Tuple[float, ...] = (0.0,)
+    ages: Tuple[float, ...] = (0.0,)
+    trials: int = 3
+    seed: int = 0
+    n_samples: int = 600
+    eval_samples: int = 100
+    stuck_on_fraction: float = 0.5
+    spare_fraction: float = 0.2
+    probe_threshold: float = 0.05
+    probe_vectors: int = 4
+    max_retries: int = 2
+    backend: str = "resipe"
+    mode: str = "linear"
+    remap: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ConfigurationError("need at least one fault rate")
+        if any(not 0 <= r <= 1 for r in self.rates):
+            raise ConfigurationError("fault rates must be in [0, 1]")
+        if any(s < 0 for s in self.sigmas) or not self.sigmas:
+            raise ConfigurationError("need sigmas >= 0")
+        if any(a < 0 for a in self.ages) or not self.ages:
+            raise ConfigurationError("need ages >= 0")
+        if self.trials < 1:
+            raise ConfigurationError("need at least one trial")
+        if not 0 <= self.stuck_on_fraction <= 1:
+            raise ConfigurationError("stuck_on_fraction must be in [0, 1]")
+        if self.backend not in ("resipe", "ideal"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose resipe or ideal"
+            )
+        if self.mode not in ("exact", "linear"):
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; choose exact or linear"
+            )
+        if self.eval_samples < 10:
+            raise ConfigurationError("need at least 10 evaluation samples")
+
+    # ------------------------------------------------------------------
+    def points(self) -> List[Tuple[float, float, float, int]]:
+        """The full trial grid: (rate, sigma, age, trial) tuples."""
+        return [
+            (rate, sigma, age, trial)
+            for rate in self.rates
+            for sigma in self.sigmas
+            for age in self.ages
+            for trial in range(self.trials)
+        ]
+
+    def injector_for(self, rate: float, sigma: float,
+                     age: float) -> Optional[FaultInjector]:
+        """The composite fault model of one grid point (None = pristine)."""
+        stages: List[FaultInjector] = []
+        if age > 0:
+            stages.append(DriftInjector(elapsed=age))
+        if sigma > 0:
+            stages.append(VariationInjector(sigma=sigma))
+        if rate > 0:
+            stages.append(StuckAtInjector(
+                stuck_on_rate=rate * self.stuck_on_fraction,
+                stuck_off_rate=rate * (1.0 - self.stuck_on_fraction),
+            ))
+        if not stages:
+            return None
+        return stages[0] if len(stages) == 1 else CompositeInjector(*stages)
+
+    def fingerprint(self) -> str:
+        """Content hash binding stored trial records to this spec."""
+        return spec_hash(dataclasses.asdict(self))
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """All trial records of one campaign run.
+
+    Attributes
+    ----------
+    spec:
+        The campaign description.
+    records:
+        One dict per trial (JSON shape identical to what the store
+        holds).
+    computed / cached:
+        How many trials were run this call vs served from the
+        artifact store — the resumability observability.
+    """
+
+    spec: CampaignSpec
+    records: List[dict]
+    computed: int
+    cached: int
+
+    def curve(self) -> List[dict]:
+        """Aggregate per grid point: mean/min accuracy with and
+        without protection, mean repair counts."""
+        grouped: Dict[Tuple[float, float, float], List[dict]] = {}
+        for record in self.records:
+            key = (record["rate"], record["sigma"], record["age"])
+            grouped.setdefault(key, []).append(record)
+        out = []
+        for (rate, sigma, age), recs in sorted(grouped.items()):
+            unprot = [r["unprotected_accuracy"] for r in recs]
+            point = {
+                "rate": rate,
+                "sigma": sigma,
+                "age": age,
+                "trials": len(recs),
+                "unprotected_mean": float(np.mean(unprot)),
+                "unprotected_min": float(np.min(unprot)),
+            }
+            prot = [r["remapped_accuracy"] for r in recs
+                    if r.get("remapped_accuracy") is not None]
+            if prot:
+                point["remapped_mean"] = float(np.mean(prot))
+                point["remapped_min"] = float(np.min(prot))
+                point["mean_flagged"] = float(
+                    np.mean([r["flagged_cols"] for r in recs])
+                )
+                point["mean_spare"] = float(
+                    np.mean([r["spare_cols"] for r in recs])
+                )
+                point["mean_software"] = float(
+                    np.mean([r["software_cols"] for r in recs])
+                )
+            out.append(point)
+        return out
+
+
+class FaultCampaign:
+    """Runs (and resumes) a :class:`CampaignSpec` through the store.
+
+    Parameters
+    ----------
+    spec:
+        The campaign description.
+    store:
+        Artifact store for trial records; defaults to the process-wide
+        model store (``$REPRO_CACHE`` or ``.cache/models``).
+    """
+
+    def __init__(self, spec: CampaignSpec,
+                 store: Optional[ArtifactStore] = None) -> None:
+        self.spec = spec
+        self.store = store if store is not None else get_store()
+        self._prepared = None
+
+    # ------------------------------------------------------------------
+    def trial_key(self, rate: float, sigma: float, age: float,
+                  trial: int) -> str:
+        """Store key of one trial record."""
+        return (
+            f"faults/{self.spec.fingerprint()}/"
+            f"r{rate:.6f}-s{sigma:.6f}-a{age:.6g}-t{trial}.json"
+        )
+
+    def _trial_rng(self, rate: float, sigma: float, age: float,
+                   trial: int) -> np.random.Generator:
+        token = (
+            f"{self.spec.network}|{rate:.6f}|{sigma:.6f}|{age:.6g}|{trial}"
+        ).encode()
+        return np.random.default_rng(self.spec.seed + zlib.crc32(token))
+
+    def _prepare(self):
+        """Train + map + calibrate the pristine chip (once, lazily)."""
+        if self._prepared is not None:
+            return self._prepared
+        from ..experiments.networks import get_benchmark_networks
+
+        spec = self.spec
+        net = get_benchmark_networks(
+            keys=[spec.network], n_samples=spec.n_samples, seed=spec.seed
+        )[0]
+        if spec.backend == "ideal":
+            backend = IdealBackend()
+        else:
+            backend = ReSiPEBackend(
+                params=CircuitParameters.calibrated(),
+                mode=MVMMode.EXACT if spec.mode == "exact" else MVMMode.LINEAR,
+            )
+        mapped = compile_network(net.model, backend)
+        calibration = net.train.images[: min(64, len(net.train))]
+        executor = PIMExecutor(mapped, calibration)
+        probe = HealthProbe(
+            vectors=spec.probe_vectors,
+            threshold=spec.probe_threshold,
+            seed=spec.seed,
+        )
+        x_eval = net.test.images[: spec.eval_samples]
+        y_eval = net.test.labels[: spec.eval_samples]
+        self._prepared = (net, backend, mapped, executor, probe,
+                          x_eval, y_eval)
+        return self._prepared
+
+    # ------------------------------------------------------------------
+    def _run_trial(self, rate: float, sigma: float, age: float,
+                   trial: int) -> dict:
+        spec = self.spec
+        _net, backend, mapped, executor, probe, x_eval, y_eval = (
+            self._prepare()
+        )
+        rng = self._trial_rng(rate, sigma, age, trial)
+        injector = spec.injector_for(rate, sigma, age)
+
+        record = {
+            "rate": rate,
+            "sigma": sigma,
+            "age": age,
+            "trial": trial,
+            "injector": injector.describe() if injector else None,
+            "remapped_accuracy": None,
+            "flagged_cols": 0,
+            "spare_cols": 0,
+            "software_cols": 0,
+            "remap_events": [],
+        }
+
+        if injector is None:
+            baseline = executor.accuracy(x_eval, y_eval)
+            record["unprotected_accuracy"] = baseline
+            if spec.remap:
+                record["remapped_accuracy"] = baseline
+            return record
+
+        faulted = executor.faulted(injector, rng)
+        record["unprotected_accuracy"] = faulted.accuracy(x_eval, y_eval)
+
+        if spec.remap:
+            result = detect_and_remap(
+                reference=mapped,
+                candidate=faulted.network,
+                backend=backend,
+                probe=probe,
+                injector=injector,
+                rng=rng,
+                spare_fraction=spec.spare_fraction,
+                max_retries=spec.max_retries,
+            )
+            protected = executor._clone_with_network(result.network)
+            record["remapped_accuracy"] = protected.accuracy(x_eval, y_eval)
+            record["flagged_cols"] = result.flagged_cols
+            record["spare_cols"] = result.spare_cols
+            record["software_cols"] = result.software_cols
+            record["remap_events"] = result.events()
+        return record
+
+    def run(self, max_trials: Optional[int] = None,
+            verbose: bool = False) -> CampaignResult:
+        """Execute the campaign, resuming from stored records.
+
+        Parameters
+        ----------
+        max_trials:
+            Stop after computing this many *new* trials (stored ones do
+            not count) — lets long sweeps run in bounded chunks; call
+            :meth:`run` again to continue.
+        verbose:
+            Print one line per computed trial.
+        """
+        fingerprint = self.spec.fingerprint()
+        records: List[dict] = []
+        computed = cached = 0
+        for rate, sigma, age, trial in self.spec.points():
+            key = self.trial_key(rate, sigma, age, trial)
+            stored = self.store.get_json(key, spec_hash=fingerprint)
+            if stored is not None:
+                records.append(stored)
+                cached += 1
+                continue
+            if max_trials is not None and computed >= max_trials:
+                continue
+            record = self._run_trial(rate, sigma, age, trial)
+            self.store.put_json(key, record, spec_hash=fingerprint)
+            records.append(record)
+            computed += 1
+            if verbose:
+                prot = record["remapped_accuracy"]
+                print(
+                    f"[faults] rate={rate:.3f} sigma={sigma:.2f} "
+                    f"age={age:g} trial={trial}: "
+                    f"unprotected={record['unprotected_accuracy']:.3f}"
+                    + (f" remapped={prot:.3f}" if prot is not None else "")
+                )
+        return CampaignResult(
+            spec=self.spec, records=records, computed=computed, cached=cached
+        )
+
+
+def render_campaign(result: CampaignResult) -> str:
+    """ASCII accuracy-vs-fault-rate curves, with and without remap."""
+    spec = result.spec
+    show_remap = any("remapped_mean" in p for p in result.curve())
+    headers = ["rate", "sigma", "age", "unprotected", "min"]
+    if show_remap:
+        headers += ["remapped", "min", "flagged", "spares", "software"]
+    rows = []
+    for point in result.curve():
+        row = [
+            f"{point['rate']:.3f}",
+            f"{point['sigma']:.2f}",
+            f"{point['age']:g}",
+            point["unprotected_mean"],
+            point["unprotected_min"],
+        ]
+        if show_remap:
+            if "remapped_mean" in point:
+                row += [
+                    point["remapped_mean"],
+                    point["remapped_min"],
+                    point["mean_flagged"],
+                    point["mean_spare"],
+                    point["mean_software"],
+                ]
+            else:
+                row += ["-"] * 5
+        rows.append(row)
+    title = (
+        f"Fault campaign — {spec.network} ({spec.backend}/{spec.mode}), "
+        f"{spec.trials} trial(s)/point, seed {spec.seed}"
+    )
+    table = render_table(headers, rows, title=title)
+    footer = (
+        f"resume: {result.cached} trial(s) from store, "
+        f"{result.computed} computed this run"
+    )
+    return table + "\n" + footer

@@ -14,6 +14,9 @@ Bridges the trained numpy networks and the PIM hardware models:
   programmed tiles.
 * :mod:`repro.mapping.executor` — runs inference through the mapped
   hardware with activation-scale calibration (the Fig. 7 pipeline).
+* :mod:`repro.mapping.remap` — detect-and-remap graceful degradation:
+  probe-flagged columns move onto spare column strips (or an exact
+  software fallback) so a faulty chip keeps classifying.
 """
 
 from .weight_mapping import DifferentialWeights, map_signed_weights
@@ -29,6 +32,13 @@ from .compiler import MappedLayer, MappedNetwork, compile_network
 from .executor import PIMExecutor
 from .deployment import DeploymentReport, LayerDeployment, plan_deployment
 from .bit_slicing import BitSlicingBackend, slice_weights
+from .remap import (
+    PatchedLayer,
+    RemapRecord,
+    RemapResult,
+    detect_and_remap,
+    spare_columns_for,
+)
 
 __all__ = [
     "DifferentialWeights",
@@ -49,4 +59,9 @@ __all__ = [
     "plan_deployment",
     "BitSlicingBackend",
     "slice_weights",
+    "PatchedLayer",
+    "RemapRecord",
+    "RemapResult",
+    "detect_and_remap",
+    "spare_columns_for",
 ]

@@ -54,6 +54,17 @@ class ProgrammedTile(abc.ABC):
         """
         return self
 
+    def faulted(
+        self, injector, rng: np.random.Generator
+    ) -> "ProgrammedTile":
+        """A clone disturbed by a
+        :class:`~repro.faults.injectors.FaultInjector`.
+
+        Tiles without device state (baseline functional models) return
+        themselves — they model quantisation, not cell placement.
+        """
+        return self
+
 
 class HardwareBackend(abc.ABC):
     """Factory for programmed tiles."""
@@ -82,6 +93,10 @@ class _IdealTile(ProgrammedTile):
         if sigma == 0:
             return self
         return _IdealTile(self._w * rng.normal(1.0, sigma, self._w.shape))
+
+    def faulted(self, injector, rng: np.random.Generator) -> "_IdealTile":
+        # spec=None: the injector operates on the normalised unit window.
+        return _IdealTile(injector.apply(self._w, rng, spec=None))
 
 
 class IdealBackend(HardwareBackend):
@@ -146,6 +161,9 @@ class _ReSiPETile(ProgrammedTile):
         return _ReSiPETile(
             [e.aged(retention, elapsed, rng) for e in self._engines]
         )
+
+    def faulted(self, injector, rng: np.random.Generator) -> "_ReSiPETile":
+        return _ReSiPETile([e.faulted(injector, rng) for e in self._engines])
 
 
 @dataclasses.dataclass

@@ -94,31 +94,30 @@ class MappedLayer:
         )
         return self.gain * self.diff.scale * (pos - neg)
 
+    def _with_tiles(self, clone_tile) -> "MappedLayer":
+        """A clone whose every tile is ``clone_tile(tile)``; all other
+        attributes (grids, gain, calibration) are shared — the single
+        place tile-level Monte-Carlo clones are built, so new clone
+        kinds cannot silently drop attributes."""
+        return dataclasses.replace(
+            self,
+            pos_tiles=[[clone_tile(t) for t in row] for row in self.pos_tiles],
+            neg_tiles=[[clone_tile(t) for t in row] for row in self.neg_tiles],
+        )
+
     def perturbed(self, rng: np.random.Generator, sigma: float) -> "MappedLayer":
         """A Monte-Carlo clone with per-tile conductance variation."""
-        return MappedLayer(
-            source=self.source,
-            diff=self.diff,
-            pos_grid=self.pos_grid,
-            neg_grid=self.neg_grid,
-            pos_tiles=[[t.perturbed(rng, sigma) for t in row] for row in self.pos_tiles],
-            neg_tiles=[[t.perturbed(rng, sigma) for t in row] for row in self.neg_tiles],
-            gain=self.gain,
-        )
+        return self._with_tiles(lambda t: t.perturbed(rng, sigma))
 
     def aged(self, retention, elapsed: float, rng=None) -> "MappedLayer":
         """A clone after ``elapsed`` seconds of retention drift."""
-        return MappedLayer(
-            source=self.source,
-            diff=self.diff,
-            pos_grid=self.pos_grid,
-            neg_grid=self.neg_grid,
-            pos_tiles=[[t.aged(retention, elapsed, rng) for t in row]
-                       for row in self.pos_tiles],
-            neg_tiles=[[t.aged(retention, elapsed, rng) for t in row]
-                       for row in self.neg_tiles],
-            gain=self.gain,
-        )
+        return self._with_tiles(lambda t: t.aged(retention, elapsed, rng))
+
+    def faulted(self, injector, rng: np.random.Generator) -> "MappedLayer":
+        """A clone disturbed by a
+        :class:`~repro.faults.injectors.FaultInjector` (stuck-at,
+        drift, wear, or any composition)."""
+        return self._with_tiles(lambda t: t.faulted(injector, rng))
 
 
 @dataclasses.dataclass
@@ -140,25 +139,28 @@ class MappedNetwork:
         """Total crossbars consumed by the whole network."""
         return sum(layer.num_tiles for layer in self.mapped_layers())
 
-    def perturbed(self, rng: np.random.Generator, sigma: float) -> "MappedNetwork":
-        """Monte-Carlo clone of every mapped layer."""
+    def _with_stages(self, clone_stage) -> "MappedNetwork":
+        """A clone whose every mapped stage is ``clone_stage(stage)``
+        (software stages stay ``None``)."""
         return MappedNetwork(
             model=self.model,
             stages=[
-                s.perturbed(rng, sigma) if s is not None else None
+                clone_stage(s) if s is not None else None
                 for s in self.stages
             ],
         )
 
+    def perturbed(self, rng: np.random.Generator, sigma: float) -> "MappedNetwork":
+        """Monte-Carlo clone of every mapped layer."""
+        return self._with_stages(lambda s: s.perturbed(rng, sigma))
+
     def aged(self, retention, elapsed: float, rng=None) -> "MappedNetwork":
         """Clone of every mapped layer after retention drift."""
-        return MappedNetwork(
-            model=self.model,
-            stages=[
-                s.aged(retention, elapsed, rng) if s is not None else None
-                for s in self.stages
-            ],
-        )
+        return self._with_stages(lambda s: s.aged(retention, elapsed, rng))
+
+    def faulted(self, injector, rng: np.random.Generator) -> "MappedNetwork":
+        """Clone of every mapped layer under ``injector``'s defects."""
+        return self._with_stages(lambda s: s.faulted(injector, rng))
 
 
 def _program_grid(

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from typing import List, Optional
 
 from ..config import CircuitParameters
@@ -31,6 +32,7 @@ from ..nn.conv import Conv2D
 from ..nn.layers import Dense
 from ..analysis.tables import render_table
 from .compiler import MappedNetwork
+from .remap import spare_columns_for
 
 __all__ = ["LayerDeployment", "DeploymentReport", "plan_deployment"]
 
@@ -80,6 +82,16 @@ class DeploymentReport:
         Pipeline-fill latency for one sample (seconds).
     throughput:
         Steady-state inferences per second.
+    spare_fraction:
+        Per-layer spare-column budget reserved for fault remapping
+        (fraction of each layer's logical columns; 0 = no reserve).
+    spare_tiles:
+        Crossbar tiles reserved to host the spare columns (both
+        polarities), included in :attr:`area`.
+    remap_events:
+        Structured log of detect-and-remap decisions applied to this
+        deployment (see :meth:`repro.mapping.remap.RemapResult.events`);
+        empty until a repair pass runs.
     """
 
     network_name: str
@@ -90,6 +102,9 @@ class DeploymentReport:
     energy_per_inference: float
     latency_per_inference: float
     throughput: float
+    spare_fraction: float = 0.0
+    spare_tiles: int = 0
+    remap_events: List[dict] = dataclasses.field(default_factory=list)
 
     def render(self) -> str:
         """ASCII deployment table."""
@@ -102,15 +117,33 @@ class DeploymentReport:
             rows,
             title=f"Deployment — {self.network_name}",
         )
-        summary = "\n".join([
+        summary_lines = [
             f"total tiles          : {self.total_tiles}",
             f"area                 : {self.area * 1e6:.4f} mm^2",
             f"average power        : {self.average_power * 1e3:.2f} mW",
             f"energy / inference   : {self.energy_per_inference * 1e9:.2f} nJ",
             f"latency / inference  : {self.latency_per_inference * 1e6:.2f} us",
             f"throughput           : {self.throughput:.0f} inferences/s",
-        ])
-        return table + "\n" + summary
+        ]
+        if self.spare_tiles or self.spare_fraction:
+            summary_lines.append(
+                f"spare tiles          : {self.spare_tiles} "
+                f"({self.spare_fraction:.0%} column reserve)"
+            )
+        if self.remap_events:
+            spares = sum(1 for e in self.remap_events
+                         if e.get("action") == "spare")
+            soft = sum(1 for e in self.remap_events
+                       if e.get("action") == "software")
+            summary_lines.append(
+                f"remap log            : {spares} column(s) on spares, "
+                f"{soft} in software fallback"
+            )
+        return table + "\n" + "\n".join(summary_lines)
+
+    def with_remap_log(self, events: List[dict]) -> "DeploymentReport":
+        """A copy carrying a detect-and-remap decision log."""
+        return dataclasses.replace(self, remap_events=list(events))
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -157,6 +190,7 @@ def plan_deployment(
     network: MappedNetwork,
     params: Optional[CircuitParameters] = None,
     input_hw: Optional[tuple] = None,
+    spare_fraction: float = 0.0,
 ) -> DeploymentReport:
     """Derive the chip-level deployment of a compiled network.
 
@@ -170,6 +204,12 @@ def plan_deployment(
     input_hw:
         ``(H, W)`` of the model input, required when the model contains
         Conv2D layers (spatial sizes are traced through convs/pools).
+    spare_fraction:
+        Fraction of each layer's logical columns to reserve as spare
+        capacity for fault remapping (see
+        :func:`repro.mapping.remap.detect_and_remap`).  The reserved
+        tiles are counted in the chip area but draw no compute energy
+        until a remap activates them.
     """
     p = params if params is not None else CircuitParameters.paper()
     engine = ReSiPEPowerModel(p)
@@ -178,8 +218,15 @@ def plan_deployment(
     # Trace spatial dimensions through the network to count conv MVMs.
     spatial = input_hw
     layers: List[LayerDeployment] = []
+    spare_tiles = 0
     for layer, stage in zip(network.model, network.stages):
         if stage is not None:
+            # Spare reserve: width-1 column strips per row band and
+            # polarity, packed into crossbar tiles.
+            spare_cols = spare_columns_for(stage.diff.cols, spare_fraction)
+            if spare_cols:
+                row_bands = math.ceil(stage.diff.rows / p.rows)
+                spare_tiles += 2 * row_bands * math.ceil(spare_cols / p.cols)
             source = stage.source
             if isinstance(source, Dense):
                 mvms = 1
@@ -211,7 +258,7 @@ def plan_deployment(
         raise MappingError("network has no mapped layers")
 
     total_tiles = sum(l.tiles for l in layers)
-    area = total_tiles * engine_report.total_area
+    area = (total_tiles + spare_tiles) * engine_report.total_area
 
     # Per-inference work: every tile of a layer fires once per MVM.
     tile_mvms = sum(l.tiles * l.mvms_per_input for l in layers)
@@ -238,4 +285,6 @@ def plan_deployment(
         energy_per_inference=energy,
         latency_per_inference=latency,
         throughput=throughput,
+        spare_fraction=spare_fraction,
+        spare_tiles=spare_tiles,
     )

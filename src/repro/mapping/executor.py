@@ -180,8 +180,24 @@ class PIMExecutor:
         return float(np.mean(self.predict(x, batch_size) == np.asarray(labels)))
 
     # ------------------------------------------------------------------
-    # Monte-Carlo variation
+    # Monte-Carlo variation / fault clones
     # ------------------------------------------------------------------
+    def _clone_with_network(self, network: MappedNetwork) -> "PIMExecutor":
+        """An executor bound to ``network`` that inherits this one's
+        calibration (scales, margin) without re-running it.
+
+        The single place clones are assembled — every Monte-Carlo
+        flavour (:meth:`perturbed`, :meth:`aged`, :meth:`faulted`, the
+        remap path) goes through here, so a new executor attribute
+        cannot be silently dropped from some clone kinds.
+        """
+        clone = object.__new__(PIMExecutor)
+        clone.network = network
+        clone.activation_scales = dict(self.activation_scales)
+        clone.scale_margin = self.scale_margin
+        clone.mvm_launches = {}
+        return clone
+
     def perturbed(self, rng: np.random.Generator, sigma: float) -> "PIMExecutor":
         """Clone with conductance variation ``sigma`` on every tile.
 
@@ -189,20 +205,22 @@ class PIMExecutor:
         executor — the Fig. 7 protocol: calibrate once, then devices
         drift.
         """
-        clone = object.__new__(PIMExecutor)
-        clone.network = self.network.perturbed(rng, sigma)
-        clone.activation_scales = dict(self.activation_scales)
-        clone.scale_margin = self.scale_margin
-        clone.mvm_launches = {}
-        return clone
+        return self._clone_with_network(self.network.perturbed(rng, sigma))
 
     def aged(self, retention, elapsed: float, rng=None) -> "PIMExecutor":
         """Clone whose tiles have drifted for ``elapsed`` seconds under
         ``retention`` (calibration inherited — the chip was calibrated
         when fresh, then left on the shelf)."""
-        clone = object.__new__(PIMExecutor)
-        clone.network = self.network.aged(retention, elapsed, rng)
-        clone.activation_scales = dict(self.activation_scales)
-        clone.scale_margin = self.scale_margin
-        clone.mvm_launches = {}
-        return clone
+        return self._clone_with_network(self.network.aged(retention, elapsed, rng))
+
+    def faulted(self, injector, rng: np.random.Generator) -> "PIMExecutor":
+        """Clone whose tiles carry ``injector``'s defects (stuck-at
+        cells, drift, wear, or any
+        :class:`~repro.faults.injectors.CompositeInjector` of them).
+
+        Calibration is inherited — the chip was calibrated healthy,
+        then the defects struck.  Pair with
+        :func:`repro.mapping.remap.detect_and_remap` to probe the
+        faulted network and recover through spare columns.
+        """
+        return self._clone_with_network(self.network.faulted(injector, rng))

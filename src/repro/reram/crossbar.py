@@ -124,6 +124,26 @@ class CrossbarArray:
         clone._write_count = self._write_count
         return clone
 
+    def injected(self, injector, rng: np.random.Generator) -> "CrossbarArray":
+        """A *copy* of this array disturbed by a
+        :class:`~repro.faults.injectors.FaultInjector` (any object with
+        ``apply(g, rng, spec)``).  Generalises :meth:`perturb` to the
+        full defect landscape — stuck-at cells, retention drift,
+        endurance wear, or any composition — while the original stays
+        pristine for Monte-Carlo re-draws.
+        """
+        g = np.asarray(injector.apply(self._g, rng, spec=self.spec),
+                       dtype=float)
+        if g.shape != (self.rows, self.cols):
+            raise ShapeError(
+                f"injector changed array shape to {g.shape}, "
+                f"expected {self.shape}"
+            )
+        clone = CrossbarArray(self.rows, self.cols, self.spec, self.r_access)
+        clone._g = g
+        clone._write_count = self._write_count
+        return clone
+
     # ------------------------------------------------------------------
     # Analog compute
     # ------------------------------------------------------------------

@@ -1,0 +1,131 @@
+"""Resumable Monte-Carlo fault campaigns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CampaignSpec,
+    FaultCampaign,
+    render_campaign,
+)
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        network="mlp-1",
+        rates=(0.0, 0.05),
+        sigmas=(0.0,),
+        ages=(0.0,),
+        trials=2,
+        seed=0,
+        n_samples=300,
+        eval_samples=50,
+        backend="ideal",
+    )
+
+
+class TestSpec:
+    def test_grid_enumeration(self, spec):
+        points = spec.points()
+        assert len(points) == 4  # 2 rates x 1 sigma x 1 age x 2 trials
+        assert points[0] == (0.0, 0.0, 0.0, 0)
+
+    def test_injector_composition(self, spec):
+        assert spec.injector_for(0.0, 0.0, 0.0) is None
+        solo = spec.injector_for(0.05, 0.0, 0.0)
+        assert solo.describe()["type"] == "stuck_at"
+        combo = spec.injector_for(0.05, 0.1, 3600.0)
+        kinds = [s["type"] for s in combo.describe()["stages"]]
+        assert kinds == ["drift", "variation", "stuck_at"]
+
+    def test_stuck_on_fraction_split(self, spec):
+        desc = spec.injector_for(0.04, 0.0, 0.0).describe()
+        assert desc["stuck_on_rate"] == pytest.approx(0.02)
+        assert desc["stuck_off_rate"] == pytest.approx(0.02)
+
+    def test_fingerprint_tracks_spec(self, spec):
+        import dataclasses
+
+        other = dataclasses.replace(spec, seed=1)
+        assert spec.fingerprint() != other.fingerprint()
+        assert spec.fingerprint() == CampaignSpec(**dataclasses.asdict(spec)).fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(rates=())
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(rates=(1.5,))
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(trials=0)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(backend="quantum")
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(mode="surreal")
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(stuck_on_fraction=2.0)
+
+
+class TestRun:
+    def test_campaign_runs_resumes_and_recovers(self, spec, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        store = ArtifactStore(str(tmp_path / "records"))
+
+        # Interrupted run: only one new trial computed.
+        partial = FaultCampaign(spec, store=store).run(max_trials=1)
+        assert partial.computed == 1 and partial.cached == 0
+        assert len(partial.records) == 1
+
+        # Resume finishes the remaining trials without recomputation.
+        full = FaultCampaign(spec, store=store).run()
+        assert full.computed == 3 and full.cached == 1
+        assert len(full.records) == 4
+
+        # A third run is served entirely from the store.
+        again = FaultCampaign(spec, store=store).run()
+        assert again.computed == 0 and again.cached == 4
+        assert again.records == full.records
+
+        # Remap-protected accuracy never trails the unprotected chip at
+        # the faulted grid point.
+        curve = {p["rate"]: p for p in again.curve()}
+        faulty = curve[0.05]
+        assert faulty["remapped_mean"] >= faulty["unprotected_mean"]
+        assert faulty["mean_flagged"] > 0
+
+        # Pristine point: remap is a no-op.
+        clean = curve[0.0]
+        assert clean["remapped_mean"] == pytest.approx(
+            clean["unprotected_mean"]
+        )
+
+        text = render_campaign(again)
+        assert "remapped" in text and "mlp-1" in text
+        assert "4 trial(s) from store" in text
+
+
+class TestCLI:
+    def test_faults_subcommand_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["faults", "--rates", "0", "0.01", "--trials", "2",
+             "--seed", "7", "--backend", "ideal", "--no-remap"]
+        )
+        assert args.command == "faults"
+        assert args.rates == [0.0, 0.01]
+        assert args.seed == 7
+        assert args.no_remap
+
+    def test_fig7_gains_seed_and_fault_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fig7", "--seed", "3", "--stuck-on", "0.01",
+             "--stuck-off", "0.02"]
+        )
+        assert args.seed == 3
+        assert args.stuck_on == pytest.approx(0.01)
+        assert args.stuck_off == pytest.approx(0.02)

@@ -92,6 +92,53 @@ class TestConvDeployment:
         assert "inferences/s" in text
 
 
+class TestSpareBudget:
+    def test_default_reserves_nothing(self, mlp_network):
+        report = plan_deployment(mlp_network)
+        assert report.spare_tiles == 0
+        assert report.spare_fraction == 0.0
+
+    def test_spares_add_tiles_and_area(self, mlp_network):
+        base = plan_deployment(mlp_network)
+        spared = plan_deployment(mlp_network, spare_fraction=0.2)
+        assert spared.spare_tiles > 0
+        assert spared.area > base.area
+        # Spares are reserve capacity: throughput/energy are untouched.
+        assert spared.energy_per_inference == base.energy_per_inference
+        assert spared.throughput == base.throughput
+
+    def test_render_mentions_reserve(self, mlp_network):
+        text = plan_deployment(mlp_network, spare_fraction=0.2).render()
+        assert "spare tiles" in text
+
+    def test_remap_log_attaches_and_renders(self, mlp_network):
+        report = plan_deployment(mlp_network, spare_fraction=0.2)
+        events = [
+            {"layer": "dense-0", "column": 3, "action": "spare",
+             "attempts": 1, "deviation": 0.2},
+            {"layer": "dense-0", "column": 7, "action": "software",
+             "attempts": 0, "deviation": 0.1},
+        ]
+        logged = report.with_remap_log(events)
+        assert logged.remap_events == events
+        assert report.remap_events == []  # original untouched
+        text = logged.render()
+        assert "remap log" in text
+
+    def test_round_trip_preserves_spare_fields(self, mlp_network, tmp_path):
+        from repro.mapping.deployment import DeploymentReport
+
+        report = plan_deployment(mlp_network, spare_fraction=0.25)
+        report = report.with_remap_log(
+            [{"layer": "dense-0", "column": 1, "action": "spare",
+              "attempts": 1, "deviation": 0.3}]
+        )
+        path = str(tmp_path / "spared.json")
+        report.save(path)
+        back = DeploymentReport.load(path)
+        assert back == report
+
+
 class TestReportPersistence:
     def test_save_load_round_trip(self, mlp_network, tmp_path):
         from repro.mapping.deployment import DeploymentReport

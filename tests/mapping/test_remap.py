@@ -1,0 +1,176 @@
+"""Detect-and-remap graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.faults import HealthProbe, StuckAtInjector
+from repro.faults.injectors import FaultInjector
+from repro.mapping import (
+    IdealBackend,
+    PIMExecutor,
+    compile_network,
+    detect_and_remap,
+    spare_columns_for,
+)
+from repro.nn import Dense, ReLU, Sequential
+
+
+class KillColumns(FaultInjector):
+    """Test fault: zeroes the given tile columns."""
+
+    def __init__(self, cols) -> None:
+        self.cols = tuple(cols)
+
+    def apply(self, conductances, rng, spec=None):
+        g = np.array(conductances, dtype=float)
+        for col in self.cols:
+            if col < g.shape[1]:
+                g[:, col] = 0.0 if spec is None else spec.g_min
+        return g
+
+    def describe(self):
+        return {"type": "kill-columns", "cols": list(self.cols)}
+
+
+@pytest.fixture
+def model(rng):
+    return Sequential(
+        [Dense(6, 5, rng=rng), ReLU(), Dense(5, 4, rng=rng)], name="toy"
+    )
+
+
+@pytest.fixture
+def network(model):
+    return compile_network(model, IdealBackend(), clip_percentile=100)
+
+
+@pytest.fixture
+def probe():
+    return HealthProbe(threshold=0.02)
+
+
+class TestSpareBudget:
+    def test_budget_is_ceil_fraction(self):
+        assert spare_columns_for(10, 0.25) == 3
+        assert spare_columns_for(10, 0.0) == 0
+        assert spare_columns_for(1, 0.01) == 1  # always at least one
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            spare_columns_for(0, 0.1)
+        with pytest.raises(MappingError):
+            spare_columns_for(10, 1.5)
+
+
+class TestDetectAndRemap:
+    def test_spare_recovers_exact_output(self, network, probe, rng):
+        faulted = network.faulted(KillColumns([1]), rng)
+        result = detect_and_remap(
+            network, faulted, IdealBackend(), probe, spare_fraction=0.5
+        )
+        assert result.spare_cols >= 1
+        # Clean spares re-programmed from the stored weights restore
+        # the pristine response exactly on the ideal backend.
+        for pristine, repaired in zip(network.stages, result.network.stages):
+            if pristine is None:
+                continue
+            width = pristine.diff.rows - 1
+            xs = probe.stimulus(width)
+            assert np.allclose(
+                repaired.matmul(xs), pristine.matmul(xs), atol=1e-9
+            )
+
+    def test_budget_exhaustion_falls_back_to_software(self, network, probe, rng):
+        faulted = network.faulted(KillColumns([0, 2]), rng)
+        result = detect_and_remap(
+            network, faulted, IdealBackend(), probe, spare_fraction=0.0
+        )
+        assert result.spare_cols == 0
+        assert result.software_cols >= 2
+        # Software fallback is exact digital math — outputs match pristine.
+        for pristine, repaired in zip(network.stages, result.network.stages):
+            if pristine is None:
+                continue
+            xs = probe.stimulus(pristine.diff.rows - 1)
+            assert np.allclose(
+                repaired.matmul(xs), pristine.matmul(xs), atol=1e-9
+            )
+
+    def test_healthy_network_passes_through(self, network, probe):
+        result = detect_and_remap(network, network, IdealBackend(), probe)
+        assert result.flagged_cols == 0
+        assert result.network.stages[0] is network.stages[0]
+
+    def test_records_and_events(self, network, probe, rng):
+        faulted = network.faulted(KillColumns([1, 3]), rng)
+        result = detect_and_remap(
+            network, faulted, IdealBackend(), probe, spare_fraction=0.5
+        )
+        events = result.events()
+        assert len(events) == result.flagged_cols
+        devs = [e["deviation"] for e in events]
+        assert devs == sorted(devs, reverse=True)
+        assert all(e["action"] in ("spare", "software") for e in events)
+
+    def test_faulty_spares_retry_then_degrade(self, network, probe):
+        # Injector that kills every column: spares can never verify.
+        rng = np.random.default_rng(0)
+        killer = KillColumns(range(10))
+        faulted = network.faulted(killer, rng)
+        result = detect_and_remap(
+            network, faulted, IdealBackend(), probe,
+            injector=killer, rng=rng, spare_fraction=1.0, max_retries=1,
+        )
+        assert result.spare_cols == 0
+        assert result.software_cols == result.flagged_cols > 0
+        spare_attempts = [
+            r.attempts for r in result.records if r.attempts > 0
+        ]
+        assert spare_attempts and all(a == 2 for a in spare_attempts)
+
+    def test_rng_required_with_injector(self, network, probe, rng):
+        faulted = network.faulted(KillColumns([1]), rng)
+        with pytest.raises(MappingError):
+            detect_and_remap(
+                network, faulted, IdealBackend(), probe,
+                injector=KillColumns([1]),
+            )
+
+    def test_remapped_layers_are_terminal(self, network, probe, rng):
+        faulted = network.faulted(KillColumns([1]), rng)
+        result = detect_and_remap(
+            network, faulted, IdealBackend(), probe, spare_fraction=0.5
+        )
+        patched = result.network.stages[0]
+        with pytest.raises(MappingError):
+            patched.perturbed(rng, 0.1)
+        with pytest.raises(MappingError):
+            patched.faulted(KillColumns([1]), rng)
+
+
+class TestExecutorIntegration:
+    def test_remapped_executor_matches_pristine(self, model, network, rng):
+        x = rng.random((32, 6))
+        executor = PIMExecutor(network, x[:8])
+        pristine_out = executor.forward(x)
+
+        faulted = executor.faulted(KillColumns([1]), rng)
+        assert not np.allclose(faulted.forward(x), pristine_out)
+
+        probe = HealthProbe(threshold=0.02)
+        result = detect_and_remap(
+            network, faulted.network, IdealBackend(), probe,
+            spare_fraction=0.5,
+        )
+        repaired = executor._clone_with_network(result.network)
+        assert np.allclose(repaired.forward(x), pristine_out, atol=1e-9)
+
+    def test_patched_layer_counts_spare_tiles(self, network, probe, rng):
+        faulted = network.faulted(KillColumns([1]), rng)
+        result = detect_and_remap(
+            network, faulted, IdealBackend(), probe, spare_fraction=0.5
+        )
+        patched = result.network.stages[0]
+        if result.spare_cols:
+            assert patched.num_tiles > network.stages[0].num_tiles

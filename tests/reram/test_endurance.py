@@ -49,6 +49,14 @@ class TestClosure:
         mid1 = 0.5 * (degraded.g_min + degraded.g_max)
         assert mid1 == pytest.approx(mid0)
 
+    def test_degraded_spec_deterministic(self, spec):
+        """The closure law is analytic — identical inputs must yield an
+        identical degraded window (campaign records rely on this)."""
+        model = EnduranceModel(endurance_cycles=1e6, beta=1.5)
+        a = model.degraded_spec(spec, 3e5)
+        b = model.degraded_spec(spec, 3e5)
+        assert a.g_min == b.g_min and a.g_max == b.g_max
+
     def test_validation(self):
         with pytest.raises(DeviceError):
             EnduranceModel(endurance_cycles=0)

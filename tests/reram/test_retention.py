@@ -52,7 +52,27 @@ class TestDecayFactor:
             RetentionModel().decay_factor(-1.0)
 
 
+class TestSeededReproducibility:
+    def test_decay_factor_reproducible(self):
+        model = RetentionModel(nu=0.05, nu_sigma=0.3)
+        a = model.decay_factor(1e4, shape=(64,), rng=np.random.default_rng(9))
+        b = model.decay_factor(1e4, shape=(64,), rng=np.random.default_rng(9))
+        c = model.decay_factor(1e4, shape=(64,), rng=np.random.default_rng(10))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_age_array_reproducible(self, programmed):
+        model = RetentionModel(nu=0.05, nu_sigma=0.3)
+        a = model.age_array(programmed, 1e5, np.random.default_rng(9))
+        b = model.age_array(programmed, 1e5, np.random.default_rng(9))
+        assert np.array_equal(a.conductances, b.conductances)
+
+
 class TestAgeArray:
+    def test_zero_elapsed_is_identity(self, programmed, rng):
+        aged = RetentionModel(nu=0.05).age_array(programmed, 0.0, rng)
+        assert np.allclose(aged.conductances, programmed.conductances)
+
     def test_original_untouched(self, programmed, rng):
         before = programmed.conductances.copy()
         RetentionModel(nu=0.05).age_array(programmed, 1e5, rng)
