@@ -1,0 +1,57 @@
+"""`repro lint` — AST-based reproducibility invariant checker.
+
+The simulator's headline guarantees (seeded resumable fault campaigns,
+atomic artifact persistence, datasheet-style SI parameterization,
+tolerance-aware float testing, a single error taxonomy) rest on coding
+conventions the interpreter never enforces.  This subpackage makes them
+machine-checked: a small rule registry (:mod:`.rules`), a file walker
+with baseline suppression (:mod:`.runner`), and a ``repro lint`` CLI
+subcommand wired into CI.
+
+Rules shipped (see ``docs/static_analysis.md`` for the catalogue):
+
+========  ==============================================================
+RNG001    no legacy ``np.random.*`` global-API draws; ``default_rng``
+          must receive an explicit seed
+IO001     persistence outside ``repro/store/`` must go through the
+          :class:`~repro.store.ArtifactStore` / atomic helpers
+UNIT001   physical constants use ``repro.units`` prefix constants, not
+          bare ``100e-9``-style literals
+TEST001   no ``==``/``!=`` against float expressions in tests
+ERR001    ``raise`` in library code uses the :mod:`repro.errors`
+          taxonomy, not bare builtins
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .rules import RULES, Rule, check_source, get_rule
+from .runner import (
+    LintReport,
+    ModuleSource,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleSource",
+    "RULES",
+    "Rule",
+    "check_source",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,527 @@
+"""Lint rule registry and the five shipped invariant checks.
+
+Each rule is a singleton with an ``id``, a short ``title``, a
+``rationale`` (why the invariant matters for reproduction fidelity),
+the ``scopes`` it applies to (``"src"`` library code, ``"tests"`` test
+code) and a ``check`` method yielding :class:`~.findings.Finding`
+records for one parsed module.
+
+Rules only need the stdlib :mod:`ast`; no third-party analysis
+framework is involved, so the checker runs anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["ModuleSource", "Rule", "RULES", "check_source", "get_rule", "register"]
+
+
+@dataclasses.dataclass
+class ModuleSource:
+    """One parsed module handed to the rules.
+
+    Attributes
+    ----------
+    path:
+        Repo-relative POSIX path (used in findings and exemptions).
+    text:
+        Full source text (used to recover literal spellings).
+    tree:
+        Parsed AST of ``text``.
+    scope:
+        ``"src"`` for library code, ``"tests"`` for test code.
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    scope: str
+
+    @classmethod
+    def parse(cls, text: str, path: str, scope: str) -> "ModuleSource":
+        return cls(path=path, text=text, tree=ast.parse(text), scope=scope)
+
+    def line(self, lineno: int) -> str:
+        lines = self.text.splitlines()
+        return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=self.line(lineno),
+        )
+
+
+class Rule:
+    """Base class: metadata plus the per-module ``check`` hook."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scopes: Tuple[str, ...] = ("src",)
+    #: path substrings exempt from this rule (POSIX, repo-relative)
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        if module.scope not in self.scopes:
+            return False
+        return not any(marker in module.path for marker in self.exempt)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and add a rule to :data:`RULES`."""
+    rule = cls()
+    RULES[rule.id] = rule
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one registered rule by id."""
+    from ...errors import ConfigurationError
+
+    if rule_id not in RULES:
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r}; available: {sorted(RULES)}"
+        )
+    return RULES[rule_id]
+
+
+def check_source(
+    code: str,
+    rule_id: str,
+    path: str = "src/repro/example.py",
+    scope: str = "src",
+) -> List[Finding]:
+    """Run one rule over a source snippet (the fixture-test entry point)."""
+    module = ModuleSource.parse(code, path, scope)
+    rule = get_rule(rule_id)
+    if not rule.applies_to(module):
+        return []
+    return list(rule.check(module))
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object they were bound from.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy import random as R`` -> ``{"R": "numpy.random"}``;
+    ``from numpy.random import rand`` -> ``{"rand": "numpy.random.rand"}``.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _resolve(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Dotted name of an expression through the import map, if any."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id not in imports:
+        return None
+    parts.append(imports[node.id])
+    return ".".join(reversed(parts))
+
+
+def _call_name(node: ast.Call) -> str:
+    """Syntactic name of a call target (last attribute / bare name)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+# ----------------------------------------------------------------------
+# RNG001 — seeded numpy Generators only
+# ----------------------------------------------------------------------
+@register
+class SeededRngRule(Rule):
+    """Ban the legacy global numpy RNG (and unseeded ``default_rng``)."""
+
+    id = "RNG001"
+    title = "seeded numpy Generator required"
+    rationale = (
+        "Fault campaigns and Fig. 7 sweeps are 'seeded, resumable' only if "
+        "every stochastic path draws from an explicitly seeded "
+        "numpy.random.Generator.  The legacy np.random.* global API and "
+        "the stdlib random module share hidden process-wide state, so one "
+        "stray call silently breaks bit-reproducibility."
+    )
+    scopes = ("src", "tests")
+
+    #: numpy.random members that are part of the Generator API, not the
+    #: legacy global-state API.
+    _ALLOWED = frozenset({
+        "Generator", "default_rng", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                if node.module == "random":
+                    yield module.finding(
+                        self.id, node,
+                        "stdlib `random` draws from hidden global state; "
+                        "use a seeded numpy.random.Generator instead",
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in self._ALLOWED:
+                            yield module.finding(
+                                self.id, node,
+                                f"legacy numpy.random.{alias.name} uses the "
+                                "global RNG; use a seeded Generator "
+                                "(np.random.default_rng(seed)) instead",
+                            )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _resolve(node.func, imports)
+            if dotted is None:
+                continue
+            if dotted == "random" or dotted.startswith("random."):
+                yield module.finding(
+                    self.id, node,
+                    f"`{dotted}(...)` draws from the stdlib global RNG; "
+                    "use a seeded numpy.random.Generator instead",
+                )
+            elif dotted.startswith("numpy.random."):
+                member = dotted.split(".", 2)[2].split(".")[0]
+                if member == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield module.finding(
+                            self.id, node,
+                            "default_rng() without a seed is entropy-seeded "
+                            "and unreproducible; pass an explicit seed or "
+                            "thread a Generator parameter through",
+                        )
+                elif member not in self._ALLOWED:
+                    yield module.finding(
+                        self.id, node,
+                        f"legacy global-API call numpy.random.{member}(...); "
+                        "use a passed-in or default_rng(seed) Generator",
+                    )
+
+
+# ----------------------------------------------------------------------
+# IO001 — persistence through the artifact store
+# ----------------------------------------------------------------------
+@register
+class AtomicIoRule(Rule):
+    """Ban raw write-mode I/O outside ``repro/store/``."""
+
+    id = "IO001"
+    title = "persistence must go through repro.store"
+    rationale = (
+        "Raw open(..., 'w') / np.savez / pickle.dump writes can be torn by "
+        "interruption, which is exactly how the seed model cache got "
+        "poisoned with truncated archives.  The ArtifactStore (and its "
+        "atomic_write_* helpers) write temp+os.replace with SHA-256 "
+        "manifests, so all persistence must flow through it."
+    )
+    scopes = ("src",)
+    exempt = ("repro/store/",)
+
+    _WRITE_FUNCS = frozenset({
+        "numpy.save", "numpy.savez", "numpy.savez_compressed",
+        "numpy.savetxt", "pickle.dump", "json.dump", "marshal.dump",
+        "shelve.open",
+    })
+    _WRITE_METHODS = frozenset({"write_text", "write_bytes", "tofile"})
+
+    @staticmethod
+    def _mode_arg(node: ast.Call, positional_index: int) -> Optional[ast.expr]:
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                return kw.value
+        if len(node.args) > positional_index:
+            return node.args[positional_index]
+        return None
+
+    @classmethod
+    def _is_write_mode(cls, mode: Optional[ast.expr]) -> bool:
+        if mode is None:
+            return False  # default "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(flag in mode.value for flag in "wax+")
+        return False  # dynamic mode: give the benefit of the doubt
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _resolve(node.func, imports)
+            if dotted in self._WRITE_FUNCS:
+                yield module.finding(
+                    self.id, node,
+                    f"raw `{dotted}(...)` bypasses the atomic artifact "
+                    "store; use ArtifactStore.put_* or "
+                    "repro.store.atomic_write_* instead",
+                )
+                continue
+            name = _call_name(node)
+            if name in self._WRITE_METHODS:
+                yield module.finding(
+                    self.id, node,
+                    f"`.{name}(...)` writes without temp+rename atomicity; "
+                    "use ArtifactStore.put_* or atomic_write_bytes instead",
+                )
+                continue
+            if name == "open":
+                # builtin open(path, mode) vs Path.open(mode): the mode is
+                # the second positional for the former, first for the latter.
+                positional = 1 if isinstance(node.func, ast.Name) else 0
+                if self._is_write_mode(self._mode_arg(node, positional)):
+                    yield module.finding(
+                        self.id, node,
+                        "open() in write mode bypasses the atomic artifact "
+                        "store; use ArtifactStore.put_* or "
+                        "atomic_write_bytes instead",
+                    )
+
+
+# ----------------------------------------------------------------------
+# UNIT001 — SI prefix constants for physical parameters
+# ----------------------------------------------------------------------
+@register
+class SiUnitsRule(Rule):
+    """Physical bindings must use ``repro.units`` prefix constants."""
+
+    id = "UNIT001"
+    title = "use repro.units prefix constants"
+    rationale = (
+        "Eq. 1-6 parameterization reads like a datasheet when every "
+        "physical constant is `100 * FEMTO`-style; bare `1e-13` literals "
+        "hide unit errors (off-by-10^3 in a capacitance silently rescales "
+        "the whole energy model) and defeat review."
+    )
+    scopes = ("src",)
+    exempt = ("repro/units.py",)
+
+    _PREFIXES = (
+        (1e12, "TERA"), (1e9, "GIGA"), (1e6, "MEGA"), (1e3, "KILO"),
+        (1e-3, "MILLI"), (1e-6, "MICRO"), (1e-9, "NANO"), (1e-12, "PICO"),
+        (1e-15, "FEMTO"), (1e-18, "ATTO"), (1e-21, "ZEPTO"), (1e-24, "YOCTO"),
+    )
+    #: full-name prefixes that mark a physical quantity (c_gd, r_on, ...)
+    _NAME_PREFIXES = ("c_", "r_", "v_", "t_", "g_", "l_", "tau_")
+    #: underscore-separated tokens that mark a physical quantity
+    _NAME_TOKENS = frozenset({
+        "cap", "capacitance", "capacitances", "resistance", "resistances",
+        "voltage", "voltages", "current", "currents", "tau", "dt", "freq",
+        "frequency", "period", "width", "widths", "time", "times",
+        "latency", "slice", "duration", "elapsed", "age", "ages",
+    })
+
+    @classmethod
+    def _physical_name(cls, name: str) -> bool:
+        lowered = name.lower()
+        if lowered.startswith(cls._NAME_PREFIXES):
+            return True
+        return any(tok in cls._NAME_TOKENS for tok in lowered.split("_"))
+
+    @classmethod
+    def _suggest(cls, value: float) -> str:
+        for scale, constant in cls._PREFIXES:
+            scaled = value / scale
+            if 1 <= abs(scaled) < 1000:
+                return f"{scaled:g} * {constant}"
+        return f"{value:g}"
+
+    def _scientific_literals(
+        self, expr: ast.expr, module: ModuleSource
+    ) -> Iterator[ast.Constant]:
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Constant):
+                continue
+            if not isinstance(sub.value, float):
+                continue
+            segment = ast.get_source_segment(module.text, sub) or ""
+            if "e" in segment.lower() and "." not in segment.lower().split("e")[1]:
+                yield sub
+
+    def _bindings(
+        self, module: ModuleSource
+    ) -> Iterator[Tuple[str, ast.expr]]:
+        """(name, value-expression) pairs of every named binding."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+                if isinstance(target, ast.Name):
+                    yield target.id, node.value
+                elif isinstance(target, ast.Attribute):
+                    yield target.attr, node.value
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id, node.value
+                    elif isinstance(target, ast.Attribute):
+                        yield target.attr, node.value
+            elif isinstance(node, ast.keyword) and node.arg:
+                yield node.arg, node.value
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                spec = node.args
+                params = spec.posonlyargs + spec.args
+                defaults: Sequence[Optional[ast.expr]] = spec.defaults
+                for param, default in zip(
+                    params[len(params) - len(defaults):], defaults
+                ):
+                    if default is not None:
+                        yield param.arg, default
+                for param, default in zip(spec.kwonlyargs, spec.kw_defaults):
+                    if default is not None:
+                        yield param.arg, default
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        seen = set()
+        for name, value in self._bindings(module):
+            if not self._physical_name(name):
+                continue
+            for literal in self._scientific_literals(value, module):
+                key = (literal.lineno, literal.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                segment = ast.get_source_segment(module.text, literal)
+                yield module.finding(
+                    self.id, literal,
+                    f"physical binding `{name}` uses bare literal "
+                    f"`{segment}`; write `{self._suggest(literal.value)}` "
+                    "with repro.units prefix constants",
+                )
+
+
+# ----------------------------------------------------------------------
+# TEST001 — tolerance-aware float assertions
+# ----------------------------------------------------------------------
+@register
+class FloatEqualityRule(Rule):
+    """Ban ``==``/``!=`` against float expressions in tests."""
+
+    id = "TEST001"
+    title = "float comparisons need a tolerance"
+    rationale = (
+        "Exact float equality in tests couples the suite to one libm / "
+        "SIMD path: results that are correct to 1 ulp fail on another "
+        "platform.  np.isclose / pytest.approx / assert_allclose make the "
+        "tolerance explicit."
+    )
+    scopes = ("tests",)
+
+    _TOLERANT = frozenset({"approx", "isclose", "allclose", "assert_allclose"})
+
+    @classmethod
+    def _float_like(cls, node: ast.expr) -> bool:
+        """The expression *textually contains* a float literal operand."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return cls._float_like(node.operand)
+        if isinstance(node, ast.BinOp):
+            return cls._float_like(node.left) or cls._float_like(node.right)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(cls._float_like(el) for el in node.elts)
+        return False
+
+    @classmethod
+    def _has_tolerance(cls, operands: Iterable[ast.expr]) -> bool:
+        for operand in operands:
+            for sub in ast.walk(operand):
+                if isinstance(sub, ast.Call) and _call_name(sub) in cls._TOLERANT:
+                    return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if not any(self._float_like(operand) for operand in operands):
+                continue
+            if self._has_tolerance(operands):
+                continue
+            yield module.finding(
+                self.id, node,
+                "exact ==/!= against a float expression; use "
+                "pytest.approx, np.isclose or "
+                "np.testing.assert_allclose",
+            )
+
+
+# ----------------------------------------------------------------------
+# ERR001 — the repro.errors taxonomy
+# ----------------------------------------------------------------------
+@register
+class ErrorTaxonomyRule(Rule):
+    """Library raises must come from :mod:`repro.errors`."""
+
+    id = "ERR001"
+    title = "raise repro.errors types, not bare builtins"
+    rationale = (
+        "Callers catch library failures with a single `except ReproError` "
+        "and discriminate the domain from the subclass; a bare ValueError "
+        "escapes that contract and turns a domain failure into an "
+        "anonymous crash."
+    )
+    scopes = ("src",)
+    exempt = ("repro/errors.py",)
+
+    _BANNED = frozenset({
+        "Exception", "BaseException", "ValueError", "TypeError",
+        "RuntimeError", "KeyError", "IndexError", "LookupError",
+        "ArithmeticError", "ZeroDivisionError", "OSError", "IOError",
+        "StopIteration",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in self._BANNED:
+                yield module.finding(
+                    self.id, node,
+                    f"raise {exc.id} is outside the repro.errors taxonomy; "
+                    "raise a ReproError subclass (ConfigurationError, "
+                    "DeviceError, ...) so callers can catch by domain",
+                )

@@ -1,0 +1,225 @@
+"""File discovery, rule dispatch, baselines and report rendering.
+
+The runner walks ``src/`` and ``tests/`` (or any explicit path list),
+classifies each module as library or test code, applies every
+registered rule whose scope matches, filters findings through an
+optional baseline file, and renders the result as text or JSON.
+
+A baseline is a JSON file of finding fingerprints (rule + file + line
+text).  ``repro lint --write-baseline`` snapshots the current findings;
+subsequent runs with ``--baseline`` suppress exactly those, so the gate
+can land before the last violation is fixed.  The shipped tree needs no
+baseline — the suite asserts it lints clean (see
+``tests/analysis/test_lint_selfhost.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ...errors import ConfigurationError
+from ...store.atomic import atomic_write_json
+from .findings import Finding
+from .rules import RULES, ModuleSource, Rule
+
+__all__ = [
+    "LintReport",
+    "ModuleSource",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]
+
+#: directories never descended into
+_SKIP_DIRS = {".git", ".cache", "__pycache__", ".ruff_cache", ".mypy_cache",
+              ".pytest_cache", "node_modules", ".venv", "venv"}
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes
+    ----------
+    findings:
+        Unsuppressed findings, sorted by (path, line, rule).
+    suppressed:
+        How many findings the baseline filtered out.
+    files:
+        Number of files checked.
+    errors:
+        Files that could not be parsed, with the reason.
+    """
+
+    findings: List[Finding]
+    suppressed: int = 0
+    files: int = 0
+    errors: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def classify_scope(rel_path: str) -> str:
+    """``"tests"`` for test modules, ``"src"`` for everything else."""
+    parts = rel_path.replace(os.sep, "/").split("/")
+    if "tests" in parts or parts[-1].startswith("test_"):
+        return "tests"
+    return "src"
+
+
+def _iter_python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        if path.endswith(".py"):
+            yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_file(
+    path: str,
+    root: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run all (or the given) rules over one file."""
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    rel = rel.replace(os.sep, "/")
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    module = ModuleSource.parse(text, rel, classify_scope(rel))
+    findings: List[Finding] = []
+    for rule in (rules if rules is not None else RULES.values()):
+        if rule.applies_to(module):
+            findings.extend(rule.check(module))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` (no baseline filtering)."""
+    root = root if root is not None else os.getcwd()
+    findings: List[Finding] = []
+    errors: List[str] = []
+    files = 0
+    for path in paths:
+        if not os.path.exists(path):
+            raise ConfigurationError(f"lint path does not exist: {path!r}")
+        for filename in _iter_python_files(path):
+            files += 1
+            try:
+                findings.extend(lint_file(filename, root, rules))
+            except SyntaxError as exc:
+                errors.append(f"{filename}: syntax error: {exc}")
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(findings=findings, files=files, errors=errors)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read a baseline file into a set of suppression fingerprints."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or not isinstance(
+        data.get("fingerprints"), list
+    ):
+        raise ConfigurationError(
+            f"baseline {path!r} must be {{'fingerprints': [...]}}"
+        )
+    return set(data["fingerprints"])
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` as a baseline (atomic write)."""
+    atomic_write_json(path, {
+        "version": 1,
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    })
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    root: Optional[str] = None,
+    baseline: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """The full pipeline: discover, check, baseline-filter.
+
+    Parameters
+    ----------
+    paths:
+        Files/directories to lint (default: ``src`` and ``tests`` under
+        ``root`` when they exist).
+    root:
+        Repo root for relative paths (default: cwd).
+    baseline:
+        Optional baseline file; matching findings are suppressed.
+    rules:
+        Optional rule-id subset (default: all registered rules).
+    """
+    root = os.path.abspath(root if root is not None else os.getcwd())
+    if paths is None:
+        paths = [p for p in (os.path.join(root, "src"),
+                             os.path.join(root, "tests"))
+                 if os.path.isdir(p)]
+        if not paths:
+            raise ConfigurationError(
+                f"no src/ or tests/ under {root!r}; pass explicit paths"
+            )
+    selected: Optional[List[Rule]] = None
+    if rules is not None:
+        from .rules import get_rule
+
+        selected = [get_rule(rule_id) for rule_id in rules]
+    report = lint_paths(paths, root=root, rules=selected)
+    if baseline is not None:
+        known = load_baseline(baseline)
+        kept = [f for f in report.findings if f.fingerprint() not in known]
+        report.suppressed = len(report.findings) - len(kept)
+        report.findings = kept
+    return report
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report (one finding per line + summary)."""
+    lines = [f.render() for f in report.findings]
+    lines.extend(f"error: {e}" for e in report.errors)
+    by_rule: Dict[str, int] = {}
+    for f in report.findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+    lines.append(
+        f"checked {report.files} file(s): "
+        + (f"{len(report.findings)} finding(s) ({summary})"
+           if report.findings else "clean")
+        + (f", {report.suppressed} baselined" if report.suppressed else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report for the CI gate."""
+    return json.dumps({
+        "findings": [f.to_json() for f in report.findings],
+        "errors": report.errors,
+        "files": report.files,
+        "suppressed": report.suppressed,
+        "clean": report.clean,
+    }, indent=2, sort_keys=True) + "\n"

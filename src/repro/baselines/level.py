@@ -24,6 +24,7 @@ from ..energy.components import get_component
 from ..energy.model import DesignBudget, PowerReport
 from ..energy.technology import TechnologyParameters
 from ..errors import ConfigurationError
+from ..units import NANO
 from .base import PIMDesign
 
 __all__ = ["LevelBasedPIM"]
@@ -62,7 +63,7 @@ class LevelBasedPIM(PIMDesign):
         dac_bits: int = 6,
         adc_bits: int = 8,
         adc_share: int = 8,
-        conversion_time: float = 100e-9,
+        conversion_time: float = 100 * NANO,
         read_voltage: float = 0.2,
         mean_cell_conductance: float = 0.5 * (1 / 50e3 + 1 / 1e6),
         input_mean_square: float = 1.0 / 3.0,

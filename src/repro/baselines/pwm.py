@@ -24,6 +24,7 @@ from ..energy.components import get_component
 from ..energy.model import DesignBudget, PowerReport
 from ..energy.technology import TechnologyParameters
 from ..errors import ConfigurationError
+from ..units import NANO
 from .base import PIMDesign
 
 __all__ = ["PWMBasedPIM"]
@@ -56,7 +57,7 @@ class PWMBasedPIM(PIMDesign):
         rows: int = 32,
         cols: int = 32,
         pulse_window: float = 320e-9,
-        conversion_time: float = 320e-9,
+        conversion_time: float = 320 * NANO,
         clock: float = 1e9,
         pulse_voltage: float = 1.0,
         adc_bits: int = 8,

@@ -26,6 +26,7 @@ from ..energy.components import get_component
 from ..energy.model import DesignBudget, PowerReport
 from ..energy.technology import TechnologyParameters
 from ..errors import ConfigurationError
+from ..units import NANO
 from .base import PIMDesign
 
 __all__ = ["RateCodingPIM"]
@@ -59,7 +60,7 @@ class RateCodingPIM(PIMDesign):
         cols: int = 32,
         window: float = 400e-9,
         max_spikes: int = 128,
-        spike_width: float = 1e-9,
+        spike_width: float = 1 * NANO,
         spike_voltage: float = 0.4,
         stochastic: bool = False,
         mean_cell_conductance: float = 0.5 * (1 / 50e3 + 1 / 1e6),

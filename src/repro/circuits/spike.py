@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..errors import EncodingError
+from ..units import NANO
 
 __all__ = ["SingleSpike", "SpikeTrain", "NO_SPIKE"]
 
@@ -36,7 +37,7 @@ class SingleSpike:
     """
 
     time: Optional[float]
-    width: float = 1e-9
+    width: float = 1 * NANO
 
     def __post_init__(self) -> None:
         if self.width <= 0:
@@ -84,7 +85,7 @@ class SpikeTrain:
     """
 
     times: Tuple[float, ...]
-    width: float = 1e-9
+    width: float = 1 * NANO
 
     def __post_init__(self) -> None:
         if self.width <= 0:
@@ -97,7 +98,7 @@ class SpikeTrain:
         object.__setattr__(self, "times", times)
 
     @classmethod
-    def uniform(cls, count: int, window: float, width: float = 1e-9) -> "SpikeTrain":
+    def uniform(cls, count: int, window: float, width: float = 1 * NANO) -> "SpikeTrain":
         """Evenly spaced train of ``count`` spikes across ``window``."""
         if count < 0:
             raise EncodingError(f"spike count must be >= 0, got {count!r}")
@@ -110,7 +111,7 @@ class SpikeTrain:
         return cls(times=times, width=width)
 
     @classmethod
-    def from_times(cls, times: Iterable[float], width: float = 1e-9) -> "SpikeTrain":
+    def from_times(cls, times: Iterable[float], width: float = 1 * NANO) -> "SpikeTrain":
         """Train from an explicit (sorted) time sequence."""
         return cls(times=tuple(float(t) for t in times), width=width)
 

@@ -132,6 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--save-report", metavar="PATH", default=None,
                         help="also write the report as JSON (atomic)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="check reproducibility invariants (seeded RNG, atomic IO, "
+             "SI units, float-eq, error taxonomy)",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint "
+                           "(default: src/ and tests/ under --root)")
+    lint.add_argument("--root", default=None,
+                      help="repo root for relative paths (default: cwd)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format", help="report format")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppress findings fingerprinted in FILE")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="snapshot current findings as a baseline and "
+                           "exit 0")
+    lint.add_argument("--rules", nargs="+", default=None, metavar="ID",
+                      help="run only these rule ids (e.g. RNG001 IO001)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     cache = sub.add_parser(
         "cache",
         help="inspect or maintain the model artifact store "
@@ -292,6 +314,40 @@ def _run_deploy(args: argparse.Namespace) -> str:
     return text
 
 
+def _run_lint(args: argparse.Namespace) -> "tuple[str, int]":
+    from .analysis.lint import (
+        RULES,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        lines = []
+        for rule in RULES.values():
+            scopes = "/".join(rule.scopes)
+            lines.append(f"{rule.id}  [{scopes}]  {rule.title}")
+            lines.append(f"    {rule.rationale}")
+        return "\n".join(lines), 0
+    report = run_lint(
+        paths=args.paths or None,
+        root=args.root,
+        baseline=args.baseline,
+        rules=args.rules,
+    )
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report.findings)
+        return (
+            f"wrote baseline with {len(report.findings)} fingerprint(s) "
+            f"to {args.write_baseline}",
+            0,
+        )
+    text = (render_json(report) if args.output_format == "json"
+            else render_text(report))
+    return text, report.exit_code
+
+
 def _run_cache(args: argparse.Namespace) -> str:
     from .store import get_store
 
@@ -325,6 +381,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        text, code = _run_lint(args)
+        print(text)
+        return code
     handlers = {
         "info": lambda: _run_info(),
         "fig1": lambda: _run_fig1(),

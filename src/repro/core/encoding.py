@@ -24,6 +24,7 @@ import numpy as np
 
 from ..circuits.spike import NO_SPIKE, SingleSpike
 from ..errors import EncodingError
+from ..units import NANO
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -48,9 +49,9 @@ class SingleSpikeCodec:
         Whether the value 0 is encoded as "no spike".
     """
 
-    t_max: float = 80e-9
-    slice_length: float = 100e-9
-    spike_width: float = 1e-9
+    t_max: float = 80 * NANO
+    slice_length: float = 100 * NANO
+    spike_width: float = 1 * NANO
     sparse_zero: bool = True
 
     def __post_init__(self) -> None:

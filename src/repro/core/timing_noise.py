@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -91,7 +91,7 @@ def effective_bits(
     sigma_v: float = 0.5e-3,
     sigma_delay: float = 10e-12,
     sigma_clock: float = 5e-12,
-    t_full_scale: float = None,
+    t_full_scale: Optional[float] = None,
 ) -> float:
     """Effective output resolution in bits.
 

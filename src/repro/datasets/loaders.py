@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import zipfile
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -64,7 +64,9 @@ class Dataset:
 
 
 def train_test_split(
-    data: Dataset, test_fraction: float = 0.2, rng: np.random.Generator = None
+    data: Dataset,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[Dataset, Dataset]:
     """Shuffle and split into train/test datasets."""
     if not 0 < test_fraction < 1:
@@ -76,7 +78,9 @@ def train_test_split(
 
 
 def batches(
-    data: Dataset, batch_size: int, rng: np.random.Generator = None
+    data: Dataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
     """Yield shuffled ``(images, labels)`` mini-batches."""
     if batch_size < 1:

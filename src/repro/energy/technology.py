@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import ConfigurationError
+from ..units import FEMTO, MILLI
 
 __all__ = ["TechnologyParameters"]
 
@@ -42,9 +43,9 @@ class TechnologyParameters:
     node: float = 65e-9
     supply: float = 1.0
     clock: float = 1e9
-    mim_cap_density: float = 2e-3  # F/m^2  == 2 fF/µm²
+    mim_cap_density: float = 2 * MILLI  # F/m^2  == 2 fF/µm²
     reram_cell_area_f2: float = 30.0
-    gate_cap: float = 0.4e-15
+    gate_cap: float = 0.4 * FEMTO
 
     def __post_init__(self) -> None:
         for name in ("node", "supply", "clock", "mim_cap_density",

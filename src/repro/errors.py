@@ -13,8 +13,14 @@ class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
 
 
-class ConfigurationError(ReproError):
-    """A parameter bundle is internally inconsistent or out of range."""
+class ConfigurationError(ReproError, ValueError):
+    """A parameter bundle is internally inconsistent or out of range.
+
+    Also derives from :class:`ValueError` so long-standing callers that
+    guard bad-argument paths with ``except ValueError`` keep working now
+    that validation helpers (e.g. :mod:`repro.units`) raise from the
+    taxonomy.
+    """
 
 
 class CircuitError(ReproError):

@@ -17,7 +17,7 @@ from typing import Optional, Sequence, Tuple
 from ..config import CircuitParameters
 from ..core.mac import SingleSpikeMAC
 from ..errors import CircuitError
-from ..units import si_format
+from ..units import KILO, si_format
 
 __all__ = ["Fig1Result", "run_fig1", "render_fig1"]
 
@@ -63,8 +63,8 @@ class Fig1Result:
 def run_fig1(
     params: Optional[CircuitParameters] = None,
     layer1_spikes: Tuple[float, float] = (25e-9, 60e-9),
-    layer1_resistances: Tuple[float, float] = (50e3, 120e3),
-    layer2_resistances: Tuple[float, float] = (80e3, 300e3),
+    layer1_resistances: Tuple[float, float] = (50 * KILO, 120 * KILO),
+    layer2_resistances: Tuple[float, float] = (80 * KILO, 300 * KILO),
 ) -> Fig1Result:
     """Run the two-layer chained-MAC demonstration."""
     p = params if params is not None else CircuitParameters.calibrated()

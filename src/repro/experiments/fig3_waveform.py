@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 from ..config import CircuitParameters
 from ..core.mac import MACWaveforms, SingleSpikeMAC
-from ..units import si_format
+from ..units import KILO, NANO, PICO, si_format
 
 __all__ = ["Fig3Result", "run_fig3", "render_fig3"]
 
@@ -59,8 +59,8 @@ class Fig3Result:
 
 def run_fig3(
     params: Optional[CircuitParameters] = None,
-    spike_times: Tuple[float, float] = (40e-9, 70e-9),
-    resistances: Tuple[float, float] = (50e3, 200e3),
+    spike_times: Tuple[float, float] = (40 * NANO, 70 * NANO),
+    resistances: Tuple[float, float] = (50 * KILO, 200 * KILO),
     points_per_segment: int = 64,
 ) -> Fig3Result:
     """Reproduce Fig. 3 with the paper's two-input MAC.
@@ -75,10 +75,10 @@ def run_fig3(
 
     slice_end = p.slice_length
     held = tuple(
-        float(waves.held_inputs[i](slice_end - p.dt - 1e-12))
+        float(waves.held_inputs[i](slice_end - p.dt - 1 * PICO))
         for i in range(len(spike_times))
     )
-    v_out = float(waves.column(slice_end + 1e-12))
+    v_out = float(waves.column(slice_end + 1 * PICO))
     return Fig3Result(
         waveforms=waves,
         params=p,

@@ -59,72 +59,78 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Architectures
 # ----------------------------------------------------------------------
-def _mlp1() -> Sequential:
-    return Sequential([Dense(784, 10)], name="MLP-1")
+def _mlp1(rng: Optional[np.random.Generator] = None) -> Sequential:
+    return Sequential([Dense(784, 10, rng=rng)], name="MLP-1")
 
 
-def _mlp2() -> Sequential:
+def _mlp2(rng: Optional[np.random.Generator] = None) -> Sequential:
     return Sequential(
-        [Dense(784, 128), ReLU(), Dense(128, 10)], name="MLP-2"
+        [Dense(784, 128, rng=rng), ReLU(), Dense(128, 10, rng=rng)],
+        name="MLP-2",
     )
 
 
-def _lenet() -> Sequential:
+def _lenet(rng: Optional[np.random.Generator] = None) -> Sequential:
     # Classic LeNet shape on 28x28: conv5 -> pool -> conv5 -> pool -> fc -> fc.
     return Sequential(
         [
-            Conv2D(1, 6, kernel=5, pad=2), ReLU(), AvgPool2D(2),
-            Conv2D(6, 16, kernel=5, pad=0), ReLU(), AvgPool2D(2),
+            Conv2D(1, 6, kernel=5, pad=2, rng=rng), ReLU(), AvgPool2D(2),
+            Conv2D(6, 16, kernel=5, pad=0, rng=rng), ReLU(), AvgPool2D(2),
             Flatten(),
-            Dense(16 * 5 * 5, 84), ReLU(),
-            Dense(84, 10),
+            Dense(16 * 5 * 5, 84, rng=rng), ReLU(),
+            Dense(84, 10, rng=rng),
         ],
         name="CNN-1",
     )
 
 
-def _alexnet_style() -> Sequential:
+def _alexnet_style(rng: Optional[np.random.Generator] = None) -> Sequential:
     # AlexNet-style on 16x16x3: 3 conv stages + 2 fc, channel-reduced.
     # The first conv keeps AlexNet's large receptive field (11x11 at
     # full scale -> 5x5 here), which also carries its PV robustness:
     # a wide fan-in averages per-cell conductance variation.
     return Sequential(
         [
-            Conv2D(3, 16, kernel=5, pad=2), ReLU(), MaxPool2D(2),
-            Conv2D(16, 32, kernel=3, pad=1), ReLU(), MaxPool2D(2),
-            Conv2D(32, 32, kernel=3, pad=1), ReLU(),
+            Conv2D(3, 16, kernel=5, pad=2, rng=rng), ReLU(), MaxPool2D(2),
+            Conv2D(16, 32, kernel=3, pad=1, rng=rng), ReLU(), MaxPool2D(2),
+            Conv2D(32, 32, kernel=3, pad=1, rng=rng), ReLU(),
             Flatten(),
-            Dense(32 * 4 * 4, 64), ReLU(),
-            Dense(64, 10),
+            Dense(32 * 4 * 4, 64, rng=rng), ReLU(),
+            Dense(64, 10, rng=rng),
         ],
         name="CNN-2",
     )
 
 
-def _vgg_style(conv_blocks: Sequence[Tuple[int, int]], name: str) -> Sequential:
+def _vgg_style(
+    conv_blocks: Sequence[Tuple[int, int]],
+    name: str,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
     """VGG-style builder: blocks of (convs, channels) + pool each."""
     layers: list = []
     in_ch = 3
     for convs, channels in conv_blocks:
         for _ in range(convs):
-            layers += [Conv2D(in_ch, channels, kernel=3, pad=1), ReLU()]
+            layers += [Conv2D(in_ch, channels, kernel=3, pad=1, rng=rng), ReLU()]
             in_ch = channels
         layers.append(MaxPool2D(2))
     layers.append(Flatten())
     # After len(conv_blocks) pools on a 16x16 input.
     spatial = 16 // (2 ** len(conv_blocks))
-    layers += [Dense(in_ch * spatial * spatial, 64), ReLU(), Dense(64, 10)]
+    layers += [Dense(in_ch * spatial * spatial, 64, rng=rng), ReLU(),
+               Dense(64, 10, rng=rng)]
     return Sequential(layers, name=name)
 
 
-def _vgg16_style() -> Sequential:
+def _vgg16_style(rng: Optional[np.random.Generator] = None) -> Sequential:
     # 10 conv + 2 fc (VGG16 is 13 + 3 at full scale).
-    return _vgg_style([(2, 8), (2, 16), (3, 32), (3, 32)], "CNN-3")
+    return _vgg_style([(2, 8), (2, 16), (3, 32), (3, 32)], "CNN-3", rng=rng)
 
 
-def _vgg19_style() -> Sequential:
+def _vgg19_style(rng: Optional[np.random.Generator] = None) -> Sequential:
     # 12 conv + 2 fc (VGG19 is 16 + 3 at full scale).
-    return _vgg_style([(2, 8), (2, 16), (4, 32), (4, 32)], "CNN-4")
+    return _vgg_style([(2, 8), (2, 16), (4, 32), (4, 32)], "CNN-4", rng=rng)
 
 
 # ----------------------------------------------------------------------
@@ -143,7 +149,9 @@ class NetworkSpec:
     dataset:
         ``"mnist"`` or ``"cifar"`` (synthetic variants).
     build:
-        Zero-argument architecture factory.
+        Architecture factory; accepts an optional ``rng`` Generator so
+        weight initialisation derives from the caller's master seed
+        (no argument falls back to per-layer shape-derived seeds).
     epochs / lr / batch_size:
         Training recipe.
     flatten_input:
@@ -153,7 +161,7 @@ class NetworkSpec:
     key: str
     display: str
     dataset: str
-    build: Callable[[], Sequential]
+    build: Callable[..., Sequential]
     epochs: int
     lr: float = 2e-3
     batch_size: int = 64
@@ -292,7 +300,10 @@ def _train_one(
     verbose: bool,
 ) -> TrainedNetwork:
     train, test = _dataset_for(spec, n_samples, seed)
-    model = spec.build()
+    # Weight init draws from the same master seed as data and training
+    # (stream seed + 3; split uses seed + 1, the trainer seed + 2), so a
+    # campaign seed pins the *whole* pipeline, not just the shuffles.
+    model = spec.build(rng=np.random.default_rng(seed + 3))
     store = key = fingerprint = None
     if cache_dir:
         store = get_store(cache_dir)

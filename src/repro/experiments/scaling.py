@@ -22,7 +22,7 @@ with node) rests on physics, not on the blended exponent.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.tables import render_table
 from ..config import CircuitParameters
@@ -83,7 +83,7 @@ def _scaled_params(base: CircuitParameters, s: float,
 
 def run_scaling(
     nodes: Sequence[float] = (65e-9, 45e-9, 28e-9, 16e-9),
-    base_params: CircuitParameters = None,
+    base_params: Optional[CircuitParameters] = None,
 ) -> List[ScalingPoint]:
     """Project the ReSiPE engine across technology nodes."""
     if not nodes:

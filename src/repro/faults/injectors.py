@@ -36,6 +36,7 @@ import numpy as np
 
 from ..errors import DeviceError
 from ..reram.device import DeviceSpec
+from ..units import TERA
 from ..reram.endurance import EnduranceModel
 from ..reram.retention import RetentionModel
 from ..reram.variation import StuckAtFaultModel, VariationModel
@@ -251,4 +252,4 @@ class CompositeInjector(FaultInjector):
 # The normalised-weight window used when no DeviceSpec is supplied:
 # resistances 1 Ohm / 1e12 Ohm give conductances ~[0, 1] so stuck-on
 # pins to 1.0 and stuck-off to (numerically) 0.
-_UNIT_WINDOW = DeviceSpec(r_lrs=1.0, r_hrs=1e12)
+_UNIT_WINDOW = DeviceSpec(r_lrs=1.0, r_hrs=1 * TERA)

@@ -18,7 +18,7 @@ quantised weights bit-for-bit.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -110,7 +110,7 @@ class BitSlicingBackend(HardwareBackend):
 
     total_bits: int = 8
     bits_per_slice: int = 2
-    inner: HardwareBackend = None
+    inner: Optional[HardwareBackend] = None
 
     def __post_init__(self) -> None:
         if self.total_bits < 1 or self.bits_per_slice < 1:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import DeviceError
+from ..units import KILO, PICO
 from .device import DeviceSpec, ReRAMDevice
 
 __all__ = ["OneTransistorOneReRAM"]
@@ -37,8 +38,8 @@ class OneTransistorOneReRAM:
     """
 
     device: ReRAMDevice
-    r_on: float = 1e3
-    g_leak: float = 1e-12
+    r_on: float = 1 * KILO
+    g_leak: float = 1 * PICO
     selected: bool = True
 
     def __post_init__(self) -> None:
@@ -48,7 +49,7 @@ class OneTransistorOneReRAM:
             raise DeviceError(f"leakage must be >= 0, got {self.g_leak!r}")
 
     @classmethod
-    def fresh(cls, spec: DeviceSpec, r_on: float = 1e3) -> "OneTransistorOneReRAM":
+    def fresh(cls, spec: DeviceSpec, r_on: float = 1 * KILO) -> "OneTransistorOneReRAM":
         """A cell with a freshly-formed device at HRS."""
         return cls(device=ReRAMDevice(spec), r_on=r_on)
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..circuits.mna import DCCircuit
 from ..errors import DeviceError, ShapeError
+from ..units import GIGA, NANO
 from .crossbar import CrossbarArray
 
 __all__ = ["WireParasitics", "IRDropSolver", "ParasiticThevenin"]
@@ -96,7 +97,7 @@ class WireParasitics:
     @classmethod
     def ideal(cls) -> "WireParasitics":
         """Vanishingly small parasitics (sanity-check configuration)."""
-        return cls(r_wire_wl=1e-9, r_wire_bl=1e-9, r_sense=1e-9)
+        return cls(r_wire_wl=1 * NANO, r_wire_bl=1 * NANO, r_sense=1 * NANO)
 
 
 class IRDropSolver:
@@ -180,7 +181,7 @@ class IRDropSolver:
             unit[i] = 1.0
             # 1e9 Ohm approximates an open sense foot while keeping the
             # MNA system well conditioned against the ~mOhm wire floor.
-            solution = self._solve_with_sense(unit, sense_resistance=1e9)
+            solution = self._solve_with_sense(unit, sense_resistance=1 * GIGA)
             for j in range(cols):
                 response[j, i] = solution.voltage(f"bl_{rows - 1}_{j}")
         # Thevenin resistance per column: drive 1 A into the sense foot

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Optional, Tuple
 
+from ..errors import ConfigurationError
+
 __all__ = ["MemoryLRU"]
 
 
@@ -19,7 +21,9 @@ class MemoryLRU:
 
     def __init__(self, max_entries: int = 64):
         if max_entries < 0:
-            raise ValueError(f"max_entries must be >= 0, got {max_entries!r}")
+            raise ConfigurationError(
+                f"max_entries must be >= 0, got {max_entries!r}"
+            )
         self.max_entries = max_entries
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 
+from .errors import ConfigurationError
+
 #: SI prefixes as multipliers.
 YOCTO = 1e-24
 ZEPTO = 1e-21
@@ -66,24 +68,35 @@ def si_format(value: float, unit: str = "", digits: int = 3) -> str:
     '2.5 mS'
     >>> si_format(0.0, "W")
     '0 W'
+
+    Values outside the prefix table (below atto or at/above 1000 tera
+    after rounding) fall back to plain scientific notation, and a value
+    that *rounds* across a prefix boundary is promoted to the larger
+    prefix (``999.96e-9 s`` at 4 digits renders ``1 us``, not
+    ``1000 ns``).
     """
     if value == 0 or not math.isfinite(value):
         return f"{value:g} {unit}".rstrip()
     magnitude = abs(value)
-    for scale, prefix in _PREFIXES:
+    for index, (scale, prefix) in enumerate(_PREFIXES):
         if magnitude >= scale:
-            scaled = value / scale
-            text = f"{scaled:.{digits}g}"
+            text = f"{value / scale:.{digits}g}"
+            if abs(float(text)) >= 1000:
+                if index == 0:  # no larger prefix: plain scientific
+                    break
+                scale, prefix = _PREFIXES[index - 1]
+                text = f"{value / scale:.{digits}g}"
+            if "e" in text:  # few digits of a >=100 value: re-render
+                text = f"{float(text):g}"
             return f"{text} {prefix}{unit}".rstrip()
-    scale, prefix = _PREFIXES[-1]
-    scaled = value / scale
-    return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+    # sub-atto or supra-tera: no prefix represents this cleanly
+    return f"{value:.{digits}g} {unit}".rstrip()
 
 
 def db(ratio: float) -> float:
     """Convert a power ratio to decibels."""
     if ratio <= 0:
-        raise ValueError(f"dB undefined for non-positive ratio {ratio!r}")
+        raise ConfigurationError(f"dB undefined for non-positive ratio {ratio!r}")
     return 10.0 * math.log10(ratio)
 
 
@@ -99,11 +112,11 @@ def parallel(*resistances: float) -> float:
     5000.0
     """
     if not resistances:
-        raise ValueError("parallel() requires at least one resistance")
+        raise ConfigurationError("parallel() requires at least one resistance")
     total_conductance = 0.0
     for r in resistances:
         if r <= 0:
-            raise ValueError(f"resistance must be positive, got {r!r}")
+            raise ConfigurationError(f"resistance must be positive, got {r!r}")
         total_conductance += 1.0 / r
     return 1.0 / total_conductance
 
@@ -111,12 +124,12 @@ def parallel(*resistances: float) -> float:
 def conductance(resistance: float) -> float:
     """Convert a resistance in ohms to a conductance in siemens."""
     if resistance <= 0:
-        raise ValueError(f"resistance must be positive, got {resistance!r}")
+        raise ConfigurationError(f"resistance must be positive, got {resistance!r}")
     return 1.0 / resistance
 
 
 def resistance(g: float) -> float:
     """Convert a conductance in siemens to a resistance in ohms."""
     if g <= 0:
-        raise ValueError(f"conductance must be positive, got {g!r}")
+        raise ConfigurationError(f"conductance must be positive, got {g!r}")
     return 1.0 / g

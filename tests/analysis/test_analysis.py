@@ -30,7 +30,7 @@ class TestFitting:
         x = np.linspace(0.1, 1, 10)
         fit = fit_linear(x, 4.0 * x, through_origin=True)
         assert fit.slope == pytest.approx(4.0)
-        assert fit.intercept == 0.0
+        assert fit.intercept == pytest.approx(0.0)
 
     def test_predict(self):
         fit = fit_linear(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
@@ -44,7 +44,7 @@ class TestFitting:
 
     def test_r_squared_constant_target(self):
         y = np.ones(5)
-        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y) == pytest.approx(1.0)
 
     def test_polynomial(self):
         x = np.linspace(-1, 1, 30)
@@ -85,7 +85,7 @@ class TestMetrics:
 class TestSweep:
     def test_collects_measurements(self):
         result = sweep("x", [1, 2, 3], lambda v: {"sq": v * v, "neg": -v})
-        assert result.series("sq").tolist() == [1.0, 4.0, 9.0]
+        assert result.series("sq").tolist() == pytest.approx([1.0, 4.0, 9.0])
         assert result.keys() == ["neg", "sq"]
 
     def test_as_rows(self):

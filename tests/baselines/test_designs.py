@@ -126,7 +126,7 @@ class TestRateCoding:
         d = RateCodingPIM(max_spikes=128)
         x = np.array([0.5004])
         q = d.encode_counts(x)
-        assert q[0] == 64.0
+        assert q[0] == pytest.approx(64.0)
 
     def test_stochastic_mode(self, rng):
         d = RateCodingPIM(stochastic=True)

@@ -60,8 +60,8 @@ class TestComparatorModel:
     def test_randomised_draws_fixed_offset(self):
         cmp = ComparatorModel(offset=0.0, offset_sigma=0.01)
         inst = cmp.randomised(np.random.default_rng(3))
-        assert inst.offset_sigma == 0.0
-        assert inst.offset != 0.0
+        assert inst.offset_sigma == pytest.approx(0.0)
+        assert inst.offset != pytest.approx(0.0)
 
     def test_randomised_noop_without_sigma(self):
         cmp = ComparatorModel(offset=0.005)
@@ -85,7 +85,7 @@ class TestElementDatatypes:
             Resistor("a", "a", 1e3)
 
     def test_capacitor_validation(self):
-        assert Capacitor("n", 1e-12).initial_voltage == 0.0
+        assert Capacitor("n", 1e-12).initial_voltage == pytest.approx(0.0)
         with pytest.raises(CircuitError):
             Capacitor("n", 0.0)
 

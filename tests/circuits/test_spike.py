@@ -27,12 +27,12 @@ class TestSingleSpike:
 
     def test_waveform_points(self):
         pts = SingleSpike(time=10e-9, width=1e-9).waveform_points(100e-9)
-        assert pts[0] == (0.0, 0.0)
-        assert pts[1][1] == 1.0
+        assert pts[0] == pytest.approx((0.0, 0.0))
+        assert pts[1][1] == pytest.approx(1.0)
 
     def test_waveform_points_no_spike(self):
         pts = NO_SPIKE.waveform_points(100e-9)
-        assert all(level == 0.0 for _, level in pts)
+        assert all(level == pytest.approx(0.0) for _, level in pts)
 
     def test_rejects_negative_time(self):
         with pytest.raises(EncodingError):
@@ -47,7 +47,7 @@ class TestSpikeTrain:
     def test_uniform(self):
         train = SpikeTrain.uniform(4, window=100e-9)
         assert train.count == 4
-        assert train.times[0] == 0.0
+        assert train.times[0] == pytest.approx(0.0)
         assert train.times[-1] == pytest.approx(75e-9)
 
     def test_uniform_zero(self):

@@ -64,7 +64,7 @@ class TestObjectInterface:
         assert spike.time == pytest.approx(0.0)
 
     def test_decode_no_spike(self, codec):
-        assert codec.decode(NO_SPIKE) == 0.0
+        assert codec.decode(NO_SPIKE) == pytest.approx(0.0)
 
     def test_decode_rejects_outside_slice(self, codec):
         with pytest.raises(EncodingError):

@@ -27,7 +27,7 @@ class TestGlobalDecoder:
     def test_no_spike_is_zero_volts(self, paper_params):
         gd = GlobalDecoder(paper_params)
         v = gd.voltages_from_times(np.array([np.nan, 10e-9]))
-        assert v[0] == 0.0
+        assert v[0] == pytest.approx(0.0)
         assert v[1] > 0.0
 
     def test_monotone_in_time(self, calibrated_params):

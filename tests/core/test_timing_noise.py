@@ -73,7 +73,7 @@ class TestEffectiveBits:
         assert quiet > noisy
 
     def test_zero_for_hopeless_noise(self, calibrated_params):
-        assert effective_bits(calibrated_params, sigma_v=10.0) == 0.0
+        assert effective_bits(calibrated_params, sigma_v=10.0) == pytest.approx(0.0)
 
     def test_validation(self, calibrated_params):
         with pytest.raises(CircuitError):

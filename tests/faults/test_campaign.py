@@ -30,7 +30,7 @@ class TestSpec:
     def test_grid_enumeration(self, spec):
         points = spec.points()
         assert len(points) == 4  # 2 rates x 1 sigma x 1 age x 2 trials
-        assert points[0] == (0.0, 0.0, 0.0, 0)
+        assert points[0] == pytest.approx((0.0, 0.0, 0.0, 0))
 
     def test_injector_composition(self, spec):
         assert spec.injector_for(0.0, 0.0, 0.0) is None
@@ -115,7 +115,7 @@ class TestCLI:
              "--seed", "7", "--backend", "ideal", "--no-remap"]
         )
         assert args.command == "faults"
-        assert args.rates == [0.0, 0.01]
+        assert args.rates == pytest.approx([0.0, 0.01])
         assert args.seed == 7
         assert args.no_remap
 

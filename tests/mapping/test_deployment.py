@@ -96,7 +96,7 @@ class TestSpareBudget:
     def test_default_reserves_nothing(self, mlp_network):
         report = plan_deployment(mlp_network)
         assert report.spare_tiles == 0
-        assert report.spare_fraction == 0.0
+        assert report.spare_fraction == pytest.approx(0.0)
 
     def test_spares_add_tiles_and_area(self, mlp_network):
         base = plan_deployment(mlp_network)

@@ -45,7 +45,7 @@ class TestMapping:
 
     def test_zero_matrix(self):
         diff = map_signed_weights(np.zeros((3, 3)))
-        assert diff.scale == 1.0
+        assert diff.scale == pytest.approx(1.0)
         recon, _ = diff.reconstruct()
         assert np.all(recon == 0)
 
@@ -70,7 +70,7 @@ class TestMapping:
         x = rng.random((3, 4))
         aug = diff.augment_inputs(x)
         assert aug.shape == (3, 5)
-        assert np.all(aug[:, 0] == 1.0)
+        assert np.allclose(aug[:, 0], 1.0)
 
     def test_augment_noop_without_bias(self, rng):
         diff = map_signed_weights(rng.normal(size=(4, 2)))

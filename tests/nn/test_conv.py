@@ -109,7 +109,7 @@ class TestPooling:
         pool.forward(x, training=True)
         dx = pool.backward(np.ones((1, 1, 2, 2)))
         assert dx.sum() == pytest.approx(4.0)
-        assert dx[0, 0, 1, 1] == 1.0  # the max of the first window
+        assert dx[0, 0, 1, 1] == pytest.approx(1.0)  # the max of the first window
 
     def test_maxpool_tie_breaking_single_route(self):
         pool = MaxPool2D(2)

@@ -229,7 +229,7 @@ class TestQuantise:
 
     def test_normalise_zero_matrix(self):
         normalised, scale = normalise_signed(np.zeros((2, 2)))
-        assert scale == 1.0
+        assert scale == pytest.approx(1.0)
         assert np.all(normalised == 0)
 
     def test_per_layer_scales(self, rng):

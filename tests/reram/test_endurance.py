@@ -29,7 +29,7 @@ class TestClosure:
 
     def test_closure_fraction_saturates(self):
         model = EnduranceModel(endurance_cycles=100)
-        assert model.closure_fraction(1_000_000) == 1.0
+        assert model.closure_fraction(1_000_000) == pytest.approx(1.0)
 
     def test_beta_accelerates_late_life(self, spec):
         half = 0.5e7
@@ -77,7 +77,7 @@ class TestLifetime:
 
     def test_already_below_target(self, spec):
         model = EnduranceModel()
-        assert model.cycles_to_dynamic_range(spec, spec.dynamic_range + 1) == 0.0
+        assert model.cycles_to_dynamic_range(spec, spec.dynamic_range + 1) == pytest.approx(0.0)
 
     def test_inference_only_use_is_safe(self, spec):
         """The paper's inference-only deployment writes each cell only

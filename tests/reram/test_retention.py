@@ -35,7 +35,7 @@ class TestDecayFactor:
 
     def test_never_negative(self):
         model = RetentionModel(nu=0.5)
-        assert float(model.decay_factor(1e30)) == 0.0
+        assert float(model.decay_factor(1e30)) == pytest.approx(0.0)
 
     def test_per_device_spread(self, rng):
         model = RetentionModel(nu=0.05, nu_sigma=0.3)

@@ -136,7 +136,7 @@ class TestInjectedCorruption:
         store.put_json(_key() + ".json", {"software_accuracy": 0.99},
                        spec_hash=fingerprint)
         net = _train_once()  # load_state_dict fails -> quarantine + retrain
-        assert net.software_accuracy != 0.99
+        assert net.software_accuracy != pytest.approx(0.99)
         assert os.path.exists(os.path.join(cache, _key() + ".npz.corrupt"))
 
     def test_stale_spec_hash_retrains_without_quarantine(self, cache):

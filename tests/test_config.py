@@ -12,7 +12,7 @@ from repro.errors import ConfigurationError
 class TestPaperPoint:
     def test_published_values(self, paper_params):
         p = paper_params
-        assert p.v_s == 1.0
+        assert p.v_s == pytest.approx(1.0)
         assert p.r_gd == pytest.approx(100e3)
         assert p.c_gd == pytest.approx(100e-15)
         assert p.c_cog == pytest.approx(100e-15)
