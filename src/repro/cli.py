@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="stuck-at-LRS cell fraction layered on each σ")
     fig7.add_argument("--stuck-off", type=float, default=0.0,
                       help="stuck-at-HRS cell fraction layered on each σ")
+    fig7.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="worker processes (results byte-identical at "
+                           "any count)")
+    fig7.add_argument("--trial-batch", type=int, default=1, metavar="T",
+                      help="Monte-Carlo trials per stacked forward pass")
 
     faults = sub.add_parser(
         "faults",
@@ -114,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--max-trials", type=int, default=None, metavar="N",
                         help="compute at most N new trials this run "
                              "(resume later from the store)")
+    faults.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (results byte-identical at "
+                             "any count)")
+    faults.add_argument("--trial-batch", type=int, default=1, metavar="T",
+                        help="trials per stacked forward pass")
 
     sub.add_parser("fig1", help="two-layer signal relation (Fig. 1)")
 
@@ -243,7 +253,8 @@ def _run_fig7(args: argparse.Namespace) -> str:
         stuck_on=args.stuck_on,
         stuck_off=args.stuck_off,
     )
-    return render_fig7(run_fig7(config))
+    return render_fig7(run_fig7(config, workers=args.workers,
+                                trial_batch=args.trial_batch))
 
 
 def _run_faults(args: argparse.Namespace) -> str:
@@ -267,7 +278,9 @@ def _run_faults(args: argparse.Namespace) -> str:
         remap=not args.no_remap,
     )
     campaign = FaultCampaign(spec)
-    result = campaign.run(max_trials=args.max_trials, verbose=True)
+    result = campaign.run(max_trials=args.max_trials, verbose=True,
+                          workers=args.workers,
+                          trial_batch=args.trial_batch)
     return render_campaign(result)
 
 

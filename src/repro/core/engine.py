@@ -20,7 +20,7 @@ import numpy as np
 
 from ..config import CircuitParameters
 from ..errors import MappingError, ShapeError
-from ..reram.crossbar import CrossbarArray
+from ..reram.crossbar import CrossbarArray, StackedCrossbar
 from ..reram.device import DeviceSpec
 from ..reram.variation import StuckAtFaultModel, VariationModel
 from .encoding import SingleSpikeCodec
@@ -178,6 +178,34 @@ class ReSiPEEngine:
         t_out = result.times
         if self.compensate and self.mode is MVMMode.EXACT:
             total_g = self.array.column_total_conductance()
+            t_out = np.asarray(
+                compensate_column_saturation(t_out, total_g, self.params),
+                dtype=float,
+            )
+        return t_out / self.output_scale
+
+    def mvm_values_stacked(
+        self, x: np.ndarray, stacked: StackedCrossbar
+    ) -> np.ndarray:
+        """:meth:`mvm_values` over ``T`` conductance realizations at once.
+
+        ``stacked`` carries the Monte-Carlo trial tensor (built from
+        perturbed clones of this engine's array); ``x`` is ``(rows,)``,
+        ``(batch, rows)`` shared by every trial, or per-trial
+        ``(T, batch, rows)``.  Returns ``(T, cols)`` or
+        ``(T, batch, cols)``.  Codec, operating point, output scale and
+        compensation are this engine's own — exactly the state every
+        per-trial clone inherits — so each ``result[t]`` is bit-identical
+        to ``clone_t.mvm_values(x)``.
+        """
+        x_arr = np.asarray(x, dtype=float)
+        times_in = np.asarray(self.codec.times_from_values(x_arr), dtype=float)
+        result = self.mvm.evaluate_stacked(times_in, stacked)
+        t_out = result.times
+        if self.compensate and self.mode is MVMMode.EXACT:
+            total_g = stacked.column_total_conductance()  # (T, cols)
+            if t_out.ndim == 3:
+                total_g = total_g[:, None, :]
             t_out = np.asarray(
                 compensate_column_saturation(t_out, total_g, self.params),
                 dtype=float,

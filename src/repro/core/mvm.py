@@ -23,8 +23,8 @@ from typing import Optional, Union
 import numpy as np
 
 from ..config import CircuitParameters
-from ..errors import ShapeError
-from ..reram.crossbar import CrossbarArray
+from ..errors import ConfigurationError, ShapeError
+from ..reram.crossbar import CrossbarArray, StackedCrossbar
 from .cog import COGResult, ColumnOutputGenerator
 from .global_decoder import GlobalDecoder
 
@@ -132,6 +132,86 @@ class SingleSpikeMVM:
             fired=batch_result.fired.reshape(shape),
             v_out=batch_result.v_out.reshape(shape),
         )
+
+    def evaluate_stacked(
+        self, input_times: np.ndarray, stacked: StackedCrossbar
+    ) -> COGResult:
+        """Evaluate ``T`` Monte-Carlo conductance realizations at once.
+
+        ``stacked`` holds the trial tensor ``(T, rows, cols)``;
+        ``input_times`` is ``(rows,)`` / ``(batch, rows)`` (same inputs
+        for every trial) or ``(T, batch, rows)`` (per-trial inputs, the
+        shape deeper layers see once trials have diverged).  Returns a
+        :class:`COGResult` of ``(T, cols)`` or ``(T, batch, cols)``
+        arrays.
+
+        The trial axis rides through one broadcast ``np.matmul`` plus
+        elementwise codec stages, so each ``result[t]`` is bit-identical
+        to :meth:`evaluate` on the lone realization ``t`` — the property
+        that lets the reproducibility suite compare persisted records
+        byte for byte across serial and stacked paths.
+        """
+        t_in = np.asarray(input_times, dtype=float)
+        squeeze = t_in.ndim == 1
+        if t_in.ndim == 1:
+            t_in = t_in[None, :]
+        if t_in.ndim == 3 and t_in.shape[0] != stacked.trials:
+            raise ShapeError(
+                f"per-trial inputs carry {t_in.shape[0]} trials, "
+                f"stack holds {stacked.trials}"
+            )
+        if t_in.shape[-1] != stacked.rows:
+            raise ShapeError(
+                f"input vector length {t_in.shape[-1]} != crossbar rows "
+                f"{stacked.rows}"
+            )
+        if self.parasitic_thevenin is not None:
+            raise ConfigurationError(
+                "parasitic_thevenin is per-realization state; the stacked "
+                "trial path only supports the ideal column model"
+            )
+
+        if self.mode is MVMMode.LINEAR:
+            result = self._evaluate_linear_stacked(t_in, stacked)
+        else:
+            result = self._evaluate_exact_stacked(t_in, stacked)
+
+        if squeeze:
+            return COGResult(
+                times=result.times[:, 0],
+                fired=result.fired[:, 0],
+                v_out=result.v_out[:, 0],
+            )
+        return result
+
+    def _evaluate_exact_stacked(
+        self, t_in: np.ndarray, stacked: StackedCrossbar
+    ) -> COGResult:
+        p = self.params
+        v_in = np.asarray(self.decoder.voltages_from_times(t_in), dtype=float)
+        total_g = stacked.column_total_conductance()  # (T, cols)
+        v_eq = stacked.mvm_currents(v_in) / total_g[:, None, :]  # (T, b, cols)
+        depth = p.dt * total_g / p.c_cog  # (T, cols)
+        v_out = v_eq * (1.0 - np.exp(-depth))[:, None, :]
+
+        batch_result = self.cog.times_from_voltages(v_out.ravel())
+        shape = v_out.shape
+        return COGResult(
+            times=batch_result.times.reshape(shape),
+            fired=batch_result.fired.reshape(shape),
+            v_out=batch_result.v_out.reshape(shape),
+        )
+
+    def _evaluate_linear_stacked(
+        self, t_in: np.ndarray, stacked: StackedCrossbar
+    ) -> COGResult:
+        p = self.params
+        safe_t = np.where(np.isnan(t_in), 0.0, t_in)
+        times = p.mac_gain * stacked.mvm_currents(safe_t)  # Eq. 6, (T, b, cols)
+        fired = times <= p.slice_length
+        clamped = np.where(fired, times, p.slice_length)
+        v_out = times * p.v_s / p.tau_gd
+        return COGResult(times=clamped, fired=fired, v_out=v_out)
 
     def _evaluate_linear(self, t_in: np.ndarray) -> COGResult:
         p = self.params

@@ -49,3 +49,8 @@ class ShapeError(ReproError):
 
 class TrainingError(ReproError):
     """Neural-network training failed (divergence, bad loss, bad labels)."""
+
+
+class ExecutionError(ReproError):
+    """A campaign/runtime execution failed (worker crashes exhausted
+    retries, inconsistent parallel state)."""

@@ -14,7 +14,6 @@ The paper's protocol, reproduced end to end:
 from __future__ import annotations
 
 import dataclasses
-import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,8 +21,9 @@ import numpy as np
 from ..analysis.tables import render_table
 from ..config import CircuitParameters
 from ..core.mvm import MVMMode
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ExecutionError
 from ..mapping import PIMExecutor, ReSiPEBackend, compile_network
+from ..runtime import ParallelRunner, trial_rng
 from .networks import TrainedNetwork, get_benchmark_networks
 
 __all__ = ["Fig7Config", "Fig7Result", "run_fig7", "render_fig7"]
@@ -137,39 +137,71 @@ def _make_injector(config: Fig7Config, sigma: float):
     return CompositeInjector(VariationInjector(sigma=sigma), stuck)
 
 
-def _evaluate_network(
+def _prepare_network(
     net: TrainedNetwork, config: Fig7Config
-) -> NetworkAccuracy:
+) -> Tuple[PIMExecutor, np.ndarray, np.ndarray]:
+    """Map + calibrate one benchmark network (deterministic)."""
     backend = ReSiPEBackend(
         params=CircuitParameters.calibrated(), mode=config.mode
     )
     mapped = compile_network(net.model, backend)
     calibration = net.train.images[: min(64, len(net.train))]
     executor = PIMExecutor(mapped, calibration)
-
     x_eval = net.test.images[: config.eval_samples]
     y_eval = net.test.labels[: config.eval_samples]
+    return executor, x_eval, y_eval
 
-    by_sigma: Dict[float, Tuple[float, float]] = {}
-    for sigma in config.sigmas:
-        if sigma == 0 and not config.has_faults:
-            acc = executor.accuracy(x_eval, y_eval)
-            by_sigma[sigma] = (acc, acc)
-            continue
-        accs = []
-        for trial in range(config.trials):
-            token = f"{net.spec.key}|{sigma:.4f}|{trial}".encode()
-            rng = np.random.default_rng(
-                config.seed + zlib.crc32(token)
-            )
+
+def _sigma_column(
+    net: TrainedNetwork,
+    executor: PIMExecutor,
+    config: Fig7Config,
+    sigma: float,
+    x_eval: np.ndarray,
+    y_eval: np.ndarray,
+    trial_batch: int,
+) -> Tuple[float, float]:
+    """(mean, min) accuracy of one σ column over the Monte-Carlo trials.
+
+    Trials are seeded by identity (network key, σ, trial index) and
+    evaluated ``trial_batch`` at a time through the stacked kernels —
+    bit-identical to serial evaluation at any batch size.
+    """
+    if sigma == 0 and not config.has_faults:
+        acc = executor.accuracy(x_eval, y_eval)
+        return (acc, acc)
+    accs: List[float] = []
+    for start in range(0, config.trials, trial_batch):
+        stop = min(start + trial_batch, config.trials)
+        trial_execs = []
+        for trial in range(start, stop):
+            token = f"{net.spec.key}|{sigma:.4f}|{trial}"
+            rng = trial_rng(config.seed, token)
             if config.has_faults:
-                trial_exec = executor.faulted(
-                    _make_injector(config, sigma), rng
+                trial_execs.append(
+                    executor.faulted(_make_injector(config, sigma), rng)
                 )
             else:
-                trial_exec = executor.perturbed(rng, sigma)
-            accs.append(trial_exec.accuracy(x_eval, y_eval))
-        by_sigma[sigma] = (float(np.mean(accs)), float(np.min(accs)))
+                trial_execs.append(executor.perturbed(rng, sigma))
+        if len(trial_execs) > 1:
+            stacked = executor.accuracy_trials(
+                x_eval, y_eval, [e.network for e in trial_execs]
+            )
+            accs.extend(float(a) for a in stacked)
+        else:
+            accs.extend(e.accuracy(x_eval, y_eval) for e in trial_execs)
+    return (float(np.mean(accs)), float(np.min(accs)))
+
+
+def _evaluate_network(
+    net: TrainedNetwork, config: Fig7Config, trial_batch: int = 1
+) -> NetworkAccuracy:
+    executor, x_eval, y_eval = _prepare_network(net, config)
+    by_sigma: Dict[float, Tuple[float, float]] = {}
+    for sigma in config.sigmas:
+        by_sigma[sigma] = _sigma_column(
+            net, executor, config, sigma, x_eval, y_eval, trial_batch
+        )
     software = float(
         np.mean(net.model.predict(x_eval, batch_size=128) == y_eval)
     )
@@ -180,14 +212,106 @@ def _evaluate_network(
     )
 
 
-def run_fig7(config: Optional[Fig7Config] = None) -> Fig7Result:
-    """Run the full Fig. 7 study."""
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  A task is one (network key, σ) column; each
+# worker process lazily prepares (and caches) the executors of the
+# networks it is handed.  Preparation is deterministic and trials are
+# seeded by identity, so the column values are independent of which
+# worker computes them.
+_FIG7_STATE: Optional[Tuple[Fig7Config, int, Dict[str, tuple]]] = None
+
+
+def _fig7_worker_init(config: Fig7Config, trial_batch: int) -> None:
+    """Install the study config in the worker (process-pool initializer)."""
+    global _FIG7_STATE
+    _FIG7_STATE = (config, trial_batch, {})
+
+
+def _fig7_worker(task: Tuple[str, float]) -> Tuple[float, float]:
+    """Evaluate one (network, σ) column inside a worker process."""
+    if _FIG7_STATE is None:
+        raise ExecutionError(
+            "fig7 worker called before its initializer installed a config"
+        )
+    config, trial_batch, cache = _FIG7_STATE
+    key, sigma = task
+    if key not in cache:
+        net = get_benchmark_networks(
+            keys=[key], n_samples=config.n_samples, seed=config.seed
+        )[0]
+        cache[key] = (net,) + _prepare_network(net, config)
+    net, executor, x_eval, y_eval = cache[key]
+    return _sigma_column(
+        net, executor, config, sigma, x_eval, y_eval, trial_batch
+    )
+
+
+def run_fig7(config: Optional[Fig7Config] = None, workers: int = 1,
+             trial_batch: int = 1) -> Fig7Result:
+    """Run the full Fig. 7 study.
+
+    Parameters
+    ----------
+    config:
+        Study knobs (defaults to the paper's protocol).
+    workers:
+        Worker processes; 1 (default) runs in-process.  One task per
+        (network, σ) column; crashed workers are retried on a fresh
+        pool.
+    trial_batch:
+        Monte-Carlo trials evaluated per stacked forward pass.
+
+    Both knobs are execution details: results are byte-identical for a
+    fixed config at any worker count or batch size.
+    """
     config = config if config is not None else Fig7Config()
+    if workers < 1:
+        raise ConfigurationError(f"need workers >= 1, got {workers!r}")
+    if trial_batch < 1:
+        raise ConfigurationError(
+            f"need trial_batch >= 1, got {trial_batch!r}"
+        )
     keys: Optional[Sequence[str]] = config.networks
     networks = get_benchmark_networks(
         keys=keys, n_samples=config.n_samples, seed=config.seed
     )
-    rows = [_evaluate_network(net, config) for net in networks]
+    if workers <= 1:
+        rows = [
+            _evaluate_network(net, config, trial_batch) for net in networks
+        ]
+        return Fig7Result(config=config, rows=rows)
+
+    # get_benchmark_networks above warmed the model store, so forked /
+    # spawned workers load trained networks instead of re-training.
+    tasks = [
+        (net.spec.key, sigma)
+        for net in networks
+        for sigma in config.sigmas
+    ]
+    runner = ParallelRunner(
+        _fig7_worker,
+        workers=workers,
+        initializer=_fig7_worker_init,
+        initargs=(config, trial_batch),
+    )
+    columns = runner.map(tasks)
+    by_net: Dict[str, Dict[float, Tuple[float, float]]] = {}
+    for (key, sigma), column in zip(tasks, columns):
+        by_net.setdefault(key, {})[sigma] = column
+    rows = []
+    for net in networks:
+        x_eval = net.test.images[: config.eval_samples]
+        y_eval = net.test.labels[: config.eval_samples]
+        software = float(
+            np.mean(net.model.predict(x_eval, batch_size=128) == y_eval)
+        )
+        rows.append(
+            NetworkAccuracy(
+                display=net.spec.display,
+                software_accuracy=software,
+                by_sigma=by_net[net.spec.key],
+            )
+        )
     return Fig7Result(config=config, rows=rows)
 
 

@@ -27,15 +27,14 @@ Fig. 7 runner.
 from __future__ import annotations
 
 import dataclasses
-import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.tables import render_table
 from ..config import CircuitParameters
 from ..core.mvm import MVMMode
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ExecutionError
 from ..mapping import (
     IdealBackend,
     PIMExecutor,
@@ -43,6 +42,7 @@ from ..mapping import (
     compile_network,
 )
 from ..mapping.remap import detect_and_remap
+from ..runtime import ParallelRunner, trial_rng
 from ..store import ArtifactStore, get_store, spec_hash
 from .injectors import (
     CompositeInjector,
@@ -261,8 +261,8 @@ class FaultCampaign:
                    trial: int) -> np.random.Generator:
         token = (
             f"{self.spec.network}|{rate:.6f}|{sigma:.6f}|{age:.6g}|{trial}"
-        ).encode()
-        return np.random.default_rng(self.spec.seed + zlib.crc32(token))
+        )
+        return trial_rng(self.spec.seed, token)
 
     def _prepare(self):
         """Train + map + calibrate the pristine chip (once, lazily)."""
@@ -298,57 +298,101 @@ class FaultCampaign:
     # ------------------------------------------------------------------
     def _run_trial(self, rate: float, sigma: float, age: float,
                    trial: int) -> dict:
+        """One trial record (serial path; the group path of one)."""
+        return self._run_trial_group([(rate, sigma, age, trial)])[0]
+
+    def _run_trial_group(
+        self, points: Sequence[Tuple[float, float, float, int]]
+    ) -> List[dict]:
+        """Records for a batch of grid points, in ``points`` order.
+
+        Trial-stacking: the faulted clones of the whole batch evaluate
+        their unprotected accuracy through one stacked forward pass
+        (:meth:`~repro.mapping.executor.PIMExecutor.accuracy_trials`),
+        which is bit-identical to per-trial evaluation, so records do
+        not depend on the batch size.  RNG streams are created per
+        point from the trial token (never from batch position), and the
+        remap stage — whose spare draws continue each trial's own
+        stream — stays per-trial.
+        """
         spec = self.spec
         _net, backend, mapped, executor, probe, x_eval, y_eval = (
             self._prepare()
         )
-        rng = self._trial_rng(rate, sigma, age, trial)
-        injector = spec.injector_for(rate, sigma, age)
+        prepared = []
+        for rate, sigma, age, trial in points:
+            rng = self._trial_rng(rate, sigma, age, trial)
+            injector = spec.injector_for(rate, sigma, age)
+            record = {
+                "rate": rate,
+                "sigma": sigma,
+                "age": age,
+                "trial": trial,
+                "injector": injector.describe() if injector else None,
+                "remapped_accuracy": None,
+                "flagged_cols": 0,
+                "spare_cols": 0,
+                "software_cols": 0,
+                "remap_events": [],
+            }
+            prepared.append((record, rng, injector))
 
-        record = {
-            "rate": rate,
-            "sigma": sigma,
-            "age": age,
-            "trial": trial,
-            "injector": injector.describe() if injector else None,
-            "remapped_accuracy": None,
-            "flagged_cols": 0,
-            "spare_cols": 0,
-            "software_cols": 0,
-            "remap_events": [],
-        }
-
-        if injector is None:
-            baseline = executor.accuracy(x_eval, y_eval)
-            record["unprotected_accuracy"] = baseline
-            if spec.remap:
-                record["remapped_accuracy"] = baseline
-            return record
-
-        faulted = executor.faulted(injector, rng)
-        record["unprotected_accuracy"] = faulted.accuracy(x_eval, y_eval)
-
-        if spec.remap:
-            result = detect_and_remap(
-                reference=mapped,
-                candidate=faulted.network,
-                backend=backend,
-                probe=probe,
-                injector=injector,
-                rng=rng,
-                spare_fraction=spec.spare_fraction,
-                max_retries=spec.max_retries,
+        faulted_idx = [
+            i for i, (_r, _g, injector) in enumerate(prepared)
+            if injector is not None
+        ]
+        faulted_execs = [
+            executor.faulted(prepared[i][2], prepared[i][1])
+            for i in faulted_idx
+        ]
+        if len(faulted_execs) > 1:
+            stacked_accs = executor.accuracy_trials(
+                x_eval, y_eval, [fe.network for fe in faulted_execs]
             )
-            protected = executor._clone_with_network(result.network)
-            record["remapped_accuracy"] = protected.accuracy(x_eval, y_eval)
-            record["flagged_cols"] = result.flagged_cols
-            record["spare_cols"] = result.spare_cols
-            record["software_cols"] = result.software_cols
-            record["remap_events"] = result.events()
-        return record
+            unprotected = [float(a) for a in stacked_accs]
+        else:
+            unprotected = [
+                fe.accuracy(x_eval, y_eval) for fe in faulted_execs
+            ]
+
+        baseline: Optional[float] = None
+        records: List[dict] = []
+        for i, (record, rng, injector) in enumerate(prepared):
+            if injector is None:
+                if baseline is None:
+                    baseline = executor.accuracy(x_eval, y_eval)
+                record["unprotected_accuracy"] = baseline
+                if spec.remap:
+                    record["remapped_accuracy"] = baseline
+                records.append(record)
+                continue
+            pos = faulted_idx.index(i)
+            record["unprotected_accuracy"] = unprotected[pos]
+            if spec.remap:
+                result = detect_and_remap(
+                    reference=mapped,
+                    candidate=faulted_execs[pos].network,
+                    backend=backend,
+                    probe=probe,
+                    injector=injector,
+                    rng=rng,
+                    spare_fraction=spec.spare_fraction,
+                    max_retries=spec.max_retries,
+                )
+                protected = executor._clone_with_network(result.network)
+                record["remapped_accuracy"] = protected.accuracy(
+                    x_eval, y_eval
+                )
+                record["flagged_cols"] = result.flagged_cols
+                record["spare_cols"] = result.spare_cols
+                record["software_cols"] = result.software_cols
+                record["remap_events"] = result.events()
+            records.append(record)
+        return records
 
     def run(self, max_trials: Optional[int] = None,
-            verbose: bool = False) -> CampaignResult:
+            verbose: bool = False, workers: int = 1,
+            trial_batch: int = 1) -> CampaignResult:
         """Execute the campaign, resuming from stored records.
 
         Parameters
@@ -359,34 +403,115 @@ class FaultCampaign:
             :meth:`run` again to continue.
         verbose:
             Print one line per computed trial.
+        workers:
+            Worker processes; 1 (default) runs in-process.  Results are
+            byte-identical at any worker count — trials are seeded by
+            identity, computed records merge into the store as they
+            land (interrupted parallel runs resume without recompute),
+            and crashed workers are retried on a fresh pool.
+        trial_batch:
+            Trials evaluated per stacked forward pass (the
+            trial-vectorized kernels); 1 evaluates serially.  Results
+            are byte-identical at any batch size.
         """
+        if workers < 1:
+            raise ConfigurationError(f"need workers >= 1, got {workers!r}")
+        if trial_batch < 1:
+            raise ConfigurationError(
+                f"need trial_batch >= 1, got {trial_batch!r}"
+            )
         fingerprint = self.spec.fingerprint()
+        stored_records: Dict[Tuple[float, float, float, int], dict] = {}
+        pending: List[Tuple[float, float, float, int]] = []
+        for point in self.spec.points():
+            stored = self.store.get_json(
+                self.trial_key(*point), spec_hash=fingerprint
+            )
+            if stored is not None:
+                stored_records[point] = stored
+            else:
+                pending.append(point)
+        if max_trials is not None:
+            pending = pending[:max_trials]
+
+        computed_records: Dict[Tuple[float, float, float, int], dict] = {}
+
+        def merge(group, group_records) -> None:
+            """Parent-side store merge: persist as soon as computed."""
+            for point, record in zip(group, group_records):
+                self.store.put_json(
+                    self.trial_key(*point), record, spec_hash=fingerprint
+                )
+                computed_records[point] = record
+
+        if pending:
+            groups = [
+                tuple(pending[i : i + trial_batch])
+                for i in range(0, len(pending), trial_batch)
+            ]
+            if workers > 1:
+                # Warm the model cache so forked/spawned workers load
+                # the trained network instead of re-training it.
+                self._prepare()
+                runner = ParallelRunner(
+                    _campaign_worker,
+                    workers=workers,
+                    initializer=_campaign_worker_init,
+                    initargs=(self.spec,),
+                )
+                runner.map(groups, on_result=merge)
+            else:
+                for group in groups:
+                    merge(group, self._run_trial_group(list(group)))
+
         records: List[dict] = []
         computed = cached = 0
-        for rate, sigma, age, trial in self.spec.points():
-            key = self.trial_key(rate, sigma, age, trial)
-            stored = self.store.get_json(key, spec_hash=fingerprint)
-            if stored is not None:
-                records.append(stored)
+        for point in self.spec.points():
+            if point in stored_records:
+                records.append(stored_records[point])
                 cached += 1
-                continue
-            if max_trials is not None and computed >= max_trials:
-                continue
-            record = self._run_trial(rate, sigma, age, trial)
-            self.store.put_json(key, record, spec_hash=fingerprint)
-            records.append(record)
-            computed += 1
-            if verbose:
-                prot = record["remapped_accuracy"]
-                print(
-                    f"[faults] rate={rate:.3f} sigma={sigma:.2f} "
-                    f"age={age:g} trial={trial}: "
-                    f"unprotected={record['unprotected_accuracy']:.3f}"
-                    + (f" remapped={prot:.3f}" if prot is not None else "")
-                )
+            elif point in computed_records:
+                record = computed_records[point]
+                records.append(record)
+                computed += 1
+                if verbose:
+                    rate, sigma, age, trial = point
+                    prot = record["remapped_accuracy"]
+                    print(
+                        f"[faults] rate={rate:.3f} sigma={sigma:.2f} "
+                        f"age={age:g} trial={trial}: "
+                        f"unprotected={record['unprotected_accuracy']:.3f}"
+                        + (f" remapped={prot:.3f}" if prot is not None
+                           else "")
+                    )
         return CampaignResult(
             spec=self.spec, records=records, computed=computed, cached=cached
         )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  The pool initializer rebuilds the campaign
+# from its (picklable) spec once per process; tasks are then just point
+# groups.  Workers never write the store — the parent merges results —
+# so the single-writer invariant of ArtifactStore holds.
+_WORKER_CAMPAIGN: Optional[FaultCampaign] = None
+
+
+def _campaign_worker_init(spec: CampaignSpec) -> None:
+    """Build the per-process campaign (process-pool initializer)."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = FaultCampaign(spec)
+
+
+def _campaign_worker(
+    task: Sequence[Tuple[float, float, float, int]],
+) -> List[dict]:
+    """Evaluate one trial group inside a worker process."""
+    if _WORKER_CAMPAIGN is None:
+        raise ExecutionError(
+            "campaign worker called before its initializer installed a spec"
+        )
+    return _WORKER_CAMPAIGN._run_trial_group(list(task))
 
 
 def render_campaign(result: CampaignResult) -> str:

@@ -27,10 +27,11 @@ from ..config import CircuitParameters
 from ..core.engine import ReSiPEEngine
 from ..core.mvm import MVMMode
 from ..errors import MappingError
+from ..reram.crossbar import StackedCrossbar
 from ..reram.device import DeviceSpec
 
 __all__ = ["HardwareBackend", "ProgrammedTile", "IdealBackend",
-           "ReSiPEBackend", "DesignBackend"]
+           "ReSiPEBackend", "DesignBackend", "StackedTile", "stack_tiles"]
 
 
 class ProgrammedTile(abc.ABC):
@@ -263,3 +264,124 @@ class DesignBackend(HardwareBackend):
         if not isinstance(design, PIMDesign):
             raise MappingError("design_factory must return a PIMDesign")
         return _DesignTile(design, w)
+
+
+# ----------------------------------------------------------------------
+# Trial-stacked tiles (the Monte-Carlo fast path)
+# ----------------------------------------------------------------------
+class StackedTile(abc.ABC):
+    """``T`` Monte-Carlo realizations of one tile position, evaluated as
+    one broadcast kernel.
+
+    ``matmul`` accepts inputs ``(batch, rows)`` shared by every trial or
+    per-trial ``(T, batch, rows)`` and returns ``(T, batch, cols)``.
+    Each output slice ``t`` is bit-identical to the corresponding
+    per-trial :meth:`ProgrammedTile.matmul` — the contract the serial /
+    stacked reproducibility suite enforces.
+    """
+
+    @property
+    @abc.abstractmethod
+    def trials(self) -> int:
+        """Number of stacked realizations."""
+
+    @abc.abstractmethod
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``x @ w_t`` for every trial ``t`` at once."""
+
+
+class _StackedIdealTile(StackedTile):
+    def __init__(self, weight_stack: np.ndarray) -> None:
+        self._w = np.asarray(weight_stack, dtype=float)
+
+    @property
+    def trials(self) -> int:
+        return self._w.shape[0]
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        return np.matmul(np.asarray(x, dtype=float), self._w)
+
+
+class _StackedReSiPETile(StackedTile):
+    """Trial stack of a :class:`_ReSiPETile`.
+
+    Per redundancy slot the per-trial engine arrays collapse into one
+    :class:`StackedCrossbar`; codec, operating point and output scale
+    come from the first trial's engines (Monte-Carlo clones share them
+    by construction), so the whole signal chain matches the serial tile
+    bit for bit.
+    """
+
+    def __init__(self, tiles: list) -> None:
+        redundancies = {len(t._engines) for t in tiles}
+        if len(redundancies) > 1:
+            raise MappingError(
+                f"tiles disagree on redundancy: {sorted(redundancies)}"
+            )
+        self._engines = tiles[0]._engines
+        self._stacks = [
+            StackedCrossbar.from_arrays([t._engines[r].array for t in tiles])
+            for r in range(len(self._engines))
+        ]
+        spec = self._engines[0].array.spec
+        self._offset_ratio = spec.g_min / spec.g_max
+
+    @property
+    def trials(self) -> int:
+        return self._stacks[0].trials
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.mean(
+            [
+                np.asarray(e.mvm_values_stacked(x, s), dtype=float)
+                for e, s in zip(self._engines, self._stacks)
+            ],
+            axis=0,
+        )
+        x_sum = x.sum(axis=-1)
+        return (y - np.expand_dims(x_sum, -1) * self._offset_ratio) / (
+            1.0 - self._offset_ratio
+        )
+
+
+class _LoopStackedTile(StackedTile):
+    """Fallback stack for backends without a broadcast kernel (baseline
+    functional models): per-trial loop with the stacked calling
+    convention, so every backend supports ``forward_trials``."""
+
+    def __init__(self, tiles: list) -> None:
+        self._tiles = tiles
+
+    @property
+    def trials(self) -> int:
+        return len(self._tiles)
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 3:
+            return np.stack(
+                [tile.matmul(x[t]) for t, tile in enumerate(self._tiles)]
+            )
+        return np.stack([tile.matmul(x) for tile in self._tiles])
+
+
+def stack_tiles(tiles) -> StackedTile:
+    """Collapse per-trial :class:`ProgrammedTile` clones of one tile
+    position into a :class:`StackedTile`.
+
+    Dispatches on the tile type: ideal tiles stack their weight
+    matrices, ReSiPE tiles stack conductance tensors per redundancy
+    slot, anything else falls back to a per-trial loop.
+    """
+    tiles = list(tiles)
+    if not tiles:
+        raise MappingError("cannot stack an empty sequence of tiles")
+    first_type = type(tiles[0])
+    if any(type(t) is not first_type for t in tiles):
+        raise MappingError("cannot stack tiles of mixed backend types")
+    if first_type is _IdealTile:
+        return _StackedIdealTile(np.stack([t._w for t in tiles]))
+    if first_type is _ReSiPETile:
+        return _StackedReSiPETile(tiles)
+    return _LoopStackedTile(tiles)

@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..nn.conv import Conv2D, im2col
 from ..nn.layers import Dense
 from ..nn.model import Sequential
 from .compiler import MappedLayer, MappedNetwork
+from .stacked import StackedMappedLayer, StackedMappedNetwork, stack_networks
 
 __all__ = ["PIMExecutor"]
 
@@ -99,7 +100,9 @@ class PIMExecutor:
                 den = float((hardware * hardware).sum())
                 if den > 0 and num > 0:
                     stage.gain = num / den
-            activation = layer.forward(activation, training=False)
+                activation = reference
+            else:
+                activation = layer.forward(activation, training=False)
 
     # ------------------------------------------------------------------
     # Execution
@@ -178,6 +181,123 @@ class PIMExecutor:
     def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
         """Top-1 accuracy through the hardware."""
         return float(np.mean(self.predict(x, batch_size) == np.asarray(labels)))
+
+    # ------------------------------------------------------------------
+    # Trial-stacked execution (the Monte-Carlo fast path)
+    # ------------------------------------------------------------------
+    def _run_mapped_stacked(
+        self, stage: StackedMappedLayer, activation: np.ndarray
+    ) -> np.ndarray:
+        """One weighted layer over all ``T`` trial realizations at once.
+
+        ``activation`` is ``(batch, ...)`` before trials diverge (the
+        network input or a software prefix) or ``(T, batch, ...)``
+        afterwards; the result always carries the leading trial axis.
+        """
+        scale = self.activation_scales[stage.name]
+        bias_level = 1.0 / scale
+        layer = stage.source
+        if isinstance(layer, Dense):
+            x01 = np.clip(np.asarray(activation, dtype=float) / scale, 0.0, 1.0)
+            self._count_launches(stage, x01.shape[-2] * stage.trials)
+            return scale * stage.matmul_with_bias_level(x01, bias_level)
+        if isinstance(layer, Conv2D):
+            x = np.asarray(activation, dtype=float)
+            if x.ndim == 4:
+                # Shared inputs: one im2col feeds every trial.
+                cols, (h_out, w_out) = im2col(
+                    x, layer.kernel, layer.stride, layer.pad
+                )
+                n = x.shape[0]
+                x01 = np.clip(cols / scale, 0.0, 1.0)
+            elif x.ndim == 5:
+                # Per-trial inputs: im2col is per-sample, so the merged
+                # (T*N) batch lowers to the same rows as T serial calls.
+                trials, n = x.shape[:2]
+                merged = x.reshape((trials * n,) + x.shape[2:])
+                cols, (h_out, w_out) = im2col(
+                    merged, layer.kernel, layer.stride, layer.pad
+                )
+                cols = cols.reshape(trials, cols.shape[0] // trials, -1)
+                x01 = np.clip(cols / scale, 0.0, 1.0)
+            else:
+                raise ShapeError(
+                    f"{layer.name}: expected (N, C, H, W) or "
+                    f"(T, N, C, H, W), got {x.shape}"
+                )
+            self._count_launches(stage, x01.shape[-2] * stage.trials)
+            flat = scale * stage.matmul_with_bias_level(x01, bias_level)
+            return flat.reshape(
+                stage.trials, n, h_out, w_out, layer.out_channels
+            ).transpose(0, 1, 4, 2, 3)
+        raise MappingError(f"unsupported mapped layer type {type(layer).__name__}")
+
+    def _forward_stacked(
+        self, x: np.ndarray, stacked: StackedMappedNetwork
+    ) -> np.ndarray:
+        """Forward pass through a pre-stacked network: ``(T, batch, out)``.
+
+        Software stages run on the merged ``(T*batch, ...)`` activation
+        (they are per-sample deterministic), mapped stages on the
+        broadcast trial kernels; each output slice ``t`` is bit-identical
+        to :meth:`forward` on the serial per-trial clone.
+        """
+        activation = np.asarray(x, dtype=float)
+        has_trials = False
+        for layer, stage in zip(stacked.model, stacked.stages):
+            if stage is not None:
+                activation = self._run_mapped_stacked(stage, activation)
+                has_trials = True
+            elif has_trials:
+                trials, batch = activation.shape[:2]
+                flat = activation.reshape(
+                    (trials * batch,) + activation.shape[2:]
+                )
+                out = layer.forward(flat, training=False)
+                activation = out.reshape((trials, batch) + out.shape[1:])
+            else:
+                activation = layer.forward(activation, training=False)
+        return activation
+
+    def forward_trials(
+        self, x: np.ndarray, networks: Sequence[MappedNetwork]
+    ) -> np.ndarray:
+        """Forward all per-trial network clones in one stacked pass.
+
+        ``networks`` are Monte-Carlo clones of this executor's network
+        (``perturbed``/``aged``/``faulted`` realizations); the result is
+        ``(T, batch, out)`` with slice ``t`` bit-identical to running
+        ``networks[t]`` serially under this executor's calibration.
+        """
+        return self._forward_stacked(x, stack_networks(list(networks)))
+
+    def predict_trials(
+        self,
+        x: np.ndarray,
+        networks: Sequence[MappedNetwork],
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Per-trial class predictions, ``(T, n_samples)``."""
+        stacked = stack_networks(list(networks))
+        x = np.asarray(x, dtype=float)
+        outputs = [
+            self._forward_stacked(x[i : i + batch_size], stacked)
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.argmax(np.concatenate(outputs, axis=1), axis=-1)
+
+    def accuracy_trials(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        networks: Sequence[MappedNetwork],
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Per-trial top-1 accuracies, ``(T,)`` — each entry equals the
+        serial :meth:`accuracy` of the corresponding clone."""
+        predictions = self.predict_trials(x, networks, batch_size)
+        labels = np.asarray(labels)
+        return np.mean(predictions == labels[None, :], axis=-1)
 
     # ------------------------------------------------------------------
     # Monte-Carlo variation / fault clones

@@ -13,11 +13,16 @@ column, both provided here.
 Non-idealities live elsewhere so the ideal array stays exact:
 process variation in :mod:`repro.reram.variation`, wire parasitics in
 :mod:`repro.reram.nonideal`.
+
+For Monte-Carlo sweeps, :class:`StackedCrossbar` holds ``T`` conductance
+realizations of one programmed array as a single ``(T, rows, cols)``
+tensor so all trials evaluate in one broadcast numpy expression (the
+trial-stacked fast path of the Fig. 7 / fault-campaign runners).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +30,7 @@ from ..errors import DeviceError, ShapeError
 from .device import DeviceSpec
 from .variation import StuckAtFaultModel, VariationModel
 
-__all__ = ["CrossbarArray"]
+__all__ = ["CrossbarArray", "StackedCrossbar"]
 
 
 class CrossbarArray:
@@ -59,6 +64,7 @@ class CrossbarArray:
         self.r_access = r_access
         self._g = np.full((rows, cols), self.spec.g_min, dtype=float)
         self._write_count = 0
+        self._column_totals: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Programming
@@ -97,6 +103,7 @@ class CrossbarArray:
             raise DeviceError("conductance targets must be non-negative")
         self._g = np.asarray(self.spec.quantise(g), dtype=float)
         self._write_count += 1
+        self._column_totals = None
 
     def program_normalised(self, weights: np.ndarray) -> None:
         """Program from normalised weights in ``[0, 1]`` (linear map onto
@@ -161,8 +168,19 @@ class CrossbarArray:
         return v @ self._g
 
     def column_total_conductance(self) -> np.ndarray:
-        """Per-column ``Σ_i G[i, j]`` — the paper's Eq. 2 denominator."""
-        return self._g.sum(axis=0)
+        """Per-column ``Σ_i G[i, j]`` — the paper's Eq. 2 denominator.
+
+        Cached between programming operations: every ``mvm_values`` call
+        (and the saturation-compensation branch) needs it, so a hot
+        inference loop would otherwise re-reduce the matrix per sample
+        batch.  ``program`` invalidates; ``perturb``/``injected`` clones
+        start fresh via ``__init__``.
+        """
+        if self._column_totals is None:
+            totals = self._g.sum(axis=0)
+            totals.flags.writeable = False
+            self._column_totals = totals
+        return self._column_totals
 
     def column_thevenin(self, voltages: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Per-column Thevenin equivalents seen by the COG capacitors.
@@ -197,4 +215,103 @@ class CrossbarArray:
         return (
             f"CrossbarArray({self.rows}x{self.cols}, "
             f"window [{self.spec.g_min:.2e}, {self.spec.g_max:.2e}] S)"
+        )
+
+
+class StackedCrossbar:
+    """A stack of ``T`` Monte-Carlo conductance realizations of one array.
+
+    Holds the trials as a single ``(T, rows, cols)`` tensor so the analog
+    MVM for *all* trials and the whole input batch collapses into one
+    broadcast ``np.matmul`` — ``(batch, rows) @ (T, rows, cols)`` →
+    ``(T, batch, cols)``.  numpy evaluates that broadcast product
+    slice-by-slice with the same 2-D GEMM kernel used for a lone trial,
+    so stacked results are *bit-identical* to running each realization
+    through :meth:`CrossbarArray.mvm_currents` separately (the property
+    the reproducibility suite pins down).
+
+    Instances are immutable snapshots: build one from already-perturbed
+    :class:`CrossbarArray` clones via :meth:`from_arrays`.
+    """
+
+    def __init__(self, conductances: np.ndarray, spec: DeviceSpec) -> None:
+        g = np.asarray(conductances, dtype=float)
+        if g.ndim != 3:
+            raise ShapeError(
+                f"stacked conductances must be (T, rows, cols), got {g.shape}"
+            )
+        if g.shape[0] < 1:
+            raise DeviceError("stack must hold at least one trial")
+        self._g = g
+        self.spec = spec
+        self._column_totals: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[CrossbarArray]) -> "StackedCrossbar":
+        """Stack per-trial :class:`CrossbarArray` realizations.
+
+        All arrays must share one shape (they are clones of the same
+        programmed tile, differing only in the Monte-Carlo draw).
+        """
+        if not arrays:
+            raise DeviceError("cannot stack an empty sequence of arrays")
+        shapes = {a.shape for a in arrays}
+        if len(shapes) > 1:
+            raise ShapeError(f"arrays disagree on shape: {sorted(shapes)}")
+        return cls(np.stack([a.conductances for a in arrays]), arrays[0].spec)
+
+    @property
+    def trials(self) -> int:
+        return self._g.shape[0]
+
+    @property
+    def rows(self) -> int:
+        return self._g.shape[1]
+
+    @property
+    def cols(self) -> int:
+        return self._g.shape[2]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self._g.shape  # type: ignore[return-value]
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """The ``(T, rows, cols)`` tensor (read-only view)."""
+        g = self._g.view()
+        g.flags.writeable = False
+        return g
+
+    def mvm_currents(self, voltages: np.ndarray) -> np.ndarray:
+        """Bitline currents for every trial at once.
+
+        Accepts ``(rows,)``, ``(batch, rows)`` or per-trial inputs
+        ``(T, batch, rows)``; returns ``(T, cols)``, ``(T, batch, cols)``
+        or ``(T, batch, cols)`` respectively via broadcast ``np.matmul``.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.shape[-1] != self.rows:
+            raise ShapeError(
+                f"voltage vector length {v.shape[-1]} != rows {self.rows}"
+            )
+        if v.ndim == 3 and v.shape[0] != self.trials:
+            raise ShapeError(
+                f"per-trial voltages have {v.shape[0]} trials, "
+                f"stack holds {self.trials}"
+            )
+        return np.matmul(v, self._g)
+
+    def column_total_conductance(self) -> np.ndarray:
+        """Per-trial, per-column ``Σ_i G[t, i, j]`` of shape ``(T, cols)``."""
+        if self._column_totals is None:
+            totals = self._g.sum(axis=1)
+            totals.flags.writeable = False
+            self._column_totals = totals
+        return self._column_totals
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedCrossbar({self.trials} trials x "
+            f"{self.rows}x{self.cols})"
         )

@@ -20,12 +20,12 @@ Topology (for an R×C array):
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..circuits.mna import DCCircuit
-from ..errors import DeviceError, ShapeError
+from ..circuits.mna import _SPARSE_THRESHOLD
+from ..errors import CircuitError, DeviceError, ShapeError
 from ..units import GIGA, NANO
 from .crossbar import CrossbarArray
 
@@ -101,11 +101,131 @@ class WireParasitics:
 
 
 class IRDropSolver:
-    """Solves the parasitic crossbar network for bitline currents."""
+    """Solves the parasitic crossbar network for bitline currents.
+
+    The MNA system is assembled with vectorized index arithmetic — node
+    numbers are computed from ``(row, col)`` grids and all resistor
+    stamps land through batched scatter-adds, with no per-cell Python
+    loop.  Drive voltages only enter the right-hand side, so the matrix
+    (and its LU factorization) depends solely on the conductance state;
+    both are cached per :attr:`CrossbarArray.write_count` and reused
+    across drive vectors.
+
+    Node layout for an R×C array (``gnd`` is eliminated): wordline node
+    ``(i, j)`` is unknown ``i*C + j``, bitline node ``(i, j)`` is
+    ``R*C + i*C + j``, and the R wordline-driver source currents occupy
+    the last R unknowns.
+    """
 
     def __init__(self, array: CrossbarArray, parasitics: WireParasitics) -> None:
         self.array = array
         self.parasitics = parasitics
+        self._factor_cache: Dict[tuple, Callable[[np.ndarray], np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Vectorized MNA assembly + cached factorization
+    # ------------------------------------------------------------------
+    def _stamps(
+        self, sense_resistance: Optional[float], wire_floor: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+        """COO triplets ``(i, j, value)`` of the MNA matrix.
+
+        ``sense_resistance`` of None leaves the bitline feet open (the
+        Thevenin-resistance probe configuration); ``wire_floor`` clamps
+        vanishing wire resistances for conditioning.
+        """
+        rows, cols = self.array.shape
+        g = self.array.conductances
+        p = self.parasitics
+        wl = np.arange(rows * cols).reshape(rows, cols)
+        bl = wl + rows * cols
+        n = 2 * rows * cols
+
+        ii: list = []
+        jj: list = []
+        vv: list = []
+
+        def stamp_between(a: np.ndarray, b: np.ndarray,
+                          cond: np.ndarray) -> None:
+            ii.extend((a, b, a, b))
+            jj.extend((a, b, b, a))
+            vv.extend((cond, cond, -cond, -cond))
+
+        if cols > 1:
+            a = wl[:, :-1].ravel()
+            g_wl = 1.0 / max(p.r_wire_wl, wire_floor)
+            stamp_between(a, wl[:, 1:].ravel(), np.full(a.size, g_wl))
+        if rows > 1:
+            a = bl[:-1, :].ravel()
+            g_bl = 1.0 / max(p.r_wire_bl, wire_floor)
+            stamp_between(a, bl[1:, :].ravel(), np.full(a.size, g_bl))
+        feet = bl[rows - 1]
+        if sense_resistance is not None:
+            ii.append(feet)
+            jj.append(feet)
+            vv.append(np.full(cols, 1.0 / sense_resistance))
+        mask = g > 0
+        if np.any(mask):
+            stamp_between(wl[mask], bl[mask], g[mask])
+        # Wordline drivers: ideal sources into column-0 nodes.
+        drivers = wl[:, 0]
+        source_rows = n + np.arange(rows)
+        ii.extend((drivers, source_rows))
+        jj.extend((source_rows, drivers))
+        vv.extend((np.ones(rows), np.ones(rows)))
+
+        return (
+            np.concatenate(ii),
+            np.concatenate(jj),
+            np.concatenate(vv),
+            n + rows,
+            n,
+        )
+
+    def _factorization(
+        self, sense_resistance: Optional[float], wire_floor: float
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """LU solve closure for the current conductance state (cached)."""
+        key = (self.array.write_count, sense_resistance, wire_floor)
+        cached = self._factor_cache.get(key)
+        if cached is not None:
+            return cached
+        i_idx, j_idx, vals, size, _n = self._stamps(
+            sense_resistance, wire_floor
+        )
+        try:
+            if size > _SPARSE_THRESHOLD:
+                import scipy.sparse as sp
+                import scipy.sparse.linalg as spla
+
+                system = sp.csc_matrix(
+                    (vals, (i_idx, j_idx)), shape=(size, size)
+                )
+                lu = spla.splu(system)
+                solve = lu.solve
+            else:
+                import scipy.linalg as sla
+
+                matrix = np.zeros((size, size), dtype=float)
+                np.add.at(matrix, (i_idx, j_idx), vals)
+                lu_piv = sla.lu_factor(matrix)
+
+                def solve(rhs: np.ndarray) -> np.ndarray:
+                    return sla.lu_solve(lu_piv, rhs)
+        except Exception as exc:  # singular matrix, etc.
+            raise CircuitError(f"MNA factorization failed: {exc}") from exc
+        self._factor_cache[key] = solve
+        return solve
+
+    def _solve(self, solve: Callable[[np.ndarray], np.ndarray],
+               rhs: np.ndarray) -> np.ndarray:
+        solution = solve(rhs)
+        if not np.all(np.isfinite(solution)):
+            raise CircuitError(
+                "MNA solve produced non-finite voltages "
+                "(floating subcircuit?)"
+            )
+        return solution
 
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
         """Bitline sense currents under wordline ``voltages``.
@@ -120,44 +240,14 @@ class IRDropSolver:
                 f"expected voltages of shape ({self.array.rows},), got {v.shape}"
             )
         rows, cols = self.array.shape
-        g = self.array.conductances
         p = self.parasitics
-
-        circuit = DCCircuit()
-        # Wordline drivers and segments.
-        for i in range(rows):
-            circuit.add_voltage_source(f"wl_{i}_0", float(v[i]), name=f"drv{i}")
-            for j in range(cols - 1):
-                circuit.add_resistor(
-                    f"wl_{i}_{j}", f"wl_{i}_{j + 1}",
-                    max(p.r_wire_wl, 1e-12), name=f"rwl_{i}_{j}",
-                )
-        # Bitline segments and sense resistors.
-        for j in range(cols):
-            for i in range(rows - 1):
-                circuit.add_resistor(
-                    f"bl_{i}_{j}", f"bl_{i + 1}_{j}",
-                    max(p.r_wire_bl, 1e-12), name=f"rbl_{i}_{j}",
-                )
-            circuit.add_resistor(
-                f"bl_{rows - 1}_{j}", "gnd", p.r_sense, name=f"rs_{j}"
-            )
-        # Cells.
-        for i in range(rows):
-            for j in range(cols):
-                g_ij = g[i, j]
-                if g_ij <= 0:
-                    continue
-                circuit.add_resistor(
-                    f"wl_{i}_{j}", f"bl_{i}_{j}", 1.0 / g_ij, name=f"cell_{i}_{j}"
-                )
-
-        solution = circuit.solve()
-        currents = np.empty(cols, dtype=float)
-        for j in range(cols):
-            v_sense = solution.voltage(f"bl_{rows - 1}_{j}")
-            currents[j] = v_sense / p.r_sense
-        return currents
+        solve = self._factorization(p.r_sense, 1e-12)
+        n = 2 * rows * cols
+        rhs = np.zeros(n + rows, dtype=float)
+        rhs[n:] = v
+        solution = self._solve(solve, rhs)
+        feet = (2 * rows - 1) * cols + np.arange(cols)
+        return solution[feet] / p.r_sense
 
     # ------------------------------------------------------------------
     # Thevenin extraction (feeds the parasitic-aware ReSiPE engine)
@@ -168,66 +258,29 @@ class IRDropSolver:
 
         The network is linear, so the open-circuit column voltage is a
         linear map of the wordline drive vector: ``V_oc = A v``.  ``A``
-        (cols × rows) and the per-column Thevenin resistance are
-        precomputed with one MNA solve per wordline plus one per column,
+        (cols × rows) and the per-column Thevenin resistance come from
+        two cached factorizations solved against batched right-hand
+        sides (all unit drives at once, all column probes at once),
         after which parasitic-aware MVMs cost the same as ideal ones.
         """
         rows, cols = self.array.shape
+        n = 2 * rows * cols
+        feet = (2 * rows - 1) * cols + np.arange(cols)
         # Response matrix: superposition over unit wordline drives, with
-        # the sense feet open (approximated by a huge sense resistance).
-        response = np.empty((cols, rows), dtype=float)
-        for i in range(rows):
-            unit = np.zeros(rows)
-            unit[i] = 1.0
-            # 1e9 Ohm approximates an open sense foot while keeping the
-            # MNA system well conditioned against the ~mOhm wire floor.
-            solution = self._solve_with_sense(unit, sense_resistance=1 * GIGA)
-            for j in range(cols):
-                response[j, i] = solution.voltage(f"bl_{rows - 1}_{j}")
+        # the sense feet open — 1e9 Ohm approximates an open foot while
+        # keeping the system well conditioned against the ~mOhm wire
+        # floor.
+        solve = self._factorization(1 * GIGA, 1e-3)
+        rhs = np.zeros((n + rows, rows), dtype=float)
+        rhs[n:, :] = np.eye(rows)
+        response = self._solve(solve, rhs)[feet, :]
         # Thevenin resistance per column: drive 1 A into the sense foot
-        # with every wordline driver at 0 V.
-        r_eq = np.empty(cols, dtype=float)
-        for j in range(cols):
-            circuit = self._build_network(np.zeros(rows), sense_resistance=None)
-            circuit.add_current_source(f"bl_{rows - 1}_{j}", 1.0, name="probe")
-            solution = circuit.solve()
-            r_eq[j] = solution.voltage(f"bl_{rows - 1}_{j}")
+        # with every wordline driver at 0 V and no sense resistors.
+        solve_open = self._factorization(None, 1e-3)
+        rhs = np.zeros((n + rows, cols), dtype=float)
+        rhs[feet, np.arange(cols)] = 1.0
+        r_eq = self._solve(solve_open, rhs)[feet, np.arange(cols)]
         return ParasiticThevenin(response=response, r_eq=r_eq)
-
-    def _build_network(self, voltages: np.ndarray, sense_resistance):
-        """Assemble the crossbar netlist (sense resistors optional)."""
-        rows, cols = self.array.shape
-        g = self.array.conductances
-        p = self.parasitics
-        circuit = DCCircuit()
-        for i in range(rows):
-            circuit.add_voltage_source(f"wl_{i}_0", float(voltages[i]), name=f"drv{i}")
-            for j in range(cols - 1):
-                circuit.add_resistor(
-                    f"wl_{i}_{j}", f"wl_{i}_{j + 1}",
-                    max(p.r_wire_wl, 1e-3), name=f"rwl_{i}_{j}",
-                )
-        for j in range(cols):
-            for i in range(rows - 1):
-                circuit.add_resistor(
-                    f"bl_{i}_{j}", f"bl_{i + 1}_{j}",
-                    max(p.r_wire_bl, 1e-3), name=f"rbl_{i}_{j}",
-                )
-            if sense_resistance is not None:
-                circuit.add_resistor(
-                    f"bl_{rows - 1}_{j}", "gnd", sense_resistance, name=f"rs_{j}"
-                )
-        for i in range(rows):
-            for j in range(cols):
-                if g[i, j] > 0:
-                    circuit.add_resistor(
-                        f"wl_{i}_{j}", f"bl_{i}_{j}", 1.0 / g[i, j],
-                        name=f"cell_{i}_{j}",
-                    )
-        return circuit
-
-    def _solve_with_sense(self, voltages: np.ndarray, sense_resistance: float):
-        return self._build_network(voltages, sense_resistance).solve()
 
     def error_vs_ideal(self, voltages: np.ndarray) -> Tuple[np.ndarray, float]:
         """Per-column relative current error and its maximum.

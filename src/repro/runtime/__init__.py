@@ -1,0 +1,22 @@
+"""Parallel campaign runtime: seed partitioning + process-pool runner.
+
+The speed layer under the Monte-Carlo studies:
+
+* :mod:`repro.runtime.seeding` — per-trial
+  :class:`~numpy.random.SeedSequence` children keyed by trial identity,
+  so streams are independent of worker count, chunk size and execution
+  order;
+* :mod:`repro.runtime.runner` — :class:`ParallelRunner`, a
+  crash-tolerant chunked process pool whose results are byte-identical
+  to serial execution for seeding-disciplined workers.
+
+Consumers: :class:`repro.faults.FaultCampaign` (``run(workers=...,
+trial_batch=...)``) and :func:`repro.experiments.fig7_accuracy.run_fig7`
+— both surfaced through the ``repro faults`` / ``repro fig7`` CLI via
+``--workers`` / ``--trial-batch``.
+"""
+
+from .runner import ParallelRunner
+from .seeding import trial_rng, trial_seed_sequence
+
+__all__ = ["ParallelRunner", "trial_rng", "trial_seed_sequence"]

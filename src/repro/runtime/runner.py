@@ -1,0 +1,192 @@
+"""Crash-tolerant process-pool execution of campaign task lists.
+
+:class:`ParallelRunner` maps a picklable worker function over a task
+list with
+
+* **chunk scheduling** — tasks are grouped into chunks so per-task IPC
+  overhead amortises (one future per chunk);
+* **worker crash retry** — a worker process dying (OOM kill, segfault,
+  ``os._exit``) breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`;
+  the runner rebuilds the pool and resubmits only the chunks that had
+  no result yet, up to ``max_retries`` rounds, then raises
+  :class:`~repro.errors.ExecutionError`;
+* **order preservation** — results come back in task order regardless
+  of completion order, so callers can zip them against their inputs.
+
+Determinism contract: the runner never feeds scheduling information to
+the tasks.  A worker function whose output is a pure function of its
+task (the seeding discipline of :mod:`repro.runtime.seeding`) therefore
+produces byte-identical results at any worker count or chunk size —
+including ``workers <= 1``, which runs everything in-process without a
+pool (and without requiring picklability).
+
+Exceptions *raised by the worker function itself* are not retried: they
+are deterministic task failures and propagate to the caller unchanged.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+
+__all__ = ["ParallelRunner"]
+
+
+def _call_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    """Run one chunk of tasks inside a worker process."""
+    return [fn(task) for task in chunk]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (workers inherit the parent's prepared state and
+    warm caches for free); fall back to the platform default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelRunner:
+    """Maps ``worker_fn`` over tasks on a process pool.
+
+    Parameters
+    ----------
+    worker_fn:
+        Module-level (picklable) callable applied to each task.
+    workers:
+        Process count; ``<= 1`` runs serially in-process.
+    chunk_size:
+        Tasks per submitted future (amortises IPC; does not affect
+        results).
+    max_retries:
+        Pool-rebuild rounds tolerated after worker crashes before
+        giving up.
+    initializer / initargs:
+        Optional per-worker-process setup hook (e.g. installing a
+        campaign spec in a module global).
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        workers: int = 1,
+        chunk_size: int = 1,
+        max_retries: int = 2,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> None:
+        if chunk_size < 1:
+            raise ExecutionError(f"chunk size must be >= 1, got {chunk_size!r}")
+        if max_retries < 0:
+            raise ExecutionError(f"max retries must be >= 0, got {max_retries!r}")
+        self.worker_fn = worker_fn
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.initializer = initializer
+        self.initargs = initargs
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        tasks: Sequence[Any],
+        on_result: Optional[Callable[[Any, Any], None]] = None,
+    ) -> List[Any]:
+        """Apply ``worker_fn`` to every task; results in task order.
+
+        ``on_result(task, result)`` fires in the *parent* process as
+        each result lands (completion order) — the merge hook campaign
+        callers use to persist finished trials into the artifact store
+        immediately, so an interrupted parallel run resumes without
+        recomputing them.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.workers <= 1:
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
+            out = []
+            for task in tasks:
+                result = self.worker_fn(task)
+                if on_result is not None:
+                    on_result(task, result)
+                out.append(result)
+            return out
+        return self._map_pooled(tasks, on_result)
+
+    def _map_pooled(
+        self,
+        tasks: List[Any],
+        on_result: Optional[Callable[[Any, Any], None]] = None,
+    ) -> List[Any]:
+        chunks = [
+            tasks[i : i + self.chunk_size]
+            for i in range(0, len(tasks), self.chunk_size)
+        ]
+        results: List[Optional[List[Any]]] = [None] * len(chunks)
+        pending = set(range(len(chunks)))
+        retries_left = self.max_retries
+        context = _pool_context()
+        while pending:
+            crashed = self._run_round(
+                chunks, results, pending, context, tasks, on_result
+            )
+            if not crashed:
+                continue
+            if retries_left == 0:
+                raise ExecutionError(
+                    f"worker processes kept crashing; {len(pending)} "
+                    f"chunk(s) unfinished after "
+                    f"{self.max_retries + 1} round(s)"
+                )
+            retries_left -= 1
+        out: List[Any] = []
+        for chunk_result in results:
+            assert chunk_result is not None
+            out.extend(chunk_result)
+        return out
+
+    def _run_round(
+        self,
+        chunks: List[List[Any]],
+        results: List[Optional[List[Any]]],
+        pending: set,
+        context: multiprocessing.context.BaseContext,
+        tasks: List[Any],
+        on_result: Optional[Callable[[Any, Any], None]],
+    ) -> bool:
+        """One pool lifetime; returns True if a worker crash was seen.
+
+        A crash poisons every in-flight future of the pool, so the
+        round ends with the unfinished chunk indices still in
+        ``pending`` for the next round's fresh pool.
+        """
+        crashed = False
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            mp_context=context,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        ) as pool:
+            futures = {
+                pool.submit(_call_chunk, self.worker_fn, chunks[idx]): idx
+                for idx in sorted(pending)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                idx = futures[future]
+                try:
+                    chunk_result = future.result()
+                except (BrokenProcessPool, OSError):
+                    crashed = True
+                    continue
+                results[idx] = chunk_result
+                pending.discard(idx)
+                if on_result is not None:
+                    base = idx * self.chunk_size
+                    for offset, result in enumerate(chunk_result):
+                        on_result(tasks[base + offset], result)
+        return crashed

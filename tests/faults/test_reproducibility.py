@@ -42,10 +42,10 @@ def _record_digests(campaign: FaultCampaign) -> dict:
     return digests
 
 
-def _run_campaign(spec, tmp_path, label):
+def _run_campaign(spec, tmp_path, label, **run_kwargs):
     store = ArtifactStore(str(tmp_path / label / "records"))
     campaign = FaultCampaign(spec, store=store)
-    result = campaign.run()
+    result = campaign.run(**run_kwargs)
     return campaign, result
 
 
@@ -107,6 +107,44 @@ class TestSeededCampaignReproducibility:
             for pa, pc in zip(params_a, net_c.model.parameters())
         )
         assert changed, "weight init must depend on the master seed"
+
+    def test_trial_batch_persists_identical_bytes(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """Stacked evaluation (trial_batch > 1) is an execution detail:
+        the persisted records match the serial run byte for byte."""
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        campaign_a, result_a = _run_campaign(spec, tmp_path, "serial")
+        campaign_b, result_b = _run_campaign(
+            spec, tmp_path, "stacked", trial_batch=8
+        )
+        assert _record_digests(campaign_a) == _record_digests(campaign_b)
+        for rec_a, rec_b in zip(result_a.records, result_b.records):
+            assert rec_a == rec_b
+
+    def test_process_parallel_persists_identical_bytes(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """Worker processes are an execution detail too: same bytes at
+        workers=2 as serial, and the parallel run resumes from the
+        store."""
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        campaign_a, result_a = _run_campaign(spec, tmp_path, "serial")
+        campaign_b, result_b = _run_campaign(
+            spec, tmp_path, "parallel", workers=2, trial_batch=2
+        )
+        assert _record_digests(campaign_a) == _record_digests(campaign_b)
+        for rec_a, rec_b in zip(result_a.records, result_b.records):
+            assert rec_a == rec_b
+        assert result_b.computed == len(spec.points())
+
+        # Records merged by the parent are resumable: a second parallel
+        # run serves everything from the store.
+        campaign_c = FaultCampaign(spec, store=campaign_b.store)
+        result_c = campaign_c.run(workers=2, trial_batch=2)
+        assert result_c.computed == 0
+        assert result_c.cached == len(spec.points())
+        assert [r for r in result_c.records] == list(result_b.records)
 
     def test_store_layout_is_stable(self, spec, tmp_path, monkeypatch):
         """The on-disk file set (names, not just contents) is deterministic."""

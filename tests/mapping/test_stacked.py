@@ -1,0 +1,190 @@
+"""Trial-stacked Monte-Carlo kernels: bit-identity to serial paths.
+
+The contract under the parallel campaign runtime: evaluating ``T``
+conductance realizations through the stacked ``(T, rows, cols)`` kernels
+gives, slice by slice, the *same bits* as evaluating each realization
+alone.  Everything here asserts ``np.array_equal``, not ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CircuitParameters
+from repro.core.mvm import MVMMode, SingleSpikeMVM
+from repro.errors import ConfigurationError, MappingError, ShapeError
+from repro.mapping import (
+    IdealBackend,
+    PIMExecutor,
+    ReSiPEBackend,
+    compile_network,
+    stack_tiles,
+)
+from repro.mapping.stacked import stack_networks
+from repro.nn import Dense, ReLU, Sequential
+from repro.reram.crossbar import CrossbarArray, StackedCrossbar
+from repro.reram.nonideal import IRDropSolver, WireParasitics
+from repro.reram.variation import VariationModel
+
+
+def _variants(rng, trials=4, rows=16, cols=8):
+    base = CrossbarArray(rows, cols)
+    base.program_normalised(rng.random((rows, cols)))
+    model = VariationModel(sigma=0.1)
+    return [base.perturb(rng, variation=model) for _ in range(trials)]
+
+
+class TestStackedCrossbar:
+    def test_mvm_matches_per_trial(self, rng):
+        arrays = _variants(rng)
+        stacked = StackedCrossbar.from_arrays(arrays)
+        v = rng.random((5, 16))
+        out = stacked.mvm_currents(v)
+        assert out.shape == (4, 5, 8)
+        for t, array in enumerate(arrays):
+            assert np.array_equal(out[t], v @ array.conductances)
+
+    def test_column_totals_match_per_trial(self, rng):
+        arrays = _variants(rng)
+        stacked = StackedCrossbar.from_arrays(arrays)
+        totals = stacked.column_total_conductance()
+        for t, array in enumerate(arrays):
+            assert np.array_equal(totals[t], array.column_total_conductance())
+
+    def test_rejects_mismatched_arrays(self, rng):
+        small = CrossbarArray(4, 4)
+        big = CrossbarArray(8, 4)
+        with pytest.raises(ShapeError):
+            StackedCrossbar.from_arrays([small, big])
+
+    def test_rejects_non_3d(self, rng):
+        with pytest.raises(ShapeError):
+            StackedCrossbar(rng.random((4, 4)), CrossbarArray(4, 4).spec)
+
+    def test_mvm_shape_checked(self, rng):
+        stacked = StackedCrossbar.from_arrays(_variants(rng))
+        with pytest.raises(ShapeError):
+            stacked.mvm_currents(rng.random(7))
+
+
+class TestEvaluateStacked:
+    @pytest.mark.parametrize("mode", [MVMMode.EXACT, MVMMode.LINEAR])
+    def test_bit_identical_to_serial(self, rng, calibrated_params, mode):
+        arrays = _variants(rng)
+        stacked = StackedCrossbar.from_arrays(arrays)
+        mvm = SingleSpikeMVM(arrays[0], calibrated_params, mode=mode)
+        times = rng.uniform(10e-9, 80e-9, (3, 16))
+        result = mvm.evaluate_stacked(times, stacked)
+        assert result.times.shape == (4, 3, 8)
+        for t, array in enumerate(arrays):
+            serial = SingleSpikeMVM(array, calibrated_params, mode=mode)
+            ref = serial.evaluate(times)
+            assert np.array_equal(result.times[t], ref.times)
+            assert np.array_equal(result.fired[t], ref.fired)
+            assert np.array_equal(result.v_out[t], ref.v_out)
+
+    def test_per_trial_inputs(self, rng, calibrated_params):
+        arrays = _variants(rng)
+        stacked = StackedCrossbar.from_arrays(arrays)
+        mvm = SingleSpikeMVM(arrays[0], calibrated_params)
+        times = rng.uniform(10e-9, 80e-9, (4, 3, 16))
+        result = mvm.evaluate_stacked(times, stacked)
+        for t, array in enumerate(arrays):
+            serial = SingleSpikeMVM(array, calibrated_params)
+            assert np.array_equal(result.times[t],
+                                  serial.evaluate(times[t]).times)
+
+    def test_trial_count_mismatch(self, rng, calibrated_params):
+        stacked = StackedCrossbar.from_arrays(_variants(rng))
+        mvm = SingleSpikeMVM(CrossbarArray(16, 8), calibrated_params)
+        with pytest.raises(ShapeError):
+            mvm.evaluate_stacked(rng.random((3, 2, 16)), stacked)
+
+    def test_parasitic_mode_rejected(self, rng, calibrated_params):
+        arrays = _variants(rng)
+        thevenin = IRDropSolver(
+            arrays[0], WireParasitics()
+        ).column_thevenin()
+        mvm = SingleSpikeMVM(arrays[0], calibrated_params,
+                             parasitic_thevenin=thevenin)
+        with pytest.raises(ConfigurationError):
+            mvm.evaluate_stacked(
+                rng.uniform(10e-9, 80e-9, 16),
+                StackedCrossbar.from_arrays(arrays),
+            )
+
+
+class TestStackTiles:
+    @pytest.mark.parametrize("backend", [
+        IdealBackend(),
+        ReSiPEBackend(params=CircuitParameters.calibrated(),
+                      mode=MVMMode.LINEAR),
+        ReSiPEBackend(params=CircuitParameters.calibrated(),
+                      mode=MVMMode.EXACT),
+    ])
+    def test_bit_identical_to_serial(self, rng, backend):
+        base = backend.program(rng.random((16, 6)))
+        tiles = [base.perturbed(rng, 0.1) for _ in range(3)]
+        stacked = stack_tiles(tiles)
+        x = rng.random((5, 16))
+        out = stacked.matmul(x)
+        assert out.shape == (3, 5, 6)
+        for t, tile in enumerate(tiles):
+            assert np.array_equal(out[t], tile.matmul(x))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MappingError):
+            stack_tiles([])
+
+    def test_mixed_types_rejected(self, rng):
+        w = rng.random((8, 4))
+        ideal = IdealBackend().program(w)
+        resipe = ReSiPEBackend(
+            params=CircuitParameters.calibrated(), mode=MVMMode.LINEAR
+        ).program(w)
+        with pytest.raises(MappingError):
+            stack_tiles([ideal, resipe])
+
+
+class TestExecutorTrials:
+    @pytest.fixture
+    def executor(self, rng):
+        model = Sequential(
+            [Dense(12, 10, rng=rng), ReLU(), Dense(10, 4, rng=rng)],
+            name="toy",
+        )
+        backend = ReSiPEBackend(
+            params=CircuitParameters.calibrated(), mode=MVMMode.LINEAR
+        )
+        mapped = compile_network(model, backend)
+        return PIMExecutor(mapped, rng.random((32, 12)))
+
+    def test_forward_trials_bit_identical(self, rng, executor):
+        clones = [executor.perturbed(rng, 0.1) for _ in range(3)]
+        x = rng.random((6, 12))
+        stacked_out = executor.forward_trials(x, [c.network for c in clones])
+        assert stacked_out.shape[0] == 3
+        for t, clone in enumerate(clones):
+            assert np.array_equal(stacked_out[t], clone.forward(x))
+
+    def test_accuracy_trials_bit_identical(self, rng, executor):
+        clones = [executor.perturbed(rng, 0.2) for _ in range(3)]
+        x = rng.random((20, 12))
+        labels = rng.integers(0, 4, 20)
+        accs = executor.accuracy_trials(x, labels, [c.network for c in clones])
+        assert accs.shape == (3,)
+        for t, clone in enumerate(clones):
+            assert float(accs[t]) == pytest.approx(
+                clone.accuracy(x, labels), abs=0.0
+            )
+
+    def test_stack_networks_rejects_mixed_models(self, rng, executor):
+        other_model = Sequential(
+            [Dense(12, 10, rng=rng), ReLU(), Dense(10, 4, rng=rng)],
+            name="other",
+        )
+        backend = ReSiPEBackend(
+            params=CircuitParameters.calibrated(), mode=MVMMode.LINEAR
+        )
+        other = compile_network(other_model, backend)
+        with pytest.raises(MappingError):
+            stack_networks([executor.network, other])

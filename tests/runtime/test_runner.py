@@ -1,0 +1,134 @@
+"""ParallelRunner: ordering, crash retry, and the seeding discipline."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime import ParallelRunner, trial_rng, trial_seed_sequence
+
+_STATE = {"offset": 0}
+
+
+def _square(task):
+    return task * task
+
+
+def _plus_offset(task):
+    return task + _STATE["offset"]
+
+
+def _install_offset(offset):
+    _STATE["offset"] = offset
+
+
+def _crash_once(task):
+    """Die hard (no exception, no cleanup) the first time each marker is
+    seen — exactly what an OOM kill looks like to the pool."""
+    marker, value = task
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)
+    return value * 10
+
+
+def _always_crash(task):
+    os._exit(1)
+
+
+def _raise_value_error(task):
+    raise ValueError(f"task {task!r} is bad")
+
+
+class TestSerialPath:
+    def test_maps_in_order(self):
+        runner = ParallelRunner(_square, workers=1)
+        assert runner.map([1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_empty_tasks(self):
+        assert ParallelRunner(_square, workers=1).map([]) == []
+
+    def test_initializer_runs_in_process(self):
+        runner = ParallelRunner(
+            _plus_offset, workers=1,
+            initializer=_install_offset, initargs=(100,),
+        )
+        try:
+            assert runner.map([1, 2]) == [101, 102]
+        finally:
+            _STATE["offset"] = 0
+
+    def test_on_result_fires_per_task(self):
+        seen = []
+        runner = ParallelRunner(_square, workers=1)
+        runner.map([2, 3], on_result=lambda task, res: seen.append((task, res)))
+        assert seen == [(2, 4), (3, 9)]
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            ParallelRunner(_square, chunk_size=0)
+        with pytest.raises(ExecutionError):
+            ParallelRunner(_square, max_retries=-1)
+
+
+class TestPooledPath:
+    def test_results_in_task_order(self):
+        runner = ParallelRunner(_square, workers=2, chunk_size=2)
+        assert runner.map(list(range(7))) == [t * t for t in range(7)]
+
+    def test_initializer_reaches_workers(self):
+        runner = ParallelRunner(
+            _plus_offset, workers=2,
+            initializer=_install_offset, initargs=(100,),
+        )
+        assert runner.map([1, 2, 3]) == [101, 102, 103]
+
+    def test_on_result_sees_every_task(self):
+        seen = {}
+        runner = ParallelRunner(_square, workers=2, chunk_size=2)
+        runner.map(list(range(5)), on_result=seen.__setitem__)
+        assert seen == {t: t * t for t in range(5)}
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        """A worker dying mid-chunk breaks the pool; the runner rebuilds
+        it and recomputes only the unfinished chunks."""
+        marker = str(tmp_path / "crash-once")
+        tasks = [(marker, v) for v in range(4)]
+        runner = ParallelRunner(_crash_once, workers=2, chunk_size=2,
+                                max_retries=2)
+        assert runner.map(tasks) == [0, 10, 20, 30]
+        assert os.path.exists(marker)
+
+    def test_exhausted_retries_raise(self):
+        runner = ParallelRunner(_always_crash, workers=2, max_retries=1)
+        with pytest.raises(ExecutionError, match="crashing"):
+            runner.map([1, 2])
+
+    def test_worker_exception_propagates_unretried(self):
+        runner = ParallelRunner(_raise_value_error, workers=2)
+        with pytest.raises(ValueError, match="is bad"):
+            runner.map([1, 2])
+
+
+class TestSeeding:
+    def test_same_token_same_stream(self):
+        a = trial_rng(7, "mlp-1|0.05|3").random(8)
+        b = trial_rng(7, "mlp-1|0.05|3").random(8)
+        assert np.array_equal(a, b)
+
+    def test_distinct_tokens_distinct_streams(self):
+        a = trial_rng(7, "mlp-1|0.05|3").random(8)
+        b = trial_rng(7, "mlp-1|0.05|4").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_master_seed_matters(self):
+        a = trial_rng(7, "tok").random(8)
+        b = trial_rng(8, "tok").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_seed_sequence_is_pure(self):
+        one = trial_seed_sequence(3, "x").generate_state(4)
+        two = trial_seed_sequence(3, "x").generate_state(4)
+        assert np.array_equal(one, two)
