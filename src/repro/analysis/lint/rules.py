@@ -487,6 +487,49 @@ class FloatEqualityRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# TEL001 — timing through the telemetry clock
+# ----------------------------------------------------------------------
+@register
+class TelemetryClockRule(Rule):
+    """Direct :mod:`time` clock reads must go through the telemetry clock."""
+
+    id = "TEL001"
+    title = "read clocks via repro.telemetry.clock"
+    rationale = (
+        "Scattered time.time()/perf_counter() calls are how ad-hoc, "
+        "inconsistent instrumentation creeps back in; routing every clock "
+        "read through repro.telemetry.clock keeps span timings, latency "
+        "histograms and manifests comparable across subsystems.  "
+        "benchmarks/ harnesses are exempt (they time their own measurement "
+        "loops and must not route through the subsystem under test)."
+    )
+    scopes = ("src", "tests")
+    exempt = ("repro/telemetry/", "benchmarks/")
+
+    _BANNED = frozenset({
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _resolve(node.func, imports)
+            if dotted is None or not dotted.startswith("time."):
+                continue
+            member = dotted.split(".", 1)[1].split(".")[0]
+            if member in self._BANNED:
+                yield module.finding(
+                    self.id, node,
+                    f"direct `{dotted}()` clock read; use "
+                    "repro.telemetry.clock (wall/monotonic/perf/cpu) so "
+                    "timings stay comparable across subsystems",
+                )
+
+
+# ----------------------------------------------------------------------
 # ERR001 — the repro.errors taxonomy
 # ----------------------------------------------------------------------
 @register

@@ -19,6 +19,7 @@ def render_gantt(result: SimulationResult, max_slices: int = 60) -> str:
     if max_slices < 1:
         raise ConfigurationError("max_slices must be >= 1")
     horizon = min(int(result.finishes.max()), max_slices)
+    name_width = 14
     lines: List[str] = []
     for i, station in enumerate(result.chip.stations):
         row = []
@@ -29,8 +30,11 @@ def render_gantt(result: SimulationResult, max_slices: int = 60) -> str:
                     symbol = _GANTT_SYMBOLS[k % len(_GANTT_SYMBOLS)]
                     break
             row.append(symbol)
-        lines.append(f"{station.name[:14]:<14} |{''.join(row)}|")
-    header = " " * 15 + "".join(
+        lines.append(f"{station.name[:name_width]:<{name_width}} |{''.join(row)}|")
+    # Rows carry a "<name> |" prefix of name_width + 2 characters before
+    # the first slice cell; the tick header must pad by the same amount
+    # so the decade digit over column t sits above the cells for slice t.
+    header = " " * (name_width + 2) + "".join(
         str((t // 10) % 10) if t % 10 == 0 else " " for t in range(horizon)
     )
     return header + "\n" + "\n".join(lines)

@@ -10,6 +10,13 @@ Usage::
 
 Each subcommand prints the same rendered artefact the corresponding
 benchmark saves under ``benchmarks/results/``.
+
+Every subcommand accepts ``--telemetry [DIR]``: the run executes under
+an active telemetry session and writes ``manifest.json`` +
+``spans.jsonl`` to DIR (default ``.telemetry``) on exit; ``repro
+report DIR`` renders them.  Telemetry is an execution knob — stdout
+and every persisted experiment artifact are byte-identical with it on
+or off (the telemetry note goes to stderr).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import __version__
+from . import __version__, telemetry
 from .config import CircuitParameters
 
 __all__ = ["main", "build_parser"]
@@ -31,11 +38,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="ReSiPE (DAC 2020) reproduction — regenerate paper artefacts",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    # Shared execution knobs, inherited by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--telemetry", nargs="?", const=".telemetry", default=None,
+        metavar="DIR",
+        help="record metrics/spans/manifest and write them to DIR "
+             "(default: .telemetry) when the run finishes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="show the operating points and library summary")
+    sub.add_parser("info", parents=[common],
+                   help="show the operating points and library summary")
 
-    fig3 = sub.add_parser("fig3", help="transient MAC waveforms (Fig. 3)")
+    fig3 = sub.add_parser("fig3", parents=[common],
+                          help="transient MAC waveforms (Fig. 3)")
     fig3.add_argument("--spike-times", nargs=2, type=float,
                       default=[40e-9, 70e-9], metavar=("T0", "T1"),
                       help="input spike times in seconds")
@@ -43,23 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[50e3, 200e3], metavar=("R0", "R1"),
                       help="cell resistances in ohms")
 
-    fig5 = sub.add_parser("fig5", help="t_out vs input strength (Fig. 5)")
+    fig5 = sub.add_parser("fig5", parents=[common], help="t_out vs input strength (Fig. 5)")
     fig5.add_argument("--samples", type=int, default=100)
     fig5.add_argument("--seed", type=int, default=0)
     fig5.add_argument("--paper-point", action="store_true",
                       help="use the literal published operating point")
 
-    sub.add_parser("table1", help="data-format taxonomy (Table I)")
+    sub.add_parser("table1", parents=[common], help="data-format taxonomy (Table I)")
 
-    table2 = sub.add_parser("table2", help="design comparison (Table II)")
+    table2 = sub.add_parser("table2", parents=[common], help="design comparison (Table II)")
     table2.add_argument("--rows", type=int, default=32)
     table2.add_argument("--cols", type=int, default=32)
 
-    fig6 = sub.add_parser("fig6", help="throughput vs area budgets (Fig. 6)")
+    fig6 = sub.add_parser("fig6", parents=[common], help="throughput vs area budgets (Fig. 6)")
     fig6.add_argument("--budgets", nargs="+", type=float, default=None,
                       help="area budgets in mm^2")
 
-    fig7 = sub.add_parser("fig7", help="accuracy under process variation (Fig. 7)")
+    fig7 = sub.add_parser("fig7", parents=[common], help="accuracy under process variation (Fig. 7)")
     fig7.add_argument("--networks", nargs="+", default=None,
                       help="network keys (default: all six)")
     fig7.add_argument("--sigmas", nargs="+", type=float,
@@ -79,9 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "any count)")
     fig7.add_argument("--trial-batch", type=int, default=1, metavar="T",
                       help="Monte-Carlo trials per stacked forward pass")
+    fig7.add_argument("--fast", action="store_true",
+                      help="small smoke preset (mlp-1, sigmas 0/0.10, "
+                           "2 trials, 300 samples) for CI and demos")
 
     faults = sub.add_parser(
-        "faults",
+        "faults", parents=[common],
         help="fault-injection campaign with detect-and-remap recovery",
     )
     faults.add_argument("--network", default="mlp-1",
@@ -125,13 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--trial-batch", type=int, default=1, metavar="T",
                         help="trials per stacked forward pass")
 
-    sub.add_parser("fig1", help="two-layer signal relation (Fig. 1)")
+    sub.add_parser("fig1", parents=[common], help="two-layer signal relation (Fig. 1)")
 
-    scaling = sub.add_parser("scaling", help="technology-scaling projection")
+    scaling = sub.add_parser("scaling", parents=[common], help="technology-scaling projection")
     scaling.add_argument("--nodes", nargs="+", type=float,
                          default=[65, 45, 28, 16], help="nodes in nm")
 
-    deploy = sub.add_parser("deploy",
+    deploy = sub.add_parser("deploy", parents=[common],
                             help="chip-level deployment of a benchmark network")
     deploy.add_argument("--network", default="cnn-1",
                         help="network key (e.g. mlp-2, cnn-1)")
@@ -143,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report as JSON (atomic)")
 
     lint = sub.add_parser(
-        "lint",
+        "lint", parents=[common],
         help="check reproducibility invariants (seeded RNG, atomic IO, "
              "SI units, float-eq, error taxonomy)",
     )
@@ -165,7 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rule catalogue and exit")
 
     cache = sub.add_parser(
-        "cache",
+        "cache", parents=[common],
         help="inspect or maintain the model artifact store "
              "($REPRO_CACHE or .cache/models)",
     )
@@ -179,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
     action.add_argument("--clear", action="store_true",
                         help="delete all entries (including quarantined "
                              "files)")
+
+    report = sub.add_parser(
+        "report", parents=[common],
+        help="render a recorded telemetry run (manifest + span tree + "
+             "metrics)",
+    )
+    report.add_argument("dir", nargs="?", default=".telemetry",
+                        help="telemetry directory written by --telemetry "
+                             "(default: .telemetry)")
+    report.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="output_format",
+                        help="report format")
 
     return parser
 
@@ -243,16 +275,28 @@ def _run_fig6(args: argparse.Namespace) -> str:
 def _run_fig7(args: argparse.Namespace) -> str:
     from .experiments.fig7_accuracy import Fig7Config, render_fig7, run_fig7
 
-    config = Fig7Config(
-        sigmas=tuple(args.sigmas),
-        trials=args.trials,
-        networks=tuple(args.networks) if args.networks else None,
-        n_samples=args.samples,
-        eval_samples=args.eval_samples,
-        seed=args.seed,
-        stuck_on=args.stuck_on,
-        stuck_off=args.stuck_off,
-    )
+    if args.fast:
+        config = Fig7Config(
+            sigmas=(0.0, 0.10),
+            trials=2,
+            networks=("mlp-1",),
+            n_samples=300,
+            eval_samples=50,
+            seed=args.seed,
+            stuck_on=args.stuck_on,
+            stuck_off=args.stuck_off,
+        )
+    else:
+        config = Fig7Config(
+            sigmas=tuple(args.sigmas),
+            trials=args.trials,
+            networks=tuple(args.networks) if args.networks else None,
+            n_samples=args.samples,
+            eval_samples=args.eval_samples,
+            seed=args.seed,
+            stuck_on=args.stuck_on,
+            stuck_off=args.stuck_off,
+        )
     return render_fig7(run_fig7(config, workers=args.workers,
                                 trial_batch=args.trial_batch))
 
@@ -390,30 +434,71 @@ def _run_cache(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_report(args: argparse.Namespace) -> "tuple[str, int]":
+    from .errors import ArtifactError
+    from .telemetry.report import (
+        load_run,
+        render_report_json,
+        render_report_text,
+    )
+
+    try:
+        manifest, spans = load_run(args.dir)
+    except ArtifactError as exc:
+        return f"report error: {exc}", 1
+    if args.output_format == "json":
+        return render_report_json(manifest, spans), 0
+    return render_report_text(manifest, spans), 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "lint":
-        text, code = _run_lint(args)
+    tel_dir = getattr(args, "telemetry", None)
+    session = None
+    if tel_dir is not None:
+        config = {key: value for key, value in vars(args).items()
+                  if key not in ("command", "telemetry")}
+        session = telemetry.enable(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            config=config,
+            seed=getattr(args, "seed", None),
+        )
+    try:
+        with telemetry.span(f"cli.{args.command}"):
+            if args.command == "lint":
+                text, code = _run_lint(args)
+            elif args.command == "report":
+                text, code = _run_report(args)
+            else:
+                handlers = {
+                    "info": lambda: _run_info(),
+                    "fig1": lambda: _run_fig1(),
+                    "fig3": lambda: _run_fig3(args),
+                    "fig5": lambda: _run_fig5(args),
+                    "table1": lambda: _run_table1(),
+                    "table2": lambda: _run_table2(args),
+                    "fig6": lambda: _run_fig6(args),
+                    "fig7": lambda: _run_fig7(args),
+                    "faults": lambda: _run_faults(args),
+                    "scaling": lambda: _run_scaling(args),
+                    "deploy": lambda: _run_deploy(args),
+                    "cache": lambda: _run_cache(args),
+                }
+                text, code = handlers[args.command](), 0
         print(text)
         return code
-    handlers = {
-        "info": lambda: _run_info(),
-        "fig1": lambda: _run_fig1(),
-        "fig3": lambda: _run_fig3(args),
-        "fig5": lambda: _run_fig5(args),
-        "table1": lambda: _run_table1(),
-        "table2": lambda: _run_table2(args),
-        "fig6": lambda: _run_fig6(args),
-        "fig7": lambda: _run_fig7(args),
-        "faults": lambda: _run_faults(args),
-        "scaling": lambda: _run_scaling(args),
-        "deploy": lambda: _run_deploy(args),
-        "cache": lambda: _run_cache(args),
-    }
-    print(handlers[args.command]())
-    return 0
+    finally:
+        if session is not None:
+            telemetry.disable()
+            session.save(tel_dir)
+            # stderr, so stdout stays byte-identical with telemetry off
+            print(
+                f"[telemetry] run manifest + spans written to {tel_dir}",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

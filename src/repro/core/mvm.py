@@ -25,6 +25,7 @@ import numpy as np
 from ..config import CircuitParameters
 from ..errors import ConfigurationError, ShapeError
 from ..reram.crossbar import CrossbarArray, StackedCrossbar
+from ..telemetry import session as _telemetry
 from .cog import COGResult, ColumnOutputGenerator
 from .global_decoder import GlobalDecoder
 
@@ -104,6 +105,14 @@ class SingleSpikeMVM:
         else:
             result = self._evaluate_exact(t_in)
 
+        session = _telemetry.active()
+        if session is not None:
+            batch = t_in.shape[0]
+            session.count("mvm.count", batch)
+            session.count(
+                "mvm.elements", batch * self.array.rows * self.array.cols
+            )
+
         if squeeze:
             return COGResult(
                 times=result.times[0], fired=result.fired[0], v_out=result.v_out[0]
@@ -175,6 +184,15 @@ class SingleSpikeMVM:
             result = self._evaluate_linear_stacked(t_in, stacked)
         else:
             result = self._evaluate_exact_stacked(t_in, stacked)
+
+        session = _telemetry.active()
+        if session is not None:
+            batch = t_in.shape[-2] if t_in.ndim == 3 else t_in.shape[0]
+            products = stacked.trials * batch
+            session.count("mvm.count", products)
+            session.count(
+                "mvm.elements", products * stacked.rows * stacked.cols
+            )
 
         if squeeze:
             return COGResult(

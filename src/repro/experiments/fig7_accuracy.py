@@ -24,6 +24,7 @@ from ..core.mvm import MVMMode
 from ..errors import ConfigurationError, ExecutionError
 from ..mapping import PIMExecutor, ReSiPEBackend, compile_network
 from ..runtime import ParallelRunner, trial_rng
+from ..telemetry import session as _telemetry
 from .networks import TrainedNetwork, get_benchmark_networks
 
 __all__ = ["Fig7Config", "Fig7Result", "run_fig7", "render_fig7"]
@@ -196,12 +197,17 @@ def _sigma_column(
 def _evaluate_network(
     net: TrainedNetwork, config: Fig7Config, trial_batch: int = 1
 ) -> NetworkAccuracy:
-    executor, x_eval, y_eval = _prepare_network(net, config)
-    by_sigma: Dict[float, Tuple[float, float]] = {}
-    for sigma in config.sigmas:
-        by_sigma[sigma] = _sigma_column(
-            net, executor, config, sigma, x_eval, y_eval, trial_batch
-        )
+    with _telemetry.span("fig7.network", network=net.spec.key):
+        executor, x_eval, y_eval = _prepare_network(net, config)
+        by_sigma: Dict[float, Tuple[float, float]] = {}
+        for sigma in config.sigmas:
+            with _telemetry.span(
+                "fig7.sigma_column",
+                network=net.spec.key, sigma=sigma, trials=config.trials,
+            ):
+                by_sigma[sigma] = _sigma_column(
+                    net, executor, config, sigma, x_eval, y_eval, trial_batch
+                )
     software = float(
         np.mean(net.model.predict(x_eval, batch_size=128) == y_eval)
     )
@@ -271,6 +277,16 @@ def run_fig7(config: Optional[Fig7Config] = None, workers: int = 1,
         raise ConfigurationError(
             f"need trial_batch >= 1, got {trial_batch!r}"
         )
+    with _telemetry.span(
+        "fig7.run",
+        networks=len(config.networks) if config.networks else "all",
+        sigmas=len(config.sigmas), trials=config.trials, workers=workers,
+    ):
+        return _run_fig7_inner(config, workers, trial_batch)
+
+
+def _run_fig7_inner(config: Fig7Config, workers: int,
+                    trial_batch: int) -> Fig7Result:
     keys: Optional[Sequence[str]] = config.networks
     networks = get_benchmark_networks(
         keys=keys, n_samples=config.n_samples, seed=config.seed

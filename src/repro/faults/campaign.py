@@ -44,6 +44,7 @@ from ..mapping import (
 from ..mapping.remap import detect_and_remap
 from ..runtime import ParallelRunner, trial_rng
 from ..store import ArtifactStore, get_store, spec_hash
+from ..telemetry import session as _telemetry
 from .injectors import (
     CompositeInjector,
     DriftInjector,
@@ -187,12 +188,16 @@ class CampaignResult:
     computed / cached:
         How many trials were run this call vs served from the
         artifact store — the resumability observability.
+    pool_rebuilds:
+        Worker-pool rebuilds the parallel runner performed after
+        worker crashes during this run (0 on serial runs).
     """
 
     spec: CampaignSpec
     records: List[dict]
     computed: int
     cached: int
+    pool_rebuilds: int = 0
 
     def curve(self) -> List[dict]:
         """Aggregate per grid point: mean/min accuracy with and
@@ -420,6 +425,18 @@ class FaultCampaign:
             raise ConfigurationError(
                 f"need trial_batch >= 1, got {trial_batch!r}"
             )
+        with _telemetry.span(
+            "campaign.run",
+            network=self.spec.network,
+            points=len(self.spec.points()),
+            workers=workers,
+            trial_batch=trial_batch,
+        ):
+            return self._run_inner(max_trials, verbose, workers, trial_batch)
+
+    def _run_inner(self, max_trials: Optional[int], verbose: bool,
+                   workers: int, trial_batch: int) -> CampaignResult:
+        session = _telemetry.active()
         fingerprint = self.spec.fingerprint()
         stored_records: Dict[Tuple[float, float, float, int], dict] = {}
         pending: List[Tuple[float, float, float, int]] = []
@@ -433,6 +450,9 @@ class FaultCampaign:
                 pending.append(point)
         if max_trials is not None:
             pending = pending[:max_trials]
+        if session is not None:
+            session.count("campaign.trials.started", len(pending))
+            session.count("campaign.trials.cached", len(stored_records))
 
         computed_records: Dict[Tuple[float, float, float, int], dict] = {}
 
@@ -443,7 +463,10 @@ class FaultCampaign:
                     self.trial_key(*point), record, spec_hash=fingerprint
                 )
                 computed_records[point] = record
+            if session is not None:
+                session.count("campaign.trials.computed", len(group))
 
+        pool_rebuilds = 0
         if pending:
             groups = [
                 tuple(pending[i : i + trial_batch])
@@ -460,9 +483,15 @@ class FaultCampaign:
                     initargs=(self.spec,),
                 )
                 runner.map(groups, on_result=merge)
+                pool_rebuilds = runner.pool_rebuilds
             else:
                 for group in groups:
-                    merge(group, self._run_trial_group(list(group)))
+                    rate, sigma, age, _trial = group[0]
+                    with _telemetry.span(
+                        "campaign.trial_group",
+                        rate=rate, sigma=sigma, age=age, trials=len(group),
+                    ):
+                        merge(group, self._run_trial_group(list(group)))
 
         records: List[dict] = []
         computed = cached = 0
@@ -485,7 +514,8 @@ class FaultCampaign:
                            else "")
                     )
         return CampaignResult(
-            spec=self.spec, records=records, computed=computed, cached=cached
+            spec=self.spec, records=records, computed=computed,
+            cached=cached, pool_rebuilds=pool_rebuilds,
         )
 
 
@@ -551,4 +581,8 @@ def render_campaign(result: CampaignResult) -> str:
         f"resume: {result.cached} trial(s) from store, "
         f"{result.computed} computed this run"
     )
+    if result.pool_rebuilds:
+        footer += (
+            f"; {result.pool_rebuilds} worker-pool rebuild(s) after crashes"
+        )
     return table + "\n" + footer

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import MappingError
+from ..telemetry import session as _telemetry
 from .backends import HardwareBackend
 from .compiler import MappedNetwork
 from .tiling import TileGrid, tile_matrix
@@ -404,6 +405,22 @@ def detect_and_remap(
 
         stages_out.append(
             PatchedLayer(cand_stage, patches, software_bound)
+        )
+
+    session = _telemetry.active()
+    if session is not None:
+        worst = max(
+            (float(rep.worst()) for rep in reports.values()), default=0.0
+        )
+        session.set_gauge("remap.probe_deviation", worst)
+        session.count("remap.flagged", len(records))
+        session.count(
+            "remap.spare",
+            sum(1 for r in records if r.action == "spare"),
+        )
+        session.count(
+            "remap.software",
+            sum(1 for r in records if r.action == "software"),
         )
 
     return RemapResult(

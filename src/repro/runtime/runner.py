@@ -22,6 +22,16 @@ pool (and without requiring picklability).
 
 Exceptions *raised by the worker function itself* are not retried: they
 are deterministic task failures and propagate to the caller unchanged.
+
+Observability: when a telemetry session is active, every chunk becomes
+a ``runner.chunk`` span (parent-side turnaround, submit → result) and a
+``runner.chunk_seconds`` histogram sample — on the serial path too, so
+chunk spans always equal chunk count regardless of worker count.  Pool
+rebuilds after a crash increment ``runner.pool_rebuilds`` and the count
+is exposed on :attr:`ParallelRunner.pool_rebuilds` (campaign results
+surface it; a crash-retry is no longer silent).  After a pooled map the
+``runner.worker_utilisation`` gauge holds busy-time / (workers ×
+elapsed), capped at 1.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
+from ..telemetry import session as _telemetry
+from ..telemetry.clock import perf
 
 __all__ = ["ParallelRunner"]
 
@@ -88,6 +100,8 @@ class ParallelRunner:
         self.max_retries = max_retries
         self.initializer = initializer
         self.initargs = initargs
+        #: pool rebuilds performed by the most recent :meth:`map` call
+        self.pool_rebuilds = 0
 
     # ------------------------------------------------------------------
     def map(
@@ -104,36 +118,59 @@ class ParallelRunner:
         recomputing them.
         """
         tasks = list(tasks)
+        self.pool_rebuilds = 0
         if not tasks:
             return []
         if self.workers <= 1:
-            if self.initializer is not None:
-                self.initializer(*self.initargs)
-            out = []
-            for task in tasks:
+            return self._map_serial(tasks, on_result)
+        return self._map_pooled(tasks, on_result)
+
+    def _chunked(self, tasks: List[Any]) -> List[List[Any]]:
+        return [
+            tasks[i : i + self.chunk_size]
+            for i in range(0, len(tasks), self.chunk_size)
+        ]
+
+    def _map_serial(
+        self,
+        tasks: List[Any],
+        on_result: Optional[Callable[[Any, Any], None]] = None,
+    ) -> List[Any]:
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        session = _telemetry.active()
+        out: List[Any] = []
+        for idx, chunk in enumerate(self._chunked(tasks)):
+            start = perf()
+            for task in chunk:
                 result = self.worker_fn(task)
                 if on_result is not None:
                     on_result(task, result)
                 out.append(result)
-            return out
-        return self._map_pooled(tasks, on_result)
+            if session is not None:
+                end = perf()
+                session.tracer.record_span(
+                    "runner.chunk", start, end, index=idx, tasks=len(chunk)
+                )
+                session.observe("runner.chunk_seconds", end - start)
+        return out
 
     def _map_pooled(
         self,
         tasks: List[Any],
         on_result: Optional[Callable[[Any, Any], None]] = None,
     ) -> List[Any]:
-        chunks = [
-            tasks[i : i + self.chunk_size]
-            for i in range(0, len(tasks), self.chunk_size)
-        ]
+        chunks = self._chunked(tasks)
         results: List[Optional[List[Any]]] = [None] * len(chunks)
         pending = set(range(len(chunks)))
         retries_left = self.max_retries
         context = _pool_context()
+        session = _telemetry.active()
+        map_start = perf()
+        busy = [0.0]
         while pending:
             crashed = self._run_round(
-                chunks, results, pending, context, tasks, on_result
+                chunks, results, pending, context, tasks, on_result, busy
             )
             if not crashed:
                 continue
@@ -144,6 +181,16 @@ class ParallelRunner:
                     f"{self.max_retries + 1} round(s)"
                 )
             retries_left -= 1
+            self.pool_rebuilds += 1
+            if session is not None:
+                session.count("runner.pool_rebuilds")
+        if session is not None:
+            elapsed = perf() - map_start
+            if elapsed > 0:
+                session.set_gauge(
+                    "runner.worker_utilisation",
+                    min(1.0, busy[0] / (self.workers * elapsed)),
+                )
         out: List[Any] = []
         for chunk_result in results:
             assert chunk_result is not None
@@ -158,24 +205,30 @@ class ParallelRunner:
         context: multiprocessing.context.BaseContext,
         tasks: List[Any],
         on_result: Optional[Callable[[Any, Any], None]],
+        busy: List[float],
     ) -> bool:
         """One pool lifetime; returns True if a worker crash was seen.
 
         A crash poisons every in-flight future of the pool, so the
         round ends with the unfinished chunk indices still in
-        ``pending`` for the next round's fresh pool.
+        ``pending`` for the next round's fresh pool.  ``busy[0]``
+        accumulates the parent-observed turnaround of completed chunks
+        (the utilisation numerator).
         """
         crashed = False
+        session = _telemetry.active()
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)),
             mp_context=context,
             initializer=self.initializer,
             initargs=self.initargs,
         ) as pool:
-            futures = {
-                pool.submit(_call_chunk, self.worker_fn, chunks[idx]): idx
-                for idx in sorted(pending)
-            }
+            futures = {}
+            submitted = {}
+            for idx in sorted(pending):
+                future = pool.submit(_call_chunk, self.worker_fn, chunks[idx])
+                futures[future] = idx
+                submitted[future] = perf()
             for future in concurrent.futures.as_completed(futures):
                 idx = futures[future]
                 try:
@@ -183,6 +236,15 @@ class ParallelRunner:
                 except (BrokenProcessPool, OSError):
                     crashed = True
                     continue
+                end = perf()
+                duration = end - submitted[future]
+                busy[0] += duration
+                if session is not None:
+                    session.tracer.record_span(
+                        "runner.chunk", submitted[future], end,
+                        index=idx, tasks=len(chunks[idx]),
+                    )
+                    session.observe("runner.chunk_seconds", duration)
                 results[idx] = chunk_result
                 pending.discard(idx)
                 if on_result is not None:

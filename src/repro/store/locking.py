@@ -13,6 +13,7 @@ import os
 import time
 
 from ..errors import ArtifactError
+from ..telemetry.clock import monotonic
 
 try:  # pragma: no cover - platform gate
     import fcntl
@@ -42,14 +43,14 @@ class FileLock:
             return
         os.makedirs(os.path.dirname(os.path.abspath(self.path)) or ".",
                     exist_ok=True)
-        deadline = time.monotonic() + self.timeout
+        deadline = monotonic() + self.timeout
         self._fh = open(self.path, "a+b")
         while True:
             try:
                 fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
                 return
             except OSError:
-                if time.monotonic() >= deadline:
+                if monotonic() >= deadline:
                     self._fh.close()
                     self._fh = None
                     raise ArtifactError(

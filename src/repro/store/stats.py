@@ -4,16 +4,42 @@ Each :class:`~repro.store.artifacts.ArtifactStore` owns a
 :class:`StoreStats`; benchmarks read them to report cache behaviour
 alongside timings, and the corruption-recovery tests assert on them
 (first run: misses + corruptions; second run: hits).
+
+Since the telemetry subsystem landed, :class:`StoreStats` is a thin
+attribute-style view over a private
+:class:`~repro.telemetry.metrics.MetricsRegistry` — the counters the
+store increments *are* registry counters.  The historical attribute
+API (``stats.hits += 1``, including the retraction ``stats.hits -= 1``
+when a hit's payload fails to decode) is preserved via properties, and
+every delta applied through it is mirrored to the active telemetry
+session (if any) under ``store.<name>`` so a run manifest captures
+cache behaviour without the store knowing about sessions beyond one
+forwarding call.
 """
 
 from __future__ import annotations
 
-import dataclasses
+from ..telemetry.metrics import MetricsRegistry
 
 __all__ = ["StoreStats"]
 
+_FIELDS = ("hits", "memory_hits", "misses", "stale", "corruptions", "writes")
 
-@dataclasses.dataclass
+
+def _make_property(name: str) -> property:
+    def getter(self: "StoreStats") -> int:
+        return self._registry.counter(name).value
+
+    def setter(self: "StoreStats", value: int) -> None:
+        counter = self._registry.counter(name)
+        delta = value - counter.value
+        counter.value = value
+        if delta:
+            self._forward(name, delta)
+
+    return property(getter, setter)
+
+
 class StoreStats:
     """Monotonic event counters for one store.
 
@@ -34,19 +60,34 @@ class StoreStats:
         Artifacts persisted.
     """
 
-    hits: int = 0
-    memory_hits: int = 0
-    misses: int = 0
-    stale: int = 0
-    corruptions: int = 0
-    writes: int = 0
+    __slots__ = ("_registry",)
+
+    def __init__(self) -> None:
+        self._registry = MetricsRegistry()
+
+    hits = _make_property("hits")
+    memory_hits = _make_property("memory_hits")
+    misses = _make_property("misses")
+    stale = _make_property("stale")
+    corruptions = _make_property("corruptions")
+    writes = _make_property("writes")
+
+    @staticmethod
+    def _forward(name: str, delta: int) -> None:
+        from .. import telemetry
+
+        session = telemetry.active()
+        if session is not None:
+            session.count(f"store.{name}", delta)
 
     def reset(self) -> None:
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, field.default)
+        # Direct counter writes: a reset is bookkeeping, not store
+        # activity, so nothing is forwarded to the telemetry session.
+        for name in _FIELDS:
+            self._registry.counter(name).value = 0
 
     def as_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        return {name: getattr(self, name) for name in _FIELDS}
 
     def describe(self) -> str:
         return (
@@ -54,3 +95,11 @@ class StoreStats:
             f"misses={self.misses} (stale={self.stale}) "
             f"corruptions={self.corruptions} writes={self.writes}"
         )
+
+    def __repr__(self) -> str:
+        return f"StoreStats({self.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StoreStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()

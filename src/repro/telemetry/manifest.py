@@ -1,0 +1,155 @@
+"""Run manifests: what produced this telemetry, exactly.
+
+A :class:`RunManifest` snapshots everything needed to tie a metrics /
+span dump back to a reproducible invocation: the command and argv, a
+content fingerprint of the resolved configuration, the master seed,
+the git commit, library versions, wall-clock bounds and the final
+metrics snapshot.  It is the piece the energy-model calibration
+literature calls the "accounting substrate" — a perf or reliability
+claim is only auditable if the run that produced it is pinned down.
+
+Manifests are persisted as ``manifest.json`` through the artifact
+store's atomic-write path (:func:`repro.store.atomic.atomic_write_json`),
+so a crash mid-save never leaves a torn manifest next to valid spans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+import subprocess
+from typing import Any, Dict, List, Optional, Sequence
+
+from . import clock
+
+__all__ = ["RunManifest", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+
+#: every field a valid manifest document must carry
+REQUIRED_FIELDS = (
+    "manifest_version",
+    "command",
+    "argv",
+    "config_fingerprint",
+    "seed",
+    "git_sha",
+    "versions",
+    "started_at",
+    "finished_at",
+    "duration_s",
+    "metrics",
+)
+
+
+def _git_sha() -> Optional[str]:
+    """Commit of the working tree, or ``None`` outside a checkout."""
+    import os
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _library_versions() -> Dict[str, str]:
+    import numpy
+
+    from .. import __version__
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro": __version__,
+    }
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """Provenance + outcome record of one instrumented run."""
+
+    command: str
+    argv: List[str]
+    config_fingerprint: Optional[str]
+    seed: Optional[int]
+    git_sha: Optional[str]
+    versions: Dict[str, str]
+    started_at: float
+    finished_at: Optional[float] = None
+    duration_s: Optional[float] = None
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def begin(
+        cls,
+        command: str,
+        argv: Sequence[str] = (),
+        config: Optional[dict] = None,
+        seed: Optional[int] = None,
+    ) -> "RunManifest":
+        """Open a manifest at run start.
+
+        ``config`` is any JSON-serialisable mapping describing the
+        resolved invocation (e.g. the parsed CLI namespace); it is
+        fingerprinted with the same canonical content hash the artifact
+        store keys on (:func:`repro.store.keys.spec_hash`).
+        """
+        fingerprint = None
+        if config is not None:
+            from ..store.keys import spec_hash
+
+            fingerprint = spec_hash(config)
+        return cls(
+            command=command,
+            argv=list(argv),
+            config_fingerprint=fingerprint,
+            seed=seed,
+            git_sha=_git_sha(),
+            versions=_library_versions(),
+            started_at=clock.wall(),
+        )
+
+    def finish(self, metrics: Optional[dict] = None) -> "RunManifest":
+        """Close the manifest with the final metrics snapshot."""
+        self.finished_at = clock.wall()
+        self.duration_s = self.finished_at - self.started_at
+        if metrics is not None:
+            self.metrics = metrics
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        doc = dataclasses.asdict(self)
+        doc["manifest_version"] = MANIFEST_VERSION
+        return doc
+
+    def save(self, path: str) -> None:
+        """Atomically persist the manifest document."""
+        from ..store.atomic import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def validate(doc: Any) -> List[str]:
+        """Schema problems of a loaded manifest document ([] = valid)."""
+        if not isinstance(doc, dict):
+            return ["manifest is not a JSON object"]
+        problems = [f"missing field: {field}" for field in REQUIRED_FIELDS
+                    if field not in doc]
+        if not problems and doc["manifest_version"] != MANIFEST_VERSION:
+            problems.append(
+                f"unsupported manifest_version {doc['manifest_version']!r}"
+            )
+        if not problems and not isinstance(doc["metrics"], dict):
+            problems.append("metrics is not an object")
+        if not problems and not isinstance(doc["versions"], dict):
+            problems.append("versions is not an object")
+        return problems

@@ -1,0 +1,202 @@
+"""Named counters, gauges and streaming histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics keyed by
+dotted lowercase names (``mvm.count``, ``runner.chunk_seconds``).
+Instruments are created on first use and are plain mutable objects —
+no locks, no background threads, no third-party client.
+
+Histograms keep a fixed-size reservoir (algorithm R) so quantile
+estimates stay O(1) memory for arbitrarily long runs.  The reservoir's
+replacement draws come from a :class:`numpy.random.Generator` seeded
+from the registry seed and the metric name, so a telemetry snapshot is
+a deterministic function of the observation sequence — and, crucially,
+the draws never touch any experiment RNG stream: enabling telemetry
+cannot change what an experiment computes.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "StreamingHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonic-by-convention accumulator (negative deltas allowed
+    for explicit retractions, e.g. the store un-counting a hit whose
+    payload failed to decode)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-value-wins instrument (e.g. worker utilisation)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class StreamingHistogram:
+    """Streaming distribution summary over a fixed seeded reservoir.
+
+    Exact while the observation count stays within ``reservoir_size``
+    (every sample is retained, so quantiles match a numpy reference on
+    the full sequence); beyond that it degrades gracefully to a uniform
+    random sample maintained by algorithm R.
+    """
+
+    __slots__ = ("name", "reservoir_size", "count", "total",
+                 "min", "max", "_buffer", "_rng")
+
+    def __init__(self, name: str, reservoir_size: int = 1024,
+                 seed: int = 0) -> None:
+        from ..errors import ConfigurationError
+
+        if reservoir_size < 1:
+            raise ConfigurationError(
+                f"reservoir_size must be >= 1, got {reservoir_size!r}"
+            )
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buffer: List[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self._buffer) < self.reservoir_size:
+            self._buffer.append(v)
+        else:
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.reservoir_size:
+                self._buffer[slot] = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact below the reservoir size)."""
+        if not self._buffer:
+            return math.nan
+        return float(np.percentile(self._buffer, 100.0 * q))
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.quantile(0.50) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
+        }
+
+    def __repr__(self) -> str:
+        return (f"StreamingHistogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean if self.count else None})")
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of counters, gauges and histograms.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for histogram reservoirs; each histogram derives its
+        own stream from ``seed + crc32(name)`` (the same discipline as
+        :mod:`repro.runtime.seeding`), so snapshots are deterministic
+        and independent of creation order.
+    reservoir_size:
+        Per-histogram sample capacity.
+    """
+
+    def __init__(self, seed: int = 0, reservoir_size: int = 1024) -> None:
+        self.seed = seed
+        self.reservoir_size = reservoir_size
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = StreamingHistogram(
+                name,
+                reservoir_size=self.reservoir_size,
+                seed=self.seed + zlib.crc32(name.encode()),
+            )
+        return metric
+
+    # convenience write paths ------------------------------------------
+    def count(self, name: str, n: float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of every metric (sorted, stable)."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].snapshot()
+                           for name in sorted(self._histograms)},
+        }
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")

@@ -1,0 +1,134 @@
+"""Load and render persisted telemetry (``repro report`` backend).
+
+A telemetry directory holds the two files a
+:meth:`repro.telemetry.session.TelemetrySession.save` wrote:
+``manifest.json`` (validated against :class:`RunManifest`'s schema) and
+``spans.jsonl`` (one span document per line, creation order).  This
+module reconstructs both and renders them as text tables (via
+:func:`repro.analysis.tables.render_table`) or a single JSON document.
+
+Kept out of ``repro.telemetry.__init__`` so importing the
+instrumentation layer never drags in the analysis stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+from ..errors import ArtifactError
+from ..units import MILLI
+from .manifest import RunManifest
+
+__all__ = ["load_run", "render_report_text", "render_report_json"]
+
+
+def load_run(directory: str) -> Tuple[dict, List[dict]]:
+    """Load ``(manifest, spans)`` from a telemetry directory.
+
+    Raises :class:`~repro.errors.ArtifactError` when the directory is
+    missing, a file is unreadable, or the manifest fails schema
+    validation — a telemetry dump that cannot be tied to a run is not
+    evidence of anything.
+    """
+    manifest_path = os.path.join(directory, "manifest.json")
+    spans_path = os.path.join(directory, "spans.jsonl")
+    if not os.path.isfile(manifest_path):
+        raise ArtifactError(f"no manifest.json under {directory!r}")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"unreadable manifest {manifest_path!r}: {exc}")
+    problems = RunManifest.validate(manifest)
+    if problems:
+        raise ArtifactError(
+            f"invalid manifest {manifest_path!r}: " + "; ".join(problems)
+        )
+    spans: List[dict] = []
+    if os.path.isfile(spans_path):
+        try:
+            with open(spans_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        spans.append(json.loads(line))
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"unreadable spans {spans_path!r}: {exc}")
+    return manifest, spans
+
+
+def _render_span_tree(spans: List[dict]) -> str:
+    if not spans:
+        return "(no spans recorded)"
+    lines = []
+    for span in spans:
+        duration = span.get("duration_s")
+        duration_txt = ("...open" if duration is None
+                        else f"{duration / MILLI:.1f} ms")
+        cpu = span.get("cpu_s")
+        cpu_txt = f" cpu {cpu / MILLI:.1f} ms" if cpu is not None else ""
+        attrs = "".join(
+            f" {key}={value}"
+            for key, value in sorted((span.get("attrs") or {}).items())
+        )
+        status = span.get("status", "ok")
+        flag = "" if status == "ok" else f" [{status}]"
+        indent = "  " * int(span.get("depth", 0))
+        lines.append(
+            f"{indent}{span['name']}  {duration_txt}{cpu_txt}{attrs}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def render_report_text(manifest: dict, spans: List[dict]) -> str:
+    """Human-readable report: manifest, span tree, metrics tables."""
+    from ..analysis.tables import render_table
+
+    manifest_rows = [
+        ["command", manifest["command"]],
+        ["argv", " ".join(manifest["argv"])],
+        ["config_fingerprint", manifest["config_fingerprint"]],
+        ["seed", manifest["seed"]],
+        ["git_sha", manifest["git_sha"]],
+        ["duration_s", manifest["duration_s"]],
+    ]
+    for lib, version in sorted(manifest["versions"].items()):
+        manifest_rows.append([f"version.{lib}", version])
+    sections = [
+        render_table(["field", "value"], manifest_rows, title="Run manifest"),
+        "Span tree\n" + _render_span_tree(spans),
+    ]
+
+    metrics = manifest["metrics"]
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    value_rows = [[name, value] for name, value in sorted(counters.items())]
+    value_rows += [[name, value] for name, value in sorted(gauges.items())]
+    if value_rows:
+        sections.append(
+            render_table(["metric", "value"], value_rows,
+                         title="Counters & gauges")
+        )
+    if histograms:
+        hist_rows = [
+            [name, snap["count"], snap["mean"], snap["p50"], snap["p95"],
+             snap["p99"], snap["max"]]
+            for name, snap in sorted(histograms.items())
+        ]
+        sections.append(
+            render_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                hist_rows, title="Histograms",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_report_json(manifest: dict, spans: List[dict]) -> str:
+    """Machine-readable report: one JSON document, stable key order."""
+    return json.dumps(
+        {"manifest": manifest, "spans": spans}, sort_keys=True, indent=2
+    )

@@ -1,0 +1,142 @@
+"""Nested spans with monotonic wall/CPU timings, serialised as JSONL.
+
+A :class:`Tracer` hands out spans two ways:
+
+* :meth:`Tracer.span` — a context manager for code the caller wraps
+  inline (``with tracer.span("fig7.sigma_column", sigma=0.1): ...``);
+  nesting follows the ``with`` structure.
+* :meth:`Tracer.record_span` — for intervals timed elsewhere (e.g. the
+  parent-side turnaround of a worker-pool chunk, whose start/end the
+  runner observed around a future).  The recorded span is parented to
+  whatever inline span is open at record time.
+
+Spans appear in ``spans`` in creation order, children strictly after
+their parent, so a single forward pass over the list renders the tree.
+Durations come from :func:`repro.telemetry.clock.perf` and CPU cost
+from :func:`repro.telemetry.clock.cpu`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..units import MILLI
+from . import clock
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed interval in the span tree.
+
+    Attributes
+    ----------
+    span_id / parent_id / depth:
+        Tree structure; ``parent_id`` is ``None`` for roots.
+    name:
+        Dotted lowercase identifier (``campaign.trial_group``).
+    attrs:
+        JSON-serialisable labels (sigma, chunk index, ...).
+    start_wall:
+        Epoch seconds at start (cross-run correlation only; durations
+        never use it).
+    duration_s / cpu_s:
+        Filled when the span closes; ``cpu_s`` is ``None`` for
+        externally timed spans (the CPU burn happened in a worker).
+    status:
+        ``"ok"``, or ``"error"`` when the wrapped block raised.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    name: str
+    attrs: Dict[str, Any]
+    start_wall: float
+    duration_s: Optional[float] = None
+    cpu_s: Optional[float] = None
+    status: str = "ok"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Tracer:
+    """Collects a span tree for one run."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
+        span = Span(
+            span_id=len(self.spans),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            depth=len(self._stack),
+            name=name,
+            attrs=attrs,
+            start_wall=clock.wall(),
+        )
+        self.spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Time a block as a child of the innermost open span."""
+        span = self._open(name, attrs)
+        self._stack.append(span)
+        start_perf = clock.perf()
+        start_cpu = clock.cpu()
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.duration_s = clock.perf() - start_perf
+            span.cpu_s = clock.cpu() - start_cpu
+            self._stack.pop()
+
+    def record_span(self, name: str, start_perf: float, end_perf: float,
+                    **attrs: Any) -> Span:
+        """Record an interval timed by the caller (both endpoints from
+        :func:`clock.perf`), parented to the innermost open span."""
+        span = self._open(name, attrs)
+        # Back-date the wall timestamp from the perf interval.
+        span.start_wall = clock.wall() - (clock.perf() - start_perf)
+        span.duration_s = end_perf - start_perf
+        return span
+
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[dict]:
+        return [span.to_dict() for span in self.spans]
+
+    def to_jsonl(self) -> bytes:
+        """One JSON document per span, creation order."""
+        lines = [json.dumps(record, sort_keys=True)
+                 for record in self.to_records()]
+        return ("\n".join(lines) + "\n").encode() if lines else b""
+
+    def render_tree(self) -> str:
+        """Indented text rendering of the span tree."""
+        if not self.spans:
+            return "(no spans recorded)"
+        lines = []
+        for span in self.spans:
+            duration = ("...open" if span.duration_s is None
+                        else f"{span.duration_s / MILLI:.1f} ms")
+            cpu = (f" cpu {span.cpu_s / MILLI:.1f} ms"
+                   if span.cpu_s is not None else "")
+            attrs = "".join(
+                f" {key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            flag = "" if span.status == "ok" else f" [{span.status}]"
+            lines.append(
+                f"{'  ' * span.depth}{span.name}  {duration}{cpu}{attrs}{flag}"
+            )
+        return "\n".join(lines)

@@ -19,7 +19,9 @@ def run(code, rule_id, **kwargs):
 
 class TestRegistry:
     def test_all_rules_registered(self):
-        assert set(RULES) >= {"RNG001", "IO001", "UNIT001", "TEST001", "ERR001"}
+        assert set(RULES) >= {
+            "RNG001", "IO001", "UNIT001", "TEST001", "ERR001", "TEL001",
+        }
 
     def test_rules_have_metadata(self):
         for rule in RULES.values():
@@ -362,6 +364,95 @@ class TestErr001:
             scope="tests",
         )
         assert findings == []
+
+
+class TestTel001:
+    def test_flags_direct_time_call(self):
+        findings = run(
+            """
+            import time
+            start = time.time()
+            """,
+            "TEL001",
+        )
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_flags_perf_counter_and_monotonic(self):
+        findings = run(
+            """
+            import time
+            a = time.perf_counter()
+            b = time.monotonic()
+            c = time.process_time_ns()
+            """,
+            "TEL001",
+        )
+        assert len(findings) == 3
+
+    def test_flags_from_import_form(self):
+        findings = run(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """,
+            "TEL001",
+        )
+        assert len(findings) == 1
+
+    def test_allows_time_sleep(self):
+        findings = run(
+            """
+            import time
+            time.sleep(0.01)
+            """,
+            "TEL001",
+        )
+        assert findings == []
+
+    def test_allows_telemetry_clock(self):
+        findings = run(
+            """
+            from repro.telemetry.clock import perf
+            t = perf()
+            """,
+            "TEL001",
+        )
+        assert findings == []
+
+    def test_exempt_inside_telemetry_package(self):
+        findings = run(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            "TEL001",
+            path="src/repro/telemetry/clock.py",
+        )
+        assert findings == []
+
+    def test_exempt_inside_benchmarks(self):
+        findings = run(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            "TEL001",
+            path="benchmarks/bench_perf_mc.py",
+        )
+        assert findings == []
+
+    def test_applies_in_tests_scope(self):
+        findings = run(
+            """
+            import time
+            t = time.monotonic()
+            """,
+            "TEL001",
+            path="tests/test_w.py",
+            scope="tests",
+        )
+        assert len(findings) == 1
 
 
 class TestFindingContract:

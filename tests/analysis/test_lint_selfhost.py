@@ -43,4 +43,6 @@ def test_every_registered_rule_participates():
     # Sanity: the run actually visited a substantial tree with all
     # rules active, rather than passing vacuously.
     assert report.files > 100
-    assert set(RULES) >= {"RNG001", "IO001", "UNIT001", "TEST001", "ERR001"}
+    assert set(RULES) >= {
+        "RNG001", "IO001", "UNIT001", "TEST001", "ERR001", "TEL001",
+    }

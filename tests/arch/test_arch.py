@@ -171,6 +171,27 @@ class TestRendering:
         with pytest.raises(ConfigurationError):
             render_gantt(result, max_slices=0)
 
+    def test_gantt_header_aligns_with_row_cells(self):
+        # Regression: the tick header used a 15-char pad while rows
+        # carry a 16-char "<name> |" prefix, so every decade digit sat
+        # one column left of the slice it labelled.
+        result = PipelineSimulator(uniform_chip(2, service=7)).run(4)
+        header, first_row = render_gantt(result).splitlines()[:2]
+        prefix = first_row.index("|") + 1
+        assert header[:prefix] == " " * prefix
+        # The digit labelling slice t must sit over the cell of slice t.
+        for offset, char in enumerate(header[prefix:]):
+            if char != " ":
+                assert offset % 10 == 0
+                assert char == str((offset // 10) % 10)
+        # Sanity: the truncated-horizon path keeps the same alignment.
+        header_cut, row_cut = render_gantt(
+            result, max_slices=12
+        ).splitlines()[:2]
+        assert len(header_cut) <= len(row_cut)
+        assert header_cut.rstrip()[-1] == "1"  # decade tick at slice 10
+        assert len(header_cut.rstrip()) == prefix + 10 + 1
+
 
 class TestValidation:
     def test_empty_chip(self):

@@ -112,6 +112,61 @@ class TestPooledPath:
             runner.map([1, 2])
 
 
+class TestTelemetry:
+    def test_serial_chunk_spans_match_chunk_count(self):
+        from repro import telemetry
+
+        with telemetry.capture() as session:
+            runner = ParallelRunner(_square, workers=1, chunk_size=2)
+            assert runner.map(list(range(7))) == [t * t for t in range(7)]
+        chunk_spans = [s for s in session.tracer.spans
+                       if s.name == "runner.chunk"]
+        assert len(chunk_spans) == 4  # ceil(7 / 2)
+        assert [s.attrs["index"] for s in chunk_spans] == [0, 1, 2, 3]
+        assert [s.attrs["tasks"] for s in chunk_spans] == [2, 2, 2, 1]
+        hist = session.registry.histogram("runner.chunk_seconds")
+        assert hist.count == 4
+
+    def test_pooled_chunk_spans_match_chunk_count(self):
+        from repro import telemetry
+
+        with telemetry.capture() as session:
+            runner = ParallelRunner(_square, workers=2, chunk_size=2)
+            assert runner.map(list(range(5))) == [t * t for t in range(5)]
+        chunk_spans = [s for s in session.tracer.spans
+                       if s.name == "runner.chunk"]
+        assert len(chunk_spans) == 3  # ceil(5 / 2)
+        assert sorted(s.attrs["index"] for s in chunk_spans) == [0, 1, 2]
+        util = session.registry.gauge("runner.worker_utilisation").value
+        assert util is not None and 0.0 <= util <= 1.0
+
+    def test_pool_rebuilds_counted_and_exposed(self, tmp_path):
+        from repro import telemetry
+
+        marker = str(tmp_path / "crash-once")
+        tasks = [(marker, v) for v in range(4)]
+        runner = ParallelRunner(_crash_once, workers=2, chunk_size=2,
+                                max_retries=2)
+        with telemetry.capture() as session:
+            assert runner.map(tasks) == [0, 10, 20, 30]
+        assert runner.pool_rebuilds >= 1
+        counted = session.registry.counter("runner.pool_rebuilds").value
+        assert counted == runner.pool_rebuilds
+
+    def test_pool_rebuilds_reset_per_map(self):
+        runner = ParallelRunner(_square, workers=1)
+        runner.pool_rebuilds = 5
+        runner.map([1])
+        assert runner.pool_rebuilds == 0
+
+    def test_disabled_session_records_nothing(self):
+        from repro import telemetry
+
+        assert telemetry.active() is None
+        runner = ParallelRunner(_square, workers=1, chunk_size=2)
+        assert runner.map([1, 2, 3]) == [1, 4, 9]
+
+
 class TestSeeding:
     def test_same_token_same_stream(self):
         a = trial_rng(7, "mlp-1|0.05|3").random(8)

@@ -1,0 +1,1 @@
+"""Telemetry subsystem tests: metrics, tracer, session, report CLI."""

@@ -1,0 +1,136 @@
+"""MetricsRegistry: counters, gauges, and reservoir histograms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Counter, Gauge, MetricsRegistry, StreamingHistogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_delta_retracts(self):
+        # The store uses this to un-count a hit whose payload failed
+        # to decode.
+        c = Counter("hits")
+        c.inc(3)
+        c.inc(-1)
+        assert c.value == 2
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("util")
+        assert g.value is None
+        g.set(0.25)
+        g.set(0.75)
+        assert g.value == pytest.approx(0.75)
+
+
+class TestStreamingHistogram:
+    def test_quantiles_exact_below_reservoir_size(self):
+        """While every sample is retained, quantiles must match the
+        numpy reference on the full observation sequence."""
+        rng = np.random.default_rng(42)
+        values = rng.normal(10.0, 3.0, size=500)
+        h = StreamingHistogram("lat", reservoir_size=1024, seed=7)
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(values, 100 * q))
+            )
+        snap = h.snapshot()
+        assert snap["count"] == 500
+        assert snap["mean"] == pytest.approx(float(values.mean()))
+        assert snap["min"] == pytest.approx(float(values.min()))
+        assert snap["max"] == pytest.approx(float(values.max()))
+        assert snap["p50"] == pytest.approx(float(np.percentile(values, 50)))
+
+    def test_degrades_gracefully_beyond_reservoir(self):
+        h = StreamingHistogram("lat", reservoir_size=64, seed=3)
+        values = np.linspace(0.0, 1.0, 5000)
+        for v in values:
+            h.observe(float(v))
+        assert h.count == 5000
+        assert h.min == pytest.approx(0.0)
+        assert h.max == pytest.approx(1.0)
+        assert h.mean == pytest.approx(0.5)
+        # Quantile estimates come from a uniform sample of a uniform
+        # sequence: loose sanity bounds only.
+        assert 0.3 < h.quantile(0.5) < 0.7
+        assert h.quantile(0.95) > h.quantile(0.05)
+
+    def test_same_seed_same_snapshot(self):
+        """The reservoir is a deterministic function of (seed, sequence)."""
+        values = np.random.default_rng(0).random(300)
+
+        def build():
+            h = StreamingHistogram("lat", reservoir_size=32, seed=11)
+            for v in values:
+                h.observe(float(v))
+            return h.snapshot()
+
+        assert build() == build()
+
+    def test_empty_snapshot_is_all_none(self):
+        snap = StreamingHistogram("lat").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None
+        assert snap["p99"] is None
+
+    def test_reservoir_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            StreamingHistogram("lat", reservoir_size=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_convenience_write_paths(self):
+        reg = MetricsRegistry()
+        reg.count("n", 2)
+        reg.count("n")
+        reg.set_gauge("g", 0.5)
+        reg.observe("h", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["n"] == 3
+        assert snap["gauges"]["g"] == pytest.approx(0.5)
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_histogram_seed_independent_of_creation_order(self):
+        """Each histogram's reservoir stream derives from its name, so
+        registries that create the same histograms in different orders
+        produce identical snapshots."""
+        values = np.random.default_rng(1).random(400)
+        reg_a = MetricsRegistry(seed=5, reservoir_size=16)
+        reg_b = MetricsRegistry(seed=5, reservoir_size=16)
+        reg_a.histogram("first")
+        reg_a.histogram("second")
+        reg_b.histogram("second")
+        reg_b.histogram("first")
+        for v in values:
+            reg_a.observe("second", float(v))
+            reg_b.observe("second", float(v))
+        assert (reg_a.histogram("second").snapshot()
+                == reg_b.histogram("second").snapshot())
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.count("z.last")
+        reg.count("a.first")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        json.dumps(snap)  # must not raise

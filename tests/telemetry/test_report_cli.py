@@ -1,0 +1,137 @@
+"""CLI integration: ``--telemetry`` knob and ``repro report``.
+
+The contract under test: enabling telemetry changes what lands in the
+telemetry directory and on stderr — never stdout, never the persisted
+experiment artifacts — and ``repro report`` renders a recorded run in
+both text and json.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry import RunManifest
+
+
+class TestParser:
+    def test_telemetry_flag_defaults(self):
+        parser = build_parser()
+        assert parser.parse_args(["table2"]).telemetry is None
+        assert parser.parse_args(["table2", "--telemetry"]).telemetry == ".telemetry"
+        assert parser.parse_args(
+            ["table2", "--telemetry", "runs/x"]).telemetry == "runs/x"
+
+    def test_every_subcommand_accepts_telemetry(self):
+        parser = build_parser()
+        for command in ("info", "fig1", "fig3", "fig5", "table1", "table2",
+                        "fig6", "fig7", "faults", "scaling", "deploy",
+                        "cache", "lint", "report"):
+            args = parser.parse_args([command, "--telemetry", "t"])
+            assert args.telemetry == "t"
+
+    def test_report_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["report"])
+        assert args.dir == ".telemetry"
+        assert args.output_format == "text"
+        args = parser.parse_args(["report", "runs/x", "--format", "json"])
+        assert args.dir == "runs/x"
+        assert args.output_format == "json"
+
+
+class TestStdoutIdentity:
+    def test_table2_stdout_identical_with_and_without_telemetry(
+        self, tmp_path, capsys
+    ):
+        assert main(["table2"]) == 0
+        baseline = capsys.readouterr()
+        assert main(["table2", "--telemetry", str(tmp_path / "tel")]) == 0
+        instrumented = capsys.readouterr()
+        assert instrumented.out == baseline.out
+        assert baseline.err == ""
+        assert "[telemetry]" in instrumented.err
+
+    def test_session_closed_after_run(self, tmp_path, capsys):
+        from repro import telemetry
+
+        main(["table2", "--telemetry", str(tmp_path / "tel")])
+        capsys.readouterr()
+        assert telemetry.active() is None
+
+
+class TestFig7Report:
+    @pytest.fixture(scope="class")
+    def fig7_run(self, tmp_path_factory):
+        """One fast fig7 run recorded to a telemetry directory."""
+        root = tmp_path_factory.mktemp("fig7-telemetry")
+        previous = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = str(root / "cache")
+        try:
+            tel_dir = str(root / "tel")
+            code = main(["fig7", "--fast", "--telemetry", tel_dir])
+        finally:
+            if previous is None:
+                del os.environ["REPRO_CACHE"]
+            else:
+                os.environ["REPRO_CACHE"] = previous
+        assert code == 0
+        return tel_dir
+
+    def test_text_report_renders_manifest_spans_metrics(
+        self, fig7_run, capsys
+    ):
+        assert main(["report", fig7_run]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifest" in out
+        assert "fig7" in out
+        assert "cli.fig7" in out
+        assert "fig7.sigma_column" in out
+        assert "mvm.count" in out
+
+    def test_json_report_validates_and_counts_mvms(self, fig7_run, capsys):
+        assert main(["report", fig7_run, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert RunManifest.validate(doc["manifest"]) == []
+        assert doc["manifest"]["command"] == "fig7"
+        counters = doc["manifest"]["metrics"]["counters"]
+        assert counters["mvm.count"] > 0
+        assert counters["mvm.elements"] > counters["mvm.count"]
+        assert any(name.startswith("store.") for name in counters)
+        names = [s["name"] for s in doc["spans"]]
+        assert names[0] == "cli.fig7"
+        assert "fig7.network" in names
+        assert names.count("fig7.sigma_column") == 2
+
+    def test_manifest_fingerprint_excludes_execution_knobs(self, fig7_run):
+        """The telemetry directory is not part of the run identity: two
+        runs differing only in where they log fingerprint identically."""
+        parser = build_parser()
+        with open(os.path.join(fig7_run, "manifest.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["seed"] == 0
+
+        def fingerprint(argv):
+            from repro.store import spec_hash
+
+            args = parser.parse_args(argv)
+            config = {key: value for key, value in vars(args).items()
+                      if key not in ("command", "telemetry")}
+            return spec_hash(config)
+
+        assert manifest["config_fingerprint"] == fingerprint(
+            ["fig7", "--fast", "--telemetry", "elsewhere"])
+
+
+class TestReportErrors:
+    def test_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        assert "report error" in capsys.readouterr().out
+
+    def test_corrupt_manifest_exits_nonzero(self, tmp_path, capsys):
+        directory = tmp_path / "tel"
+        directory.mkdir()
+        (directory / "manifest.json").write_text("{not json")
+        assert main(["report", str(directory)]) == 1
+        assert "report error" in capsys.readouterr().out

@@ -1,0 +1,270 @@
+"""Session lifecycle, disabled-mode no-ops, persistence, byte-identity.
+
+The load-bearing claims of the telemetry subsystem live here:
+
+* disabled telemetry is a shared null object with near-zero call cost;
+* the saved ``manifest.json`` / ``spans.jsonl`` round-trip through the
+  artifact store's atomic-write path;
+* telemetry is an execution knob — a fault campaign persists
+  byte-identical experiment records with it on or off.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import RunManifest
+from repro.telemetry.clock import perf
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Every test here starts and ends without an active session."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestLifecycle:
+    def test_enable_disable_active(self):
+        assert telemetry.active() is None
+        session = telemetry.enable(command="t")
+        assert telemetry.active() is session
+        assert telemetry.disable() is session
+        assert telemetry.active() is None
+
+    def test_capture_restores_previous_session(self):
+        outer = telemetry.enable(command="outer")
+        with telemetry.capture(command="inner") as inner:
+            assert telemetry.active() is inner
+        assert telemetry.active() is outer
+
+    def test_module_helpers_route_to_active_session(self):
+        with telemetry.capture() as session:
+            telemetry.count("c", 2)
+            telemetry.set_gauge("g", 1.5)
+            telemetry.observe("h", 0.25)
+            with telemetry.span("s", k=1):
+                pass
+        snap = session.registry.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == pytest.approx(1.5)
+        assert snap["histograms"]["h"]["count"] == 1
+        assert [s.name for s in session.tracer.spans] == ["s"]
+
+    def test_finalize_is_idempotent(self):
+        session = telemetry.TelemetrySession(command="t")
+        session.count("c")
+        first = session.finalize()
+        again = session.finalize()
+        assert first is again
+        assert first.metrics["counters"]["c"] == 1
+
+
+class TestDisabledMode:
+    def test_helpers_are_no_ops(self):
+        assert telemetry.active() is None
+        telemetry.count("x", 5)
+        telemetry.observe("y", 1.0)
+        telemetry.set_gauge("z", 2.0)
+        with telemetry.span("nothing", attr=1):
+            pass
+        assert telemetry.active() is None
+
+    def test_disabled_span_is_a_shared_null_object(self):
+        # Zero allocation on the disabled path: every call hands back
+        # the same stateless context manager.
+        assert telemetry.span("a") is telemetry.span("b", k=1)
+
+    def test_disabled_call_cost_is_near_zero(self):
+        """The disabled helpers must stay cheap enough to leave in hot
+        loops: generous bound of 5 us/call (real cost is ~0.1 us)."""
+        calls = 100_000
+        start = perf()
+        for _ in range(calls):
+            telemetry.count("hot.counter")
+        elapsed = perf() - start
+        assert elapsed / calls < 5e-6
+        start = perf()
+        for _ in range(calls):
+            with telemetry.span("hot.span"):
+                pass
+        elapsed = perf() - start
+        assert elapsed / calls < 5e-6
+
+
+class TestPersistence:
+    def test_save_round_trips_through_atomic_store_path(self, tmp_path):
+        from repro.telemetry.report import load_run
+
+        directory = str(tmp_path / "tel")
+        with telemetry.capture(command="unit", argv=["unit"],
+                               config={"k": 1}, seed=9) as session:
+            with telemetry.span("outer"):
+                telemetry.count("n", 3)
+        paths = session.save(directory)
+        assert os.path.isfile(paths["manifest"])
+        assert os.path.isfile(paths["spans"])
+        # No torn temp files left behind by the atomic writes.
+        assert not [f for f in os.listdir(directory) if f.endswith(".tmp")]
+        manifest, spans = load_run(directory)
+        assert RunManifest.validate(manifest) == []
+        assert manifest["command"] == "unit"
+        assert manifest["seed"] == 9
+        assert manifest["metrics"]["counters"]["n"] == 3
+        assert [s["name"] for s in spans] == ["outer"]
+
+    def test_manifest_validate_flags_problems(self):
+        assert RunManifest.validate("nope") == ["manifest is not a JSON object"]
+        doc = RunManifest.begin("t").finish().to_dict()
+        assert RunManifest.validate(doc) == []
+        del doc["seed"]
+        assert RunManifest.validate(doc) == ["missing field: seed"]
+        doc = RunManifest.begin("t").finish().to_dict()
+        doc["manifest_version"] = 99
+        assert "unsupported manifest_version" in RunManifest.validate(doc)[0]
+
+    def test_manifest_fingerprints_config_like_the_store(self):
+        from repro.store import spec_hash
+
+        manifest = RunManifest.begin("t", config={"a": 1, "b": [2, 3]})
+        assert manifest.config_fingerprint == spec_hash({"a": 1, "b": [2, 3]})
+
+
+class TestStoreStatsBridge:
+    def test_stats_deltas_forward_to_session(self):
+        from repro.store import StoreStats
+
+        stats = StoreStats()
+        with telemetry.capture() as session:
+            stats.hits += 1
+            stats.hits += 1
+            stats.misses += 1
+            stats.hits -= 1  # decode-failure retraction
+        assert stats.hits == 1
+        assert stats.misses == 1
+        counters = session.registry.snapshot()["counters"]
+        assert counters["store.hits"] == 1
+        assert counters["store.misses"] == 1
+
+    def test_reset_does_not_forward(self):
+        from repro.store import StoreStats
+
+        stats = StoreStats()
+        stats.writes += 4
+        with telemetry.capture() as session:
+            stats.reset()
+        assert stats.writes == 0
+        assert "store.writes" not in session.registry.snapshot()["counters"]
+
+    def test_attribute_view_unchanged(self):
+        from repro.store import StoreStats
+
+        stats = StoreStats()
+        stats.hits += 2
+        stats.memory_hits += 1
+        assert stats.as_dict() == {
+            "hits": 2, "memory_hits": 1, "misses": 0,
+            "stale": 0, "corruptions": 0, "writes": 0,
+        }
+        assert stats.describe() == (
+            "hits=2 (memory=1) misses=0 (stale=0) corruptions=0 writes=0"
+        )
+
+
+class TestExecutionKnob:
+    """Telemetry on/off must not change persisted experiment bytes."""
+
+    def test_campaign_artifacts_identical_with_and_without_telemetry(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.faults import CampaignSpec, FaultCampaign
+        from repro.store import ArtifactStore
+
+        spec = CampaignSpec(
+            network="mlp-1",
+            rates=(0.0, 0.05),
+            sigmas=(0.0,),
+            ages=(0.0,),
+            trials=1,
+            seed=0,
+            n_samples=300,
+            eval_samples=50,
+            backend="ideal",
+        )
+
+        def run(label, with_telemetry):
+            monkeypatch.setenv("REPRO_CACHE", str(tmp_path / f"models-{label}"))
+            store = ArtifactStore(str(tmp_path / label / "records"))
+            campaign = FaultCampaign(spec, store=store)
+            if with_telemetry:
+                with telemetry.capture(command="faults", seed=spec.seed):
+                    campaign.run()
+            else:
+                campaign.run()
+            digests = {}
+            for point in spec.points():
+                key = campaign.trial_key(*point)
+                with open(campaign.store.path_for(key), "rb") as fh:
+                    digests[key] = hashlib.sha256(fh.read()).hexdigest()
+            return digests
+
+        assert run("off", False) == run("on", True)
+
+    def test_telemetry_records_campaign_activity_meanwhile(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.faults import CampaignSpec, FaultCampaign
+        from repro.store import ArtifactStore
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        spec = CampaignSpec(
+            network="mlp-1", rates=(0.0, 0.05), sigmas=(0.0,), ages=(0.0,),
+            trials=1, seed=0, n_samples=300, eval_samples=50,
+            backend="ideal",
+        )
+        store = ArtifactStore(str(tmp_path / "records"))
+        with telemetry.capture(command="faults", seed=spec.seed) as session:
+            result = FaultCampaign(spec, store=store).run()
+        assert result.computed == 2
+        counters = session.registry.snapshot()["counters"]
+        assert counters["campaign.trials.started"] == 2
+        assert counters["campaign.trials.computed"] == 2
+        names = [s.name for s in session.tracer.spans]
+        assert "campaign.run" in names
+        assert names.count("campaign.trial_group") == 2
+        # Remap ran for the faulted trial: its instruments must exist.
+        assert "remap.flagged" in counters
+        gauges = session.registry.snapshot()["gauges"]
+        assert "remap.probe_deviation" in gauges
+
+    def test_cached_rerun_counts_store_hits(self, tmp_path, monkeypatch):
+        from repro.faults import CampaignSpec, FaultCampaign
+        from repro.store import ArtifactStore
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        spec = CampaignSpec(
+            network="mlp-1", rates=(0.05,), sigmas=(0.0,), ages=(0.0,),
+            trials=1, seed=0, n_samples=300, eval_samples=50,
+            backend="ideal",
+        )
+        store = ArtifactStore(str(tmp_path / "records"))
+        FaultCampaign(spec, store=store).run()
+        with telemetry.capture(command="faults") as session:
+            result = FaultCampaign(spec, store=store).run()
+        assert result.cached == 1
+        counters = session.registry.snapshot()["counters"]
+        assert counters["campaign.trials.cached"] == 1
+        assert counters["store.hits"] >= 1
+
+    def test_fingerprints_unchanged_by_telemetry(self):
+        from repro.faults import CampaignSpec
+
+        spec = CampaignSpec()
+        off = spec.fingerprint()
+        with telemetry.capture():
+            on = spec.fingerprint()
+        assert off == on
