@@ -1,0 +1,185 @@
+"""Serving throughput/latency: cross-request batching on vs off.
+
+Starts a `repro serve` daemon in-process (registry loaded once from the
+artifact store), sweeps offered concurrency with the closed-loop load
+generator of :mod:`repro.serving.client`, and writes
+``benchmarks/results/BENCH_serving.json``:
+
+* per concurrency level: p50/p99/mean latency, throughput, and the
+  server-reported mean coalesced batch size — once with micro-batching
+  (``max_batch``, ``window``) and once unbatched (``max_batch=1``);
+* a byte-identity hard gate: predictions of concurrent single-row
+  requests must equal serial ``PIMExecutor.predict`` on the same rows
+  (non-zero exit on divergence, like ``bench_perf_mc.py``);
+* headline ``speedup``: batched/unbatched throughput at the highest
+  concurrency level.
+
+Run directly (CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --fast
+"""
+
+import argparse
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _serve_rows(host, port, model, rows):
+    """Predictions of per-row concurrent requests, in row order."""
+    from repro.serving.client import predict
+
+    def one(row):
+        status, doc = predict(host, port, model, row)
+        if status != 200:
+            raise RuntimeError(f"predict failed: {status} {doc}")
+        return doc["predictions"][0]
+
+    with ThreadPoolExecutor(max_workers=min(16, len(rows))) as pool:
+        return list(pool.map(one, rows))
+
+
+def run_benchmark(model="mlp-1", n_samples=600, seed=0, eval_rows=48,
+                  concurrencies=(1, 4, 16), requests_per_worker=8,
+                  max_batch=32, window_ms=2.0, queue_depth=256,
+                  ensemble_sigma=0.0, ensemble_trials=0):
+    import numpy as np
+
+    from repro.datasets import make_mnist_like
+    from repro.serving import BackgroundServer, ModelRegistry, ServingConfig
+    from repro.serving.client import run_load
+    from repro.units import MILLI
+
+    registry = ModelRegistry.from_benchmarks(
+        [model], n_samples=n_samples, seed=seed,
+        ensemble_sigma=ensemble_sigma, ensemble_trials=ensemble_trials,
+    )
+    entry = registry.get(model)
+    data = make_mnist_like(max(eval_rows, 16), seed=seed + 7).flattened()
+    rows = [data.images[i : i + 1] for i in range(eval_rows)]
+
+    def sweep(batching):
+        config = ServingConfig(
+            models=(model,), port=0, n_samples=n_samples, seed=seed,
+            max_batch=max_batch if batching else 1,
+            batch_window_s=window_ms * MILLI if batching else 0.0,
+            queue_depth=queue_depth,
+            ensemble_sigma=ensemble_sigma, ensemble_trials=ensemble_trials,
+        )
+        out = {}
+        with BackgroundServer(registry, config) as server:
+            for concurrency in concurrencies:
+                report = run_load(
+                    server.host, server.port, model, rows,
+                    concurrency=concurrency,
+                    requests_per_worker=requests_per_worker,
+                )
+                out[str(concurrency)] = report.to_dict()
+        return out
+
+    batched = sweep(batching=True)
+    unbatched = sweep(batching=False)
+
+    # Byte-identity gate: concurrent serving == serial executor.predict.
+    config = ServingConfig(
+        models=(model,), port=0, n_samples=n_samples, seed=seed,
+        max_batch=max_batch, batch_window_s=window_ms * MILLI,
+        queue_depth=queue_depth,
+        ensemble_sigma=ensemble_sigma, ensemble_trials=ensemble_trials,
+    )
+    with BackgroundServer(registry, config) as server:
+        served = _serve_rows(server.host, server.port, model, rows)
+    serial = entry.predict(np.concatenate(rows, axis=0))
+    matches = served == [int(p) for p in serial]
+
+    top = str(max(concurrencies))
+    speedup = (batched[top]["throughput_rps"]
+               / unbatched[top]["throughput_rps"])
+    return {
+        "config": {
+            "model": model,
+            "n_samples": n_samples,
+            "seed": seed,
+            "eval_rows": eval_rows,
+            "concurrencies": list(concurrencies),
+            "requests_per_worker": requests_per_worker,
+            "max_batch": max_batch,
+            "window_ms": window_ms,
+            "queue_depth": queue_depth,
+            "ensemble_sigma": ensemble_sigma,
+            "ensemble_trials": ensemble_trials,
+        },
+        "batched": batched,
+        "unbatched": unbatched,
+        "matches_serial": matches,
+        # Headline: batching gain at the highest offered concurrency.
+        "speedup": speedup,
+        "throughput_rps": batched[top]["throughput_rps"],
+        "latency_p99_ms": batched[top]["latency_p99_ms"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="mlp-1")
+    parser.add_argument("--samples", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--eval-rows", type=int, default=48)
+    parser.add_argument("--concurrency", nargs="+", type=int,
+                        default=[1, 4, 16])
+    parser.add_argument("--requests-per-worker", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--window-ms", type=float, default=2.0)
+    parser.add_argument("--queue-depth", type=int, default=256)
+    parser.add_argument("--ensemble-sigma", type=float, default=0.0)
+    parser.add_argument("--ensemble-trials", type=int, default=0)
+    parser.add_argument("--fast", action="store_true",
+                        help="small CI preset (300 samples, fewer requests)")
+    parser.add_argument("--output", default=os.path.join(
+        RESULTS_DIR, "BENCH_serving.json"
+    ))
+    args = parser.parse_args(argv)
+    if args.fast:
+        args.samples = 300
+        args.requests_per_worker = 6
+        args.eval_rows = 32
+
+    report = run_benchmark(
+        model=args.model, n_samples=args.samples, seed=args.seed,
+        eval_rows=args.eval_rows, concurrencies=tuple(args.concurrency),
+        requests_per_worker=args.requests_per_worker,
+        max_batch=args.max_batch, window_ms=args.window_ms,
+        queue_depth=args.queue_depth,
+        ensemble_sigma=args.ensemble_sigma,
+        ensemble_trials=args.ensemble_trials,
+    )
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"[bench_serving] {args.model} — batched (max_batch="
+          f"{args.max_batch}, window {args.window_ms:g} ms) vs unbatched")
+    for c in args.concurrency:
+        b, u = report["batched"][str(c)], report["unbatched"][str(c)]
+        print(f"  c={c:<3d} batched {b['throughput_rps']:7.1f} rps "
+              f"p50 {b['latency_p50_ms']:6.1f} ms "
+              f"p99 {b['latency_p99_ms']:6.1f} ms "
+              f"(mean batch {b['mean_batch_requests']:.1f})   "
+              f"unbatched {u['throughput_rps']:7.1f} rps "
+              f"p99 {u['latency_p99_ms']:6.1f} ms")
+    print(f"  batching speedup at c={max(args.concurrency)}: "
+          f"x{report['speedup']:.2f}   "
+          f"matches_serial={report['matches_serial']}")
+    print(f"  -> {args.output}")
+    if not report["matches_serial"]:
+        print("[bench_serving] FAIL: served predictions diverged from "
+              "serial PIMExecutor.predict")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -200,6 +200,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="delete all entries (including quarantined "
                              "files)")
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve predict requests over HTTP with cross-request "
+             "micro-batching (drains gracefully on SIGINT/SIGTERM)",
+    )
+    serve.add_argument("--models", nargs="+", default=["mlp-1"],
+                       help="benchmark network keys to load (store-cached)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="coalescing bound: requests per merged forward")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       metavar="MS",
+                       help="coalescing window after the first request of "
+                            "a batch")
+    serve.add_argument("--queue-depth", type=int, default=128, metavar="N",
+                       help="backpressure bound: pending requests beyond "
+                            "this get HTTP 429")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="serve each request alone (max_batch=1, "
+                            "window=0) — the benchmark baseline")
+    serve.add_argument("--compute-workers", type=int, default=1, metavar="N",
+                       help="numpy compute threads (1 keeps per-request "
+                            "energy accounting exact)")
+    serve.add_argument("--samples", type=int, default=600,
+                       help="training-set size keying the model cache")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="master seed keying the model cache")
+    serve.add_argument("--ensemble-sigma", type=float, default=0.0,
+                       help="serve the majority vote of a variation "
+                            "ensemble at this sigma")
+    serve.add_argument("--ensemble-trials", type=int, default=0,
+                       help="realizations in the variation ensemble")
+
     report = sub.add_parser(
         "report", parents=[common],
         help="render a recorded telemetry run (manifest + span tree + "
@@ -434,6 +469,52 @@ def _run_cache(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    from .serving import ModelRegistry, ServingConfig, ServingDaemon
+    from .units import MILLI
+
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        models=tuple(args.models),
+        max_batch=1 if args.no_batching else args.max_batch,
+        batch_window_s=(0.0 if args.no_batching
+                        else args.batch_window_ms * MILLI),
+        queue_depth=args.queue_depth,
+        compute_workers=args.compute_workers,
+        n_samples=args.samples,
+        seed=args.seed,
+        ensemble_sigma=args.ensemble_sigma,
+        ensemble_trials=args.ensemble_trials,
+    )
+    print(f"[serve] loading models {list(config.models)} "
+          f"(n_samples={config.n_samples}, seed={config.seed})...",
+          file=sys.stderr)
+    registry = ModelRegistry.from_benchmarks(
+        config.models,
+        n_samples=config.n_samples,
+        seed=config.seed,
+        ensemble_sigma=config.ensemble_sigma,
+        ensemble_trials=config.ensemble_trials,
+    )
+    daemon = ServingDaemon(registry, config)
+
+    def announce(d: ServingDaemon) -> None:
+        mode = (f"batching up to {config.max_batch}/flush"
+                if config.max_batch > 1 else "unbatched")
+        print(f"[serve] listening on http://{config.host}:{d.port} "
+              f"({mode}, queue_depth={config.queue_depth}) — "
+              f"Ctrl-C drains and exits", file=sys.stderr)
+
+    daemon.run_forever(announce=announce)
+    totals = daemon.metrics_snapshot()["totals"]
+    return (
+        f"serve: drained cleanly after {totals['requests']} request(s) — "
+        f"{totals['batches']} batch(es), {totals['coalesced']} coalesced, "
+        f"{totals['rejected']} rejected"
+    )
+
+
 def _run_report(args: argparse.Namespace) -> "tuple[str, int]":
     from .errors import ArtifactError
     from .telemetry.report import (
@@ -486,6 +567,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "scaling": lambda: _run_scaling(args),
                     "deploy": lambda: _run_deploy(args),
                     "cache": lambda: _run_cache(args),
+                    "serve": lambda: _run_serve(args),
                 }
                 text, code = handlers[args.command](), 0
         print(text)

@@ -54,3 +54,9 @@ class TrainingError(ReproError):
 class ExecutionError(ReproError):
     """A campaign/runtime execution failed (worker crashes exhausted
     retries, inconsistent parallel state)."""
+
+
+class BackpressureError(ReproError):
+    """A serving queue refused new work: the bounded request queue is at
+    capacity or the server is draining for shutdown.  Clients should
+    back off and retry (the HTTP layer maps this to 429/503)."""

@@ -74,6 +74,12 @@ class Fig7Config:
             raise ConfigurationError("sigmas must be >= 0")
         if self.trials < 1:
             raise ConfigurationError("need at least one trial")
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0, got {self.seed!r}: trial streams "
+                "derive from SeedSequence(seed + crc32(token)), which "
+                "rejects negative entropy deep inside the sweep"
+            )
         if self.eval_samples < 10:
             raise ConfigurationError("need at least 10 evaluation samples")
         if not 0 <= self.stuck_on <= 1 or not 0 <= self.stuck_off <= 1:

@@ -128,6 +128,12 @@ class CampaignSpec:
             raise ConfigurationError("need ages >= 0")
         if self.trials < 1:
             raise ConfigurationError("need at least one trial")
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0, got {self.seed!r}: trial streams "
+                "derive from SeedSequence(seed + crc32(token)), which "
+                "rejects negative entropy deep inside the campaign"
+            )
         if not 0 <= self.stuck_on_fraction <= 1:
             raise ConfigurationError("stuck_on_fraction must be in [0, 1]")
         if self.backend not in ("resipe", "ideal"):

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import MappingError, ShapeError
+from ..errors import ConfigurationError, MappingError, ShapeError
 from ..nn.conv import Conv2D, im2col
 from ..nn.layers import Dense
 from ..nn.model import Sequential
@@ -171,8 +171,14 @@ class PIMExecutor:
         return activation
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Class predictions through the hardware."""
+        """Class predictions through the hardware.
+
+        A zero-row input returns a zero-length prediction array (the
+        serving coalescer's flush-on-idle path submits empty batches).
+        """
         x = np.asarray(x, dtype=float)
+        if x.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
         outputs = [
             self.forward(x[i : i + batch_size]) for i in range(0, x.shape[0], batch_size)
         ]
@@ -180,6 +186,12 @@ class PIMExecutor:
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
         """Top-1 accuracy through the hardware."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] == 0:
+            raise ConfigurationError(
+                "accuracy of an empty evaluation batch is undefined; "
+                "pass at least one sample"
+            )
         return float(np.mean(self.predict(x, batch_size) == np.asarray(labels)))
 
     # ------------------------------------------------------------------
@@ -277,9 +289,15 @@ class PIMExecutor:
         networks: Sequence[MappedNetwork],
         batch_size: int = 256,
     ) -> np.ndarray:
-        """Per-trial class predictions, ``(T, n_samples)``."""
-        stacked = stack_networks(list(networks))
+        """Per-trial class predictions, ``(T, n_samples)``.
+
+        A zero-row input returns ``(T, 0)`` without touching the
+        hardware kernels, mirroring :meth:`predict`.
+        """
         x = np.asarray(x, dtype=float)
+        if x.shape[0] == 0:
+            return np.empty((len(networks), 0), dtype=np.intp)
+        stacked = stack_networks(list(networks))
         outputs = [
             self._forward_stacked(x[i : i + batch_size], stacked)
             for i in range(0, x.shape[0], batch_size)
@@ -295,6 +313,12 @@ class PIMExecutor:
     ) -> np.ndarray:
         """Per-trial top-1 accuracies, ``(T,)`` — each entry equals the
         serial :meth:`accuracy` of the corresponding clone."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] == 0:
+            raise ConfigurationError(
+                "accuracy of an empty evaluation batch is undefined; "
+                "pass at least one sample"
+            )
         predictions = self.predict_trials(x, networks, batch_size)
         labels = np.asarray(labels)
         return np.mean(predictions == labels[None, :], axis=-1)

@@ -233,9 +233,20 @@ class ParallelRunner:
                 idx = futures[future]
                 try:
                     chunk_result = future.result()
-                except (BrokenProcessPool, OSError):
+                except BrokenProcessPool:
                     crashed = True
                     continue
+                except OSError:
+                    # An OSError is a crash symptom only when the pool
+                    # itself broke (torn result pipe); one raised *by the
+                    # worker function* (missing dataset file, permission
+                    # denied) is a deterministic task failure — retrying
+                    # it would loop max_retries times and then misreport
+                    # the bug as "worker processes kept crashing".
+                    if getattr(pool, "_broken", False):
+                        crashed = True
+                        continue
+                    raise
                 end = perf()
                 duration = end - submitted[future]
                 busy[0] += duration

@@ -1,0 +1,25 @@
+"""Long-lived inference serving with cross-request micro-batching.
+
+The ``repro serve`` daemon turns :class:`~repro.mapping.executor.
+PIMExecutor` into a serving layer: a model registry loads trained
+networks from the artifact store, concurrent predict requests coalesce
+into single batched forward passes (one stacked trial-tensor pass under
+a fault-trial ensemble), bounded queues push back under overload, and
+every request carries telemetry spans plus a row-proportional share of
+the chip's MVM-launch energy accounting.  See ``docs/serving.md``.
+"""
+
+from .batcher import MicroBatcher, PredictResult
+from .config import ServingConfig
+from .daemon import BackgroundServer, ServingDaemon
+from .registry import ModelEntry, ModelRegistry
+
+__all__ = [
+    "BackgroundServer",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "PredictResult",
+    "ServingConfig",
+    "ServingDaemon",
+]

@@ -1,0 +1,230 @@
+"""Cross-request micro-batching with bounded queues and backpressure.
+
+One :class:`MicroBatcher` serves one model.  Concurrent predict
+requests land in a bounded deque; a coalescer task waits a short window
+after the first arrival, then merges up to ``max_batch`` requests into
+a single ``(rows, ...)`` forward pass on the compute pool — under an
+ensemble, a single stacked trial-tensor pass — and scatters the label
+slices back to each caller's future.  Batch membership is an execution
+detail: a request's labels are identical whether it rode with 31
+companions or alone.
+
+Backpressure: once ``queue_depth`` requests are pending, further
+submits raise :class:`~repro.errors.BackpressureError` immediately
+(the HTTP layer answers 429) instead of queueing unbounded work in
+front of a saturated chip.
+
+Drain: :meth:`drain` stops intake, lets the coalescer flush every
+pending request, then pushes one deliberate *empty* batch through the
+full compute path as an end-of-stream barrier — which is why
+:meth:`~repro.mapping.executor.PIMExecutor.predict` must be
+well-defined on zero-row input.
+
+Energy accounting rides on the executor's existing MVM-launch
+counters: the compute thread snapshots ``total_mvm_launches`` around
+each flush and each request is billed its row-proportional share — no
+second instrumentation path (with ``compute_workers > 1`` flushes may
+interleave and the shares become approximate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import BackpressureError
+from ..telemetry import session as _telemetry
+from ..telemetry.clock import perf
+from .registry import ModelEntry
+
+__all__ = ["MicroBatcher", "PredictResult"]
+
+
+@dataclasses.dataclass
+class PredictResult:
+    """What one coalesced request gets back.
+
+    Attributes
+    ----------
+    predictions:
+        Labels for this request's rows only.
+    batch_requests / batch_rows:
+        Size of the batch this request rode in.
+    queue_seconds:
+        Enqueue-to-flush wait.
+    mvm_launches:
+        Row-proportional share of the batch's tile-MVM launches (the
+        unit :meth:`~repro.mapping.executor.PIMExecutor.energy_estimate`
+        prices).
+    ensemble_trials:
+        Realizations voted over (0 = plain single-network predict).
+    """
+
+    predictions: np.ndarray
+    batch_requests: int
+    batch_rows: int
+    queue_seconds: float
+    mvm_launches: float
+    ensemble_trials: int
+
+
+@dataclasses.dataclass
+class _Pending:
+    x: np.ndarray
+    future: "asyncio.Future[PredictResult]"
+    enqueued: float
+
+
+class MicroBatcher:
+    """Coalesces predict requests for one :class:`ModelEntry`."""
+
+    def __init__(
+        self,
+        entry: ModelEntry,
+        compute: ThreadPoolExecutor,
+        max_batch: int = 32,
+        window_s: float = 0.0,
+        queue_depth: int = 128,
+    ) -> None:
+        self.entry = entry
+        self._compute = compute
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self.queue_depth = queue_depth
+        self._pending: Deque[_Pending] = collections.deque()
+        self._arrival = asyncio.Event()
+        self._draining = False
+        self._task: Optional["asyncio.Task[None]"] = None
+        #: lifetime counters, cheap enough to keep unconditionally
+        self.requests_total = 0
+        self.rejected_total = 0
+        self.batches_total = 0
+        self.coalesced_total = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the coalescer task on the running loop."""
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (the backpressure measure)."""
+        return len(self._pending)
+
+    async def submit(self, x: np.ndarray) -> PredictResult:
+        """Queue one request's rows; resolves when its batch flushed."""
+        if self._draining:
+            self.rejected_total += 1
+            raise BackpressureError(
+                f"model {self.entry.name!r} is draining for shutdown"
+            )
+        if len(self._pending) >= self.queue_depth:
+            self.rejected_total += 1
+            _telemetry.count("serve.rejected")
+            raise BackpressureError(
+                f"model {self.entry.name!r} queue is full "
+                f"({self.queue_depth} pending requests); retry later"
+            )
+        self.requests_total += 1
+        _telemetry.count("serve.requests")
+        item = _Pending(
+            x=x,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued=perf(),
+        )
+        self._pending.append(item)
+        _telemetry.set_gauge("serve.queue_depth", len(self._pending))
+        self._arrival.set()
+        return await item.future
+
+    async def drain(self) -> None:
+        """Stop intake, flush everything pending, stop the coalescer."""
+        self._draining = True
+        self._arrival.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            if not self._pending:
+                if self._draining:
+                    # End-of-stream barrier: a zero-row batch through
+                    # the same compute path, so drain returns only
+                    # after the pool has executed everything queued
+                    # before it.
+                    await self._flush([])
+                    return
+                await self._arrival.wait()
+                self._arrival.clear()
+                continue
+            if (
+                self.window_s > 0
+                and len(self._pending) < self.max_batch
+                and not self._draining
+            ):
+                await asyncio.sleep(self.window_s)
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(len(self._pending), self.max_batch))
+            ]
+            _telemetry.set_gauge("serve.queue_depth", len(self._pending))
+            await self._flush(batch)
+
+    def _predict_counted(self, x: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Runs on the compute pool: forward + MVM-launch delta."""
+        before = self.entry.executor.total_mvm_launches()
+        labels = self.entry.predict(x)
+        return labels, self.entry.executor.total_mvm_launches() - before
+
+    async def _flush(self, batch: List[_Pending]) -> None:
+        rows = [int(np.asarray(item.x).shape[0]) for item in batch]
+        total_rows = sum(rows)
+        if batch:
+            x = np.concatenate([item.x for item in batch], axis=0)
+        else:
+            x = np.zeros((0,) + self.entry.input_shape)
+        start = perf()
+        try:
+            labels, launches = await asyncio.get_running_loop().run_in_executor(
+                self._compute, self._predict_counted, x
+            )
+        except Exception as exc:  # deterministic model failure, not ours
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        end = perf()
+        self.batches_total += 1
+        if len(batch) > 1:
+            self.coalesced_total += len(batch)
+            _telemetry.count("serve.coalesced_requests", len(batch))
+        session = _telemetry.active()
+        if session is not None:
+            session.observe("serve.batch_size", len(batch))
+            session.tracer.record_span(
+                "serve.batch", start, end,
+                model=self.entry.name, requests=len(batch), rows=total_rows,
+            )
+        offset = 0
+        for item, n in zip(batch, rows):
+            share = launches * (n / total_rows) if total_rows else 0.0
+            result = PredictResult(
+                predictions=labels[offset : offset + n],
+                batch_requests=len(batch),
+                batch_rows=total_rows,
+                queue_seconds=start - item.enqueued,
+                mvm_launches=share,
+                ensemble_trials=self.entry.ensemble_trials,
+            )
+            offset += n
+            if not item.future.done():
+                item.future.set_result(result)
+            if session is not None:
+                session.observe("serve.latency_seconds", end - item.enqueued)

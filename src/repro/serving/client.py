@@ -1,0 +1,167 @@
+"""Stdlib HTTP client + closed-loop load generator.
+
+The client half is what tests and CI use to talk to a daemon; the load
+generator is the measurement engine behind
+``benchmarks/bench_serving.py`` — ``concurrency`` threads each fire
+sequential predict requests (closed loop: a worker's next request
+starts only after its previous answer), which is the standard way to
+sweep offered concurrency without modelling arrival processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..telemetry.clock import perf
+from ..units import KILO
+
+__all__ = ["request", "predict", "LoadReport", "run_load"]
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP exchange; returns ``(status, parsed JSON body)``."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            doc = json.loads(raw.decode()) if raw else {}
+        except ValueError:
+            doc = {"error": raw.decode(errors="replace")}
+        return response.status, doc
+    finally:
+        conn.close()
+
+
+def predict(
+    host: str,
+    port: int,
+    model: str,
+    inputs: np.ndarray,
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """POST one predict request (``inputs`` is ``(rows, ...)``)."""
+    return request(
+        host, port, "POST", "/predict",
+        payload={"model": model, "inputs": np.asarray(inputs).tolist()},
+        timeout=timeout,
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class LoadReport:
+    """One load-generation run.
+
+    Attributes
+    ----------
+    concurrency / requests:
+        Worker threads and completed-OK request count.
+    errors:
+        Non-200 responses (429s land here) and transport failures.
+    elapsed_s / throughput_rps:
+        Wall time of the whole run and requests per second over it.
+    latency_p50_ms / latency_p99_ms / latency_mean_ms:
+        Client-observed per-request latency percentiles.
+    mean_batch_requests:
+        Server-reported mean coalesced batch size over OK responses —
+        ~1 means batching never kicked in.
+    """
+
+    concurrency: int
+    requests: int
+    errors: int
+    elapsed_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    mean_batch_requests: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def run_load(
+    host: str,
+    port: int,
+    model: str,
+    inputs: Sequence[np.ndarray],
+    concurrency: int,
+    requests_per_worker: int,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Closed-loop load: ``concurrency`` workers, each firing
+    ``requests_per_worker`` sequential single-sample requests drawn
+    round-robin from ``inputs``."""
+    if not inputs:
+        raise ExecutionError("load generator needs at least one input row")
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    batch_sizes: List[List[int]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(wid: int) -> None:
+        barrier.wait()
+        for i in range(requests_per_worker):
+            x = inputs[(wid + i * concurrency) % len(inputs)]
+            start = perf()
+            try:
+                status, doc = predict(host, port, model, x, timeout=timeout)
+            except OSError:
+                errors[wid] += 1
+                continue
+            if status != 200:
+                errors[wid] += 1
+                continue
+            latencies[wid].append(perf() - start)
+            batch_sizes[wid].append(int(doc.get("batch_requests", 1)))
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = perf()
+    for thread in threads:
+        thread.join()
+    elapsed = perf() - start
+
+    flat = sorted(sample for per in latencies for sample in per)
+    merged_batches = [b for per in batch_sizes for b in per]
+    ok = len(flat)
+    if not flat:
+        raise ExecutionError(
+            f"load run completed 0 requests ({sum(errors)} errors) — "
+            "is the daemon up?"
+        )
+    return LoadReport(
+        concurrency=concurrency,
+        requests=ok,
+        errors=sum(errors),
+        elapsed_s=elapsed,
+        throughput_rps=ok / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=1 * KILO * flat[ok // 2],
+        latency_p99_ms=1 * KILO * flat[min(ok - 1, (ok * 99) // 100)],
+        latency_mean_ms=1 * KILO * float(np.mean(flat)),
+        mean_batch_requests=float(np.mean(merged_batches)),
+    )

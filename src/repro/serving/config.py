@@ -1,0 +1,104 @@
+"""Configuration of the ``repro serve`` daemon.
+
+All knobs are *execution* knobs: they shape latency, throughput and
+memory, never the predictions themselves — a request's labels are
+byte-identical whether it was coalesced into a 32-row batch or served
+alone (the contract ``tests/serving/`` pins down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..units import MILLI
+
+__all__ = ["ServingConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of one serving daemon.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address; port 0 picks an ephemeral port (the bound port is
+        exposed on :attr:`~repro.serving.daemon.ServingDaemon.port`).
+    models:
+        Benchmark network keys the registry loads (artifact-store
+        cached; a cold start trains them first).
+    max_batch:
+        Coalescing bound — at most this many queued requests merge into
+        one forward pass.  ``1`` disables cross-request batching.
+    batch_window_s:
+        Coalescing window in seconds: after the first request of a
+        batch arrives, the coalescer waits this long for companions
+        before flushing (0 flushes immediately; latency floor vs
+        batching opportunity).
+    queue_depth:
+        Backpressure bound — pending requests beyond this are rejected
+        with :class:`~repro.errors.BackpressureError` (HTTP 429)
+        instead of growing the queue without limit.
+    compute_workers:
+        Threads running the numpy forward passes.  The default of 1
+        serialises compute, which keeps the executor's MVM-launch
+        counters exact for per-request energy accounting; raise it only
+        if per-request energy may be approximate.
+    drain_timeout_s:
+        Grace period for in-flight requests on shutdown.
+    n_samples / seed:
+        Training-set size and master seed used to key the model cache
+        (must match a previous run to reuse its artifacts).
+    ensemble_sigma / ensemble_trials:
+        When both are non-zero, each model also carries an ensemble of
+        ``ensemble_trials`` variation-perturbed network clones; predict
+        requests then run one :class:`~repro.reram.crossbar.
+        StackedCrossbar` trial-tensor batch and answer with the
+        majority vote across realizations.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    models: Tuple[str, ...] = ("mlp-1",)
+    max_batch: int = 32
+    batch_window_s: float = 2 * MILLI
+    queue_depth: int = 128
+    compute_workers: int = 1
+    drain_timeout_s: float = 10.0
+    n_samples: int = 600
+    seed: int = 0
+    ensemble_sigma: float = 0.0
+    ensemble_trials: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ConfigurationError("need at least one model to serve")
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch!r}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch window must be >= 0, got {self.batch_window_s!r}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth!r}"
+            )
+        if self.compute_workers < 1:
+            raise ConfigurationError(
+                f"compute_workers must be >= 1, got {self.compute_workers!r}"
+            )
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0, got {self.seed!r}: model-cache keys "
+                "and ensemble trial streams derive from it"
+            )
+        if self.ensemble_trials < 0 or self.ensemble_sigma < 0:
+            raise ConfigurationError("ensemble knobs must be >= 0")
+        if bool(self.ensemble_trials) != bool(self.ensemble_sigma > 0):
+            raise ConfigurationError(
+                "ensemble_sigma and ensemble_trials must be set together"
+            )

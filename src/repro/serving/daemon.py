@@ -1,0 +1,227 @@
+"""The long-lived serving process: registry + batchers + HTTP front.
+
+Lifecycle::
+
+    daemon = ServingDaemon(registry, config)
+    await daemon.start()        # binds the socket, launches coalescers
+    ...                         # serve
+    await daemon.shutdown()     # stop intake, drain in-flight, close
+
+``run_forever`` wraps that in ``asyncio.run`` with SIGINT/SIGTERM
+handlers for the CLI; :class:`BackgroundServer` runs the same lifecycle
+on a dedicated thread for tests and the load-generator benchmark.
+
+Graceful drain: shutdown first stops accepting connections, then drains
+every model's batcher — queued requests are flushed and answered, new
+submits are refused — and only then tears the compute pool down.  An
+in-flight request is therefore never dropped by a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from ..errors import ExecutionError
+from .batcher import MicroBatcher
+from .config import ServingConfig
+from .registry import ModelRegistry
+from .server import HTTPFrontend
+
+__all__ = ["ServingDaemon", "BackgroundServer"]
+
+
+class ServingDaemon:
+    """Owns the sockets, batchers and compute pool of one server."""
+
+    def __init__(self, registry: ModelRegistry, config: ServingConfig) -> None:
+        self.registry = registry
+        self.config = config
+        self.draining = False
+        self.port: Optional[int] = None
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._compute: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    def batcher_for(self, name: str) -> MicroBatcher:
+        """The model's coalescer (:class:`~repro.errors.ConfigurationError`
+        for unknown names, via the registry)."""
+        entry = self.registry.get(name)
+        return self._batchers[entry.name]
+
+    def describe_models(self) -> List[Dict[str, Any]]:
+        out = []
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            batcher = self._batchers[name]
+            out.append({
+                "name": name,
+                "input_shape": list(entry.input_shape),
+                "ensemble_trials": entry.ensemble_trials,
+                "queue_depth": batcher.depth,
+                "total_mvm_launches": entry.executor.total_mvm_launches(),
+            })
+        return out
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Lifetime serve.* counters, aggregated over models."""
+        totals = {"requests": 0, "rejected": 0, "batches": 0, "coalesced": 0}
+        per_model = {}
+        for name, batcher in self._batchers.items():
+            counters = {
+                "requests": batcher.requests_total,
+                "rejected": batcher.rejected_total,
+                "batches": batcher.batches_total,
+                "coalesced": batcher.coalesced_total,
+                "queue_depth": batcher.depth,
+            }
+            per_model[name] = counters
+            for key in totals:
+                totals[key] += counters[key]
+        return {"totals": totals, "models": per_model}
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ExecutionError("daemon already started")
+        config = self.config
+        self._compute = ThreadPoolExecutor(
+            max_workers=config.compute_workers,
+            thread_name_prefix="repro-serve",
+        )
+        for name in self.registry.names():
+            batcher = MicroBatcher(
+                self.registry.get(name),
+                self._compute,
+                max_batch=config.max_batch,
+                window_s=config.batch_window_s,
+                queue_depth=config.queue_depth,
+            )
+            batcher.start()
+            self._batchers[name] = batcher
+        frontend = HTTPFrontend(self)
+        self._server = await asyncio.start_server(
+            frontend.handle, host=config.host, port=config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Stop intake, drain every batcher, release the pool."""
+        if self._server is None:
+            return
+        self.draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(b.drain() for b in self._batchers.values())),
+                timeout=self.config.drain_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            pass  # give up on stragglers; the pool shutdown below waits
+        if self._compute is not None:
+            self._compute.shutdown(wait=True)
+            self._compute = None
+
+    # ------------------------------------------------------------------
+    async def _main(self, stop: asyncio.Event) -> None:
+        await self.start()
+        try:
+            await stop.wait()
+        finally:
+            await self.shutdown()
+
+    def run_forever(self, announce=None) -> None:
+        """Blocking entry point for the CLI (SIGINT/SIGTERM drain)."""
+
+        async def body() -> None:
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+            started = asyncio.get_running_loop().create_task(
+                self._main(stop)
+            )
+            while self.port is None and not started.done():
+                await asyncio.sleep(0.01)
+            if announce is not None and self.port is not None:
+                announce(self)
+            await started
+
+        asyncio.run(body())
+
+
+class BackgroundServer:
+    """A :class:`ServingDaemon` on its own event-loop thread.
+
+    Context-manager used by tests and ``benchmarks/bench_serving.py``::
+
+        with BackgroundServer(registry, config) as server:
+            client.predict(server.host, server.port, "mlp-1", rows)
+    """
+
+    def __init__(self, registry: ModelRegistry, config: ServingConfig) -> None:
+        self.daemon = ServingDaemon(registry, config)
+        self.host = config.host
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-loop", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        port = self.daemon.port
+        if port is None:
+            raise ExecutionError("server is not running")
+        return port
+
+    def _thread_main(self) -> None:
+        async def body() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await self.daemon.start()
+            self._ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self.daemon.shutdown()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # surface startup failures in start()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._error is not None:
+            raise ExecutionError(
+                f"serving daemon failed to start: {self._error}"
+            ) from self._error
+        if self.daemon.port is None:
+            raise ExecutionError("serving daemon did not bind a port")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

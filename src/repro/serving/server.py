@@ -1,0 +1,180 @@
+"""Minimal asyncio HTTP/1.1 front end for the serving daemon.
+
+Hand-rolled on :func:`asyncio.start_server` — the stdlib's
+``http.server`` is synchronous and this repo ships zero third-party
+dependencies.  One connection carries one request (``Connection:
+close``), which keeps the parser ~40 lines and is plenty for a
+benchmark fleet; the expensive work is coalesced behind the batcher
+anyway.
+
+Routes
+------
+``GET /healthz``
+    Liveness + models + drain state.
+``GET /models``
+    Per-model metadata (input shape, ensemble size, queue depth).
+``GET /metrics``
+    Counter snapshot (requests, batches, coalesced, rejected).
+``POST /predict``
+    ``{"model": "mlp-1", "inputs": [[...], ...]}`` →
+    ``{"predictions": [...], "batch_requests": N, ...}``.
+    429 when the queue bound rejects, 503 while draining, 404 for an
+    unknown model, 400 for malformed bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .. import __version__
+from ..errors import BackpressureError, ConfigurationError, ShapeError
+from ..telemetry import session as _telemetry
+from ..telemetry.clock import perf
+
+__all__ = ["HTTPFrontend"]
+
+_MAX_BODY = 32 * 1024 * 1024
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPFrontend:
+    """Parses requests and routes them onto a ``ServingDaemon``."""
+
+    def __init__(self, daemon) -> None:
+        self.daemon = daemon
+
+    # ------------------------------------------------------------------
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request = await self._parse(reader)
+            if request is None:
+                return  # client closed before sending a request line
+            method, path, body = request
+            status, payload = await self._route(method, path, body)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        except _BadRequest as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # never let one request kill the server
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            try:
+                data = json.dumps(payload).encode()
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Server: repro-serve/{__version__}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode()
+                writer.write(head + data)
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _parse(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line.strip():
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _BadRequest("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _BadRequest("request body too large", status=413)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if path == "/predict":
+            if method != "POST":
+                return 405, {"error": "POST /predict"}
+            return await self._predict(body)
+        if method != "GET":
+            return 405, {"error": f"GET {path}"}
+        if path == "/healthz":
+            return 200, {
+                "status": "draining" if self.daemon.draining else "ok",
+                "models": self.daemon.registry.names(),
+                "version": __version__,
+            }
+        if path == "/models":
+            return 200, {"models": self.daemon.describe_models()}
+        if path == "/metrics":
+            return 200, self.daemon.metrics_snapshot()
+        return 404, {"error": f"no route {path!r}"}
+
+    async def _predict(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        start = perf()
+        try:
+            doc = json.loads(body.decode())
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body must be a JSON object"}
+        if not isinstance(doc, dict) or "inputs" not in doc:
+            return 400, {"error": 'expected {"model": ..., "inputs": [...]}'}
+        name = doc.get("model", self.daemon.registry.names()[0])
+        try:
+            batcher = self.daemon.batcher_for(name)
+            x = batcher.entry.validate_batch(np.asarray(doc["inputs"]))
+        except ConfigurationError as exc:
+            return 404, {"error": str(exc)}
+        except (ShapeError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+        try:
+            result = await batcher.submit(x)
+        except BackpressureError as exc:
+            return (503 if self.daemon.draining else 429), {"error": str(exc)}
+        end = perf()
+        session = _telemetry.active()
+        if session is not None:
+            session.tracer.record_span(
+                "serve.request", start, end,
+                model=name, rows=int(x.shape[0]),
+                batch_requests=result.batch_requests,
+            )
+        return 200, {
+            "model": name,
+            "predictions": [int(p) for p in result.predictions],
+            "batch_requests": result.batch_requests,
+            "batch_rows": result.batch_rows,
+            "queue_ms": result.queue_seconds * 1e3,
+            "latency_ms": (end - start) * 1e3,
+            "mvm_launches": result.mvm_launches,
+            "ensemble_trials": result.ensemble_trials,
+        }
+
+
+class _BadRequest(Exception):
+    """Internal parse failure → 4xx (not part of the repro taxonomy:
+    it never crosses the library boundary)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status

@@ -9,6 +9,7 @@ failure mode that matters for parallel benchmark sweeps sharing one
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 
@@ -21,6 +22,11 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
 __all__ = ["FileLock"]
+
+#: errno values that mean "somebody else holds the lock" — the only
+#: condition worth polling on.  EACCES is what some NFS servers return
+#: for a held lock in place of EWOULDBLOCK.
+_CONTENTION_ERRNOS = frozenset({errno.EWOULDBLOCK, errno.EAGAIN, errno.EACCES})
 
 
 class FileLock:
@@ -49,7 +55,14 @@ class FileLock:
             try:
                 fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
                 return
-            except OSError:
+            except OSError as exc:
+                if exc.errno not in _CONTENTION_ERRNOS:
+                    # A real I/O failure (EBADF, ENOLCK, a dying network
+                    # fs), not contention: polling would spin for the
+                    # full timeout and misreport it as a held lock.
+                    self._fh.close()
+                    self._fh = None
+                    raise
                 if monotonic() >= deadline:
                     self._fh.close()
                     self._fh = None

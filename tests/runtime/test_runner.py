@@ -42,6 +42,10 @@ def _raise_value_error(task):
     raise ValueError(f"task {task!r} is bad")
 
 
+def _raise_os_error(task):
+    raise OSError(f"dataset file for task {task!r} is missing")
+
+
 class TestSerialPath:
     def test_maps_in_order(self):
         runner = ParallelRunner(_square, workers=1)
@@ -110,6 +114,16 @@ class TestPooledPath:
         runner = ParallelRunner(_raise_value_error, workers=2)
         with pytest.raises(ValueError, match="is bad"):
             runner.map([1, 2])
+
+    def test_worker_os_error_is_not_a_crash(self):
+        """A deterministic OSError raised *by the worker function* (e.g.
+        a missing dataset file) must propagate unchanged — not be
+        misclassified as a pool crash, silently retried max_retries
+        times, and finally misreported as 'workers kept crashing'."""
+        runner = ParallelRunner(_raise_os_error, workers=2, max_retries=2)
+        with pytest.raises(OSError, match="is missing"):
+            runner.map([1, 2])
+        assert runner.pool_rebuilds == 0
 
 
 class TestTelemetry:

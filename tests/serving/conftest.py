@@ -1,0 +1,54 @@
+"""Serving fixtures: a fast toy registry (no training, ideal backend)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mapping import IdealBackend, PIMExecutor, compile_network
+from repro.nn import Dense, ReLU, Sequential
+from repro.serving import ModelEntry, ModelRegistry
+
+
+@pytest.fixture
+def entry(rng):
+    model = Sequential(
+        [Dense(12, 8, rng=rng), ReLU(), Dense(8, 4, rng=rng)], name="toy"
+    )
+    mapped = compile_network(model, IdealBackend())
+    executor = PIMExecutor(mapped, rng.random((16, 12)))
+    return ModelEntry(name="toy", executor=executor, input_shape=(12,))
+
+
+class SlowEntry(ModelEntry):
+    """Holds the compute thread long enough to fill queues in tests."""
+
+    delay_s = 0.05
+
+    def predict(self, x):
+        time.sleep(self.delay_s)
+        return super().predict(x)
+
+
+@pytest.fixture
+def slow_entry(entry):
+    return SlowEntry(
+        name=entry.name,
+        executor=entry.executor,
+        input_shape=entry.input_shape,
+    )
+
+
+@pytest.fixture
+def registry(entry):
+    return ModelRegistry([entry])
+
+
+@pytest.fixture
+def rows(rng):
+    return [rng.random((1, 12)) for _ in range(24)]
+
+
+def serial_labels(entry, rows):
+    """Reference predictions: one serial executor pass over the rows."""
+    return entry.executor.predict(np.concatenate(rows, axis=0)).tolist()

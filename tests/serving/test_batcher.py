@@ -1,0 +1,223 @@
+"""MicroBatcher: coalescing identity, backpressure, drain semantics."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.errors import BackpressureError, ConfigurationError
+from repro.serving import MicroBatcher, ServingConfig
+
+from .conftest import serial_labels
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _batcher(entry, **kwargs):
+    compute = ThreadPoolExecutor(max_workers=1)
+    defaults = dict(max_batch=8, window_s=0.0, queue_depth=32)
+    defaults.update(kwargs)
+    return MicroBatcher(entry, compute, **defaults), compute
+
+
+class TestCoalescingIdentity:
+    def test_concurrent_submits_equal_serial_predict(self, entry, rows):
+        """N coalesced requests answer byte-identically to one serial
+        executor pass over the same rows."""
+
+        async def body():
+            batcher, compute = _batcher(entry, window_s=0.005)
+            batcher.start()
+            try:
+                tasks = [
+                    asyncio.ensure_future(batcher.submit(row))
+                    for row in rows
+                ]
+                return await asyncio.gather(*tasks)
+            finally:
+                await batcher.drain()
+                compute.shutdown()
+
+        results = _run(body())
+        served = [int(r.predictions[0]) for r in results]
+        assert served == serial_labels(entry, rows)
+        assert any(r.batch_requests > 1 for r in results), (
+            "no request was ever coalesced — the window never batched"
+        )
+
+    def test_multi_row_requests_scatter_correctly(self, entry, rng):
+        chunks = [rng.random((n, 12)) for n in (3, 1, 4)]
+
+        async def body():
+            batcher, compute = _batcher(entry, window_s=0.005)
+            batcher.start()
+            try:
+                return await asyncio.gather(
+                    *[asyncio.ensure_future(batcher.submit(c))
+                      for c in chunks]
+                )
+            finally:
+                await batcher.drain()
+                compute.shutdown()
+
+        results = _run(body())
+        reference = entry.executor.predict(np.concatenate(chunks, axis=0))
+        scattered = np.concatenate([r.predictions for r in results])
+        assert np.array_equal(scattered, reference)
+        assert [len(r.predictions) for r in results] == [3, 1, 4]
+
+    def test_launch_shares_sum_to_batch_total(self, entry, rng):
+        chunks = [rng.random((n, 12)) for n in (2, 6)]
+
+        async def body():
+            batcher, compute = _batcher(entry, window_s=0.005)
+            batcher.start()
+            try:
+                return await asyncio.gather(
+                    *[asyncio.ensure_future(batcher.submit(c))
+                      for c in chunks]
+                )
+            finally:
+                await batcher.drain()
+                compute.shutdown()
+
+        results = _run(body())
+        total = sum(r.mvm_launches for r in results)
+        assert total > 0
+        # Shares are row-proportional: 2 rows vs 6 rows -> 1:3.
+        assert results[1].mvm_launches == pytest.approx(
+            3 * results[0].mvm_launches
+        )
+
+
+class TestBackpressure:
+    def test_queue_bound_rejects(self, slow_entry, rows):
+        async def body():
+            batcher, compute = _batcher(
+                slow_entry, max_batch=1, queue_depth=2
+            )
+            batcher.start()
+            try:
+                tasks = [
+                    asyncio.ensure_future(batcher.submit(row))
+                    for row in rows[:8]
+                ]
+                settled = await asyncio.gather(*tasks, return_exceptions=True)
+            finally:
+                await batcher.drain()
+                compute.shutdown()
+            return settled, batcher
+
+        settled, batcher = _run(body())
+        rejected = [s for s in settled if isinstance(s, BackpressureError)]
+        served = [s for s in settled if not isinstance(s, Exception)]
+        assert rejected, "queue bound never pushed back"
+        assert served, "backpressure rejected everything"
+        assert batcher.rejected_total == len(rejected)
+        assert all("queue is full" in str(r) for r in rejected)
+
+    def test_draining_rejects_new_submits(self, entry, rows):
+        async def body():
+            batcher, compute = _batcher(entry)
+            batcher.start()
+            await batcher.drain()
+            try:
+                with pytest.raises(BackpressureError, match="draining"):
+                    await batcher.submit(rows[0])
+            finally:
+                compute.shutdown()
+
+        _run(body())
+
+
+class TestDrain:
+    def test_drain_completes_inflight_requests(self, slow_entry, rows):
+        """Every request queued before drain is answered, none dropped."""
+
+        async def body():
+            batcher, compute = _batcher(slow_entry, max_batch=4)
+            batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit(row))
+                for row in rows[:6]
+            ]
+            await asyncio.sleep(0)  # let submits enqueue
+            await batcher.drain()
+            results = await asyncio.gather(*tasks)
+            compute.shutdown()
+            return results
+
+        results = _run(body())
+        assert len(results) == 6
+        served = [int(r.predictions[0]) for r in results]
+        assert served == serial_labels(slow_entry, rows[:6])
+
+    def test_idle_drain_runs_the_empty_flush_barrier(self, entry):
+        """Draining an idle batcher pushes one zero-row batch through
+        the full compute path — the crash the executor empty-batch fix
+        removed."""
+
+        async def body():
+            batcher, compute = _batcher(entry)
+            batcher.start()
+            await batcher.drain()
+            compute.shutdown()
+            return batcher
+
+        batcher = _run(body())
+        assert batcher.batches_total == 1  # the end-of-stream barrier
+        assert batcher.requests_total == 0
+
+
+class TestEnsemble:
+    def test_majority_vote_matches_predict_trials(self, entry, rng):
+        from repro.runtime import trial_rng
+        from repro.serving import ModelEntry
+
+        clones = [
+            entry.executor.perturbed(trial_rng(0, f"serve|{t}"), 0.15).network
+            for t in range(5)
+        ]
+        voted = ModelEntry(
+            name="toy", executor=entry.executor,
+            input_shape=(12,), ensemble=clones,
+        )
+        x = rng.random((7, 12))
+        trials = entry.executor.predict_trials(x, clones)
+        expected = []
+        for j in range(x.shape[0]):
+            values, counts = np.unique(trials[:, j], return_counts=True)
+            expected.append(int(values[np.argmax(counts)]))
+        assert voted.predict(x).tolist() == expected
+        assert voted.ensemble_trials == 5
+
+    def test_ensemble_empty_batch(self, entry):
+        from repro.runtime import trial_rng
+        from repro.serving import ModelEntry
+
+        clones = [
+            entry.executor.perturbed(trial_rng(0, f"serve|{t}"), 0.15).network
+            for t in range(3)
+        ]
+        voted = ModelEntry(
+            name="toy", executor=entry.executor,
+            input_shape=(12,), ensemble=clones,
+        )
+        assert voted.predict(np.zeros((0, 12))).shape == (0,)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(batch_window_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(models=())
+        with pytest.raises(ConfigurationError, match="together"):
+            ServingConfig(ensemble_trials=4)  # sigma missing

@@ -1,0 +1,213 @@
+"""End-to-end daemon tests over real sockets (ephemeral ports)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import BackgroundServer, ModelRegistry, ServingConfig
+from repro.serving import client
+from repro.telemetry import session as telemetry
+
+from .conftest import serial_labels
+
+
+def _config(**kwargs):
+    defaults = dict(port=0, models=("toy",), batch_window_s=0.005)
+    defaults.update(kwargs)
+    return ServingConfig(**defaults)
+
+
+class TestServedIdentity:
+    def test_concurrent_requests_match_serial_predict(self, registry, entry,
+                                                      rows):
+        """N clients hammering /predict concurrently get exactly the
+        labels one serial executor pass produces."""
+        results = [None] * len(rows)
+        with BackgroundServer(registry, _config()) as server:
+            barrier = threading.Barrier(len(rows))
+
+            def worker(i):
+                barrier.wait()
+                status, doc = client.predict(
+                    server.host, server.port, "toy", rows[i]
+                )
+                results[i] = (status, doc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(len(rows))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert all(status == 200 for status, _ in results)
+        served = [doc["predictions"][0] for _, doc in results]
+        assert served == serial_labels(entry, rows)
+        # With 24 simultaneous clients and a 5 ms window, at least one
+        # response must have shared its forward pass.
+        assert max(doc["batch_requests"] for _, doc in results) > 1
+
+    def test_single_request_reports_accounting_fields(self, registry, rows):
+        with BackgroundServer(registry, _config()) as server:
+            status, doc = client.predict(
+                server.host, server.port, "toy", rows[0]
+            )
+        assert status == 200
+        for field in ("queue_ms", "latency_ms", "mvm_launches",
+                      "batch_rows", "ensemble_trials"):
+            assert field in doc
+        assert doc["mvm_launches"] > 0
+        assert doc["ensemble_trials"] == 0
+
+
+class TestBackpressureHTTP:
+    def test_queue_bound_answers_429(self, slow_entry, rows):
+        registry = ModelRegistry([slow_entry])
+        config = _config(max_batch=1, batch_window_s=0.0, queue_depth=2)
+        statuses = []
+        lock = threading.Lock()
+        with BackgroundServer(registry, config) as server:
+            barrier = threading.Barrier(12)
+
+            def worker(i):
+                barrier.wait()
+                status, _ = client.predict(
+                    server.host, server.port, "toy", rows[i]
+                )
+                with lock:
+                    statuses.append(status)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert 429 in statuses, "queue bound never produced a 429"
+        assert 200 in statuses, "every request was shed"
+        assert set(statuses) <= {200, 429}
+
+
+class TestRouting:
+    def test_unknown_model_is_404(self, registry, rows):
+        with BackgroundServer(registry, _config()) as server:
+            status, doc = client.predict(
+                server.host, server.port, "nope", rows[0]
+            )
+        assert status == 404
+        assert "nope" in doc["error"]
+
+    def test_bad_shape_is_400(self, registry):
+        with BackgroundServer(registry, _config()) as server:
+            status, doc = client.predict(
+                server.host, server.port, "toy", np.zeros((2, 5))
+            )
+        assert status == 400
+
+    def test_malformed_body_is_400(self, registry):
+        with BackgroundServer(registry, _config()) as server:
+            status, _ = client.request(
+                server.host, server.port, "POST", "/predict",
+                payload={"model": "toy"},  # no inputs
+            )
+            assert status == 400
+
+    def test_wrong_method_is_405(self, registry):
+        with BackgroundServer(registry, _config()) as server:
+            status, _ = client.request(
+                server.host, server.port, "GET", "/predict"
+            )
+            assert status == 405
+
+    def test_unknown_route_is_404(self, registry):
+        with BackgroundServer(registry, _config()) as server:
+            status, _ = client.request(
+                server.host, server.port, "GET", "/nope"
+            )
+            assert status == 404
+
+    def test_healthz_models_metrics(self, registry, rows):
+        with BackgroundServer(registry, _config()) as server:
+            status, health = client.request(
+                server.host, server.port, "GET", "/healthz"
+            )
+            assert (status, health["status"]) == (200, "ok")
+            assert health["models"] == ["toy"]
+
+            status, models = client.request(
+                server.host, server.port, "GET", "/models"
+            )
+            assert status == 200
+            (toy,) = models["models"]
+            assert toy["input_shape"] == [12]
+
+            client.predict(server.host, server.port, "toy", rows[0])
+            status, metrics = client.request(
+                server.host, server.port, "GET", "/metrics"
+            )
+            assert status == 200
+            assert metrics["totals"]["requests"] == 1
+            assert metrics["models"]["toy"]["batches"] == 1
+
+
+class TestTelemetry:
+    def test_serve_metrics_and_spans_recorded(self, registry, rows):
+        with telemetry.capture() as session:
+            with BackgroundServer(registry, _config()) as server:
+                status, _ = client.predict(
+                    server.host, server.port, "toy", rows[0]
+                )
+                assert status == 200
+        snap = session.registry.snapshot()
+        assert snap["counters"]["serve.requests"] == 1
+        # One request batch + the end-of-stream drain barrier.
+        assert snap["histograms"]["serve.batch_size"]["count"] >= 1
+        assert snap["histograms"]["serve.latency_seconds"]["count"] >= 1
+        names = [s.name for s in session.tracer.spans]
+        assert "serve.request" in names
+        assert "serve.batch" in names
+
+    def test_rejections_counted(self, slow_entry, rows):
+        registry = ModelRegistry([slow_entry])
+        config = _config(max_batch=1, batch_window_s=0.0, queue_depth=1)
+        with telemetry.capture() as session:
+            with BackgroundServer(registry, config) as server:
+                barrier = threading.Barrier(8)
+
+                def worker(i):
+                    barrier.wait()
+                    client.predict(server.host, server.port, "toy", rows[i])
+
+                threads = [
+                    threading.Thread(target=worker, args=(i,), daemon=True)
+                    for i in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        snap = session.registry.snapshot()
+        if snap["counters"].get("serve.rejected", 0) == 0:
+            pytest.skip("scheduler drained the queue too fast to reject")
+        assert snap["counters"]["serve.rejected"] >= 1
+
+
+class TestLoadGenerator:
+    def test_run_load_reports(self, registry, rows):
+        with BackgroundServer(registry, _config()) as server:
+            report = client.run_load(
+                server.host, server.port, "toy", rows,
+                concurrency=4, requests_per_worker=3,
+            )
+        assert report.requests == 12
+        assert report.errors == 0
+        assert report.throughput_rps > 0
+        assert report.latency_p50_ms <= report.latency_p99_ms
+        doc = report.to_dict()
+        assert doc["concurrency"] == 4

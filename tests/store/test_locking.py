@@ -1,0 +1,55 @@
+"""FileLock error classification: contention polls, I/O failures raise."""
+
+import errno
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.store import locking
+from repro.store.locking import FileLock
+
+pytestmark = pytest.mark.skipif(
+    locking.fcntl is None, reason="flock-based locking needs POSIX fcntl"
+)
+
+
+def _flock_raising(code):
+    def fake_flock(fd, flags):
+        raise OSError(code, "injected failure")
+
+    return fake_flock
+
+
+class TestContentionClassification:
+    def test_contention_times_out_as_artifact_error(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(
+            locking.fcntl, "flock", _flock_raising(errno.EWOULDBLOCK)
+        )
+        lock = FileLock(str(tmp_path / "k.lock"), timeout=0.1, poll=0.02)
+        with pytest.raises(ArtifactError, match="timed out"):
+            lock.acquire()
+        assert not lock.locked
+
+    @pytest.mark.parametrize("code", [errno.EBADF, errno.ENOLCK, errno.EIO])
+    def test_real_io_failure_raises_immediately(self, tmp_path, monkeypatch,
+                                                code):
+        """EBADF/ENOLCK/EIO must surface at once — before the fix they
+        were swallowed, spun for the full timeout, and got misreported
+        as lock contention."""
+        monkeypatch.setattr(locking.fcntl, "flock", _flock_raising(code))
+        lock = FileLock(str(tmp_path / "k.lock"), timeout=30.0, poll=0.02)
+        deadline_clock = locking.monotonic()
+        with pytest.raises(OSError) as excinfo:
+            lock.acquire()
+        assert excinfo.value.errno == code
+        # It raised without burning the 30 s timeout polling.
+        assert locking.monotonic() - deadline_clock < 5.0
+        # The handle was closed on the way out.
+        assert not lock.locked
+
+    def test_plain_acquire_release_still_works(self, tmp_path):
+        lock = FileLock(str(tmp_path / "k.lock"))
+        with lock:
+            assert lock.locked
+        assert not lock.locked
