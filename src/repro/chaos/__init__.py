@@ -1,0 +1,34 @@
+"""Infrastructure chaos harness for the serving stack.
+
+The robustness analogue of :mod:`repro.faults`, one layer up: instead
+of flipping device bits, these injectors break the *infrastructure* —
+forward passes that raise or hang, model artifacts corrupt at load
+time, connections dropped mid-exchange — so that the resilience layer
+(deadline shedding, circuit breaker, compute-pool rebuild, registry
+failure isolation; see ``docs/resilience.md``) is proven by test, not
+assumed.  Activate from the CLI with ``repro serve --chaos SPEC`` or
+compose plans programmatically / via the ``tests/chaos`` fixtures.
+"""
+
+from .injectors import (
+    ChaosFault,
+    ChaosPlan,
+    ComputeExceptionInjector,
+    ConnectionDropInjector,
+    Injector,
+    LatencySpikeInjector,
+    RegistryCorruptionInjector,
+)
+from .spec import INJECTOR_CATALOGUE, parse_chaos_spec
+
+__all__ = [
+    "ChaosFault",
+    "ChaosPlan",
+    "ComputeExceptionInjector",
+    "ConnectionDropInjector",
+    "INJECTOR_CATALOGUE",
+    "Injector",
+    "LatencySpikeInjector",
+    "RegistryCorruptionInjector",
+    "parse_chaos_spec",
+]

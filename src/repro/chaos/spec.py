@@ -1,0 +1,136 @@
+"""The ``--chaos SPEC`` mini-language.
+
+A spec is a ``;``-separated list of injector clauses; each clause is
+an injector name optionally followed by ``:`` and ``,``-separated
+``key=value`` options::
+
+    compute-exception:model=mlp-1,after=5,count=3
+    latency-spike:ms=400,after=2
+    registry-corruption:model=mlp-1,mode=fail
+    conn-drop:p=0.1,seed=7
+    compute-exception:after=0,count=2;conn-drop:after=3,count=1
+
+Values are coerced ``int`` → ``float`` → ``str`` in that order.
+Durations are given in milliseconds (``ms=``) on the CLI surface and
+converted to seconds here, matching the other serving knobs.  Unknown
+names and options raise
+:class:`~repro.errors.ConfigurationError` with the catalogue, so a
+typo fails at startup rather than silently injecting nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..units import MILLI
+from .injectors import (
+    ChaosPlan,
+    ComputeExceptionInjector,
+    ConnectionDropInjector,
+    Injector,
+    LatencySpikeInjector,
+    RegistryCorruptionInjector,
+)
+
+__all__ = ["parse_chaos_spec", "INJECTOR_CATALOGUE"]
+
+
+def _compute_exception(options: Dict[str, Any]) -> Injector:
+    return ComputeExceptionInjector(
+        model=options.pop("model", None),
+        after=int(options.pop("after", 0)),
+        count=int(options.pop("count", 1)),
+    )
+
+
+def _latency_spike(options: Dict[str, Any]) -> Injector:
+    if "ms" not in options:
+        raise ConfigurationError(
+            "latency-spike needs ms=<delay in milliseconds>"
+        )
+    return LatencySpikeInjector(
+        delay_s=float(options.pop("ms")) * MILLI,
+        model=options.pop("model", None),
+        after=int(options.pop("after", 0)),
+        count=int(options.pop("count", 1)),
+    )
+
+
+def _registry_corruption(options: Dict[str, Any]) -> Injector:
+    return RegistryCorruptionInjector(
+        model=options.pop("model", None),
+        mode=str(options.pop("mode", "corrupt")),
+        cache_dir=options.pop("cache_dir", None),
+    )
+
+
+def _conn_drop(options: Dict[str, Any]) -> Injector:
+    p = options.pop("p", None)
+    return ConnectionDropInjector(
+        p=None if p is None else float(p),
+        seed=int(options.pop("seed", 0)),
+        after=int(options.pop("after", 0)),
+        count=int(options.pop("count", 1)),
+    )
+
+
+INJECTOR_CATALOGUE: Dict[str, Callable[[Dict[str, Any]], Injector]] = {
+    "compute-exception": _compute_exception,
+    "latency-spike": _latency_spike,
+    "registry-corruption": _registry_corruption,
+    "conn-drop": _conn_drop,
+}
+
+
+def _coerce(raw: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_clause(clause: str) -> Tuple[str, Dict[str, Any]]:
+    name, _, tail = clause.partition(":")
+    name = name.strip()
+    options: Dict[str, Any] = {}
+    if tail.strip():
+        for pair in tail.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise ConfigurationError(
+                    f"malformed chaos option {pair!r} in clause "
+                    f"{clause!r}; expected key=value"
+                )
+            options[key.strip()] = _coerce(value.strip())
+    return name, options
+
+
+def parse_chaos_spec(spec: str) -> ChaosPlan:
+    """Parse a ``--chaos`` spec string into a :class:`ChaosPlan`."""
+    injectors = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, options = _parse_clause(clause)
+        factory = INJECTOR_CATALOGUE.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown chaos injector {name!r}; available: "
+                f"{sorted(INJECTOR_CATALOGUE)}"
+            )
+        injector = factory(options)
+        if options:
+            raise ConfigurationError(
+                f"unknown options {sorted(options)} for chaos injector "
+                f"{name!r}"
+            )
+        injectors.append(injector)
+    if not injectors:
+        raise ConfigurationError(
+            f"chaos spec {spec!r} contains no injector clauses"
+        )
+    return ChaosPlan(injectors)

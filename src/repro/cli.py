@@ -225,6 +225,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compute-workers", type=int, default=1, metavar="N",
                        help="numpy compute threads (1 keeps per-request "
                             "energy accounting exact)")
+    serve.add_argument("--compute-timeout-s", type=float, default=30.0,
+                       metavar="S",
+                       help="per-batch forward-pass timeout: a slower batch "
+                            "is failed with 503 and the compute pool "
+                            "rebuilt (0 disables)")
+    serve.add_argument("--breaker-failures", type=int, default=5,
+                       metavar="N",
+                       help="consecutive batch failures that open a "
+                            "model's circuit breaker (fail-fast 503s)")
+    serve.add_argument("--breaker-cooldown-s", type=float, default=1.0,
+                       metavar="S",
+                       help="seconds an open breaker waits before letting "
+                            "one half-open probe batch through")
+    serve.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="inject seeded infrastructure faults, e.g. "
+                            "'compute-exception:after=5,count=3;"
+                            "conn-drop:p=0.05,seed=7' (see "
+                            "docs/resilience.md for the catalogue)")
     serve.add_argument("--samples", type=int, default=600,
                        help="training-set size keying the model cache")
     serve.add_argument("--seed", type=int, default=0,
@@ -482,11 +500,20 @@ def _run_serve(args: argparse.Namespace) -> str:
                         else args.batch_window_ms * MILLI),
         queue_depth=args.queue_depth,
         compute_workers=args.compute_workers,
+        compute_timeout_s=args.compute_timeout_s,
+        breaker_threshold=args.breaker_failures,
+        breaker_cooldown_s=args.breaker_cooldown_s,
         n_samples=args.samples,
         seed=args.seed,
         ensemble_sigma=args.ensemble_sigma,
         ensemble_trials=args.ensemble_trials,
     )
+    chaos = None
+    if args.chaos:
+        from .chaos import parse_chaos_spec
+
+        chaos = parse_chaos_spec(args.chaos)
+        print(f"[serve] {chaos.describe()}", file=sys.stderr)
     print(f"[serve] loading models {list(config.models)} "
           f"(n_samples={config.n_samples}, seed={config.seed})...",
           file=sys.stderr)
@@ -496,8 +523,12 @@ def _run_serve(args: argparse.Namespace) -> str:
         seed=config.seed,
         ensemble_sigma=config.ensemble_sigma,
         ensemble_trials=config.ensemble_trials,
+        load_hook=None if chaos is None else chaos.on_model_load,
     )
-    daemon = ServingDaemon(registry, config)
+    for name, reason in sorted(registry.failed.items()):
+        print(f"[serve] model {name!r} failed to load ({reason}); "
+              "serving 503 for it", file=sys.stderr)
+    daemon = ServingDaemon(registry, config, chaos=chaos)
 
     def announce(d: ServingDaemon) -> None:
         mode = (f"batching up to {config.max_batch}/flush"
@@ -507,11 +538,21 @@ def _run_serve(args: argparse.Namespace) -> str:
               f"Ctrl-C drains and exits", file=sys.stderr)
 
     daemon.run_forever(announce=announce)
-    totals = daemon.metrics_snapshot()["totals"]
+    snapshot = daemon.metrics_snapshot()
+    totals = snapshot["totals"]
+    shed = totals["shed_deadline"] + totals["shed_expired"]
+    tail = ""
+    if shed or totals["breaker_rejected"] or snapshot["drain_abandoned"]:
+        tail = (
+            f", {shed} shed, {totals['breaker_rejected']} breaker-rejected, "
+            f"{snapshot['drain_abandoned']} abandoned"
+        )
+    if chaos is not None:
+        tail += f" ({chaos.fired_total()} chaos injection(s))"
     return (
         f"serve: drained cleanly after {totals['requests']} request(s) — "
         f"{totals['batches']} batch(es), {totals['coalesced']} coalesced, "
-        f"{totals['rejected']} rejected"
+        f"{totals['rejected']} rejected{tail}"
     )
 
 

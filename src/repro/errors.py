@@ -60,3 +60,35 @@ class BackpressureError(ReproError):
     """A serving queue refused new work: the bounded request queue is at
     capacity or the server is draining for shutdown.  Clients should
     back off and retry (the HTTP layer maps this to 429/503)."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request was shed by deadline-aware admission control: the
+    queue-wait estimate said it could not finish before its
+    ``deadline_ms``, or it expired while waiting.  Carries
+    ``retry_after_s`` — the earliest retry that could plausibly make the
+    same deadline (the HTTP layer maps this to 503 + ``Retry-After``,
+    distinct from the queue-depth 429)."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(ReproError):
+    """A model's circuit breaker is open after consecutive compute
+    failures: requests fail fast instead of queueing behind a broken
+    forward path.  Carries ``retry_after_s`` — the remaining cooldown
+    before the breaker half-opens for a probe (HTTP 503 +
+    ``Retry-After``)."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ModelUnavailableError(ReproError):
+    """A configured model failed to load (corrupt artifact that could
+    not be recovered, training failure, unknown benchmark key): the
+    daemon keeps serving its healthy models and answers this one with
+    503 instead of crashing at startup."""

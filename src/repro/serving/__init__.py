@@ -13,13 +13,23 @@ from .batcher import MicroBatcher, PredictResult
 from .config import ServingConfig
 from .daemon import BackgroundServer, ServingDaemon
 from .registry import ModelEntry, ModelRegistry
+from .resilience import (
+    CircuitBreaker,
+    ComputePool,
+    RetryPolicy,
+    ServiceTimeEstimator,
+)
 
 __all__ = [
     "BackgroundServer",
+    "CircuitBreaker",
+    "ComputePool",
     "MicroBatcher",
     "ModelEntry",
     "ModelRegistry",
     "PredictResult",
+    "RetryPolicy",
+    "ServiceTimeEstimator",
     "ServingConfig",
     "ServingDaemon",
 ]

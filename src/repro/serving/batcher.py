@@ -1,4 +1,5 @@
-"""Cross-request micro-batching with bounded queues and backpressure.
+"""Cross-request micro-batching with bounded queues, backpressure,
+deadline-aware admission control and a per-model circuit breaker.
 
 One :class:`MicroBatcher` serves one model.  Concurrent predict
 requests land in a bounded deque; a coalescer task waits a short window
@@ -14,11 +15,34 @@ submits raise :class:`~repro.errors.BackpressureError` immediately
 (the HTTP layer answers 429) instead of queueing unbounded work in
 front of a saturated chip.
 
+Deadline-aware admission: a request may carry a ``deadline_s`` budget.
+At enqueue, an EWMA of recent batch service times
+(:class:`~repro.serving.resilience.ServiceTimeEstimator`) predicts how
+long the queue ahead plus the request's own batch will take; if the
+prediction already misses the deadline the request is *shed* with
+:class:`~repro.errors.DeadlineExceededError` (HTTP 503 + a computed
+``Retry-After`` — deliberately distinct from the queue-depth 429,
+which says "the queue is full", not "you are too late").  Expiry is
+re-checked at dequeue so a request that aged out while waiting never
+wastes a forward pass.
+
+Compute supervision: every flush runs under ``compute_timeout_s``; a
+batch that exceeds it is failed with
+:class:`~repro.errors.ExecutionError` — no waiter is ever abandoned —
+and the shared :class:`~repro.serving.resilience.ComputePool` is
+rebuilt so the hung thread cannot wedge the daemon.  Batch outcomes
+feed a per-model :class:`~repro.serving.resilience.CircuitBreaker`:
+after ``threshold`` consecutive failures the model fails fast with
+:class:`~repro.errors.CircuitOpenError` for a cooldown, then one
+half-open probe batch decides whether to close again.
+
 Drain: :meth:`drain` stops intake, lets the coalescer flush every
 pending request, then pushes one deliberate *empty* batch through the
 full compute path as an end-of-stream barrier — which is why
 :meth:`~repro.mapping.executor.PIMExecutor.predict` must be
-well-defined on zero-row input.
+well-defined on zero-row input.  :meth:`abort` is the impatient
+sibling used when the drain grace period expires: it *fails* every
+unresolved waiter instead of hanging them.
 
 Energy accounting rides on the executor's existing MVM-launch
 counters: the compute thread snapshots ``total_mvm_launches`` around
@@ -33,14 +57,20 @@ import asyncio
 import collections
 import dataclasses
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import BackpressureError
+from ..errors import (
+    BackpressureError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ExecutionError,
+)
 from ..telemetry import session as _telemetry
 from ..telemetry.clock import perf
 from .registry import ModelEntry
+from .resilience import CircuitBreaker, ComputePool, ServiceTimeEstimator
 
 __all__ = ["MicroBatcher", "PredictResult"]
 
@@ -78,6 +108,8 @@ class _Pending:
     x: np.ndarray
     future: "asyncio.Future[PredictResult]"
     enqueued: float
+    #: absolute perf() deadline, or None for "no deadline"
+    deadline: Optional[float] = None
 
 
 class MicroBatcher:
@@ -86,17 +118,33 @@ class MicroBatcher:
     def __init__(
         self,
         entry: ModelEntry,
-        compute: ThreadPoolExecutor,
+        compute: Union[ComputePool, ThreadPoolExecutor],
         max_batch: int = 32,
         window_s: float = 0.0,
         queue_depth: int = 128,
+        compute_timeout_s: float = 0.0,
+        breaker: Optional[CircuitBreaker] = None,
+        ewma_alpha: float = 0.25,
+        chaos=None,
     ) -> None:
         self.entry = entry
+        if not isinstance(compute, ComputePool):
+            compute = ComputePool.adopt(compute)
         self._compute = compute
         self.max_batch = max_batch
         self.window_s = window_s
         self.queue_depth = queue_depth
+        self.compute_timeout_s = compute_timeout_s
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.estimator = ServiceTimeEstimator(alpha=ewma_alpha)
+        self._chaos = chaos
         self._pending: Deque[_Pending] = collections.deque()
+        self._inflight: List[_Pending] = []
+        #: end of the previous flush while the queue stayed busy, or
+        #: None after idle/failure — lets the estimator sample the full
+        #: batch *cycle* (compute + event-loop gap), which is what
+        #: queue-wait prediction needs (see _flush).
+        self._cycle_anchor: Optional[float] = None
         self._arrival = asyncio.Event()
         self._draining = False
         self._task: Optional["asyncio.Task[None]"] = None
@@ -105,6 +153,11 @@ class MicroBatcher:
         self.rejected_total = 0
         self.batches_total = 0
         self.coalesced_total = 0
+        self.shed_deadline_total = 0
+        self.shed_expired_total = 0
+        self.breaker_rejected_total = 0
+        self.compute_failures_total = 0
+        self.compute_timeouts_total = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -116,12 +169,53 @@ class MicroBatcher:
         """Requests currently queued (the backpressure measure)."""
         return len(self._pending)
 
-    async def submit(self, x: np.ndarray) -> PredictResult:
-        """Queue one request's rows; resolves when its batch flushed."""
+    def _estimated_wait(self) -> Optional[float]:
+        """Predicted seconds until a request enqueued *now* is answered
+        (``None`` until the EWMA has its first sample).
+
+        With requests queued ahead, the prediction uses the tail-aware
+        service budget (mean + 2 deviations), so admission holds the
+        deadline even when a batch lands in the service-time tail.  With
+        an *empty* queue it deliberately falls back to the mean: there
+        is no congestion to protect against, and an admitted request is
+        also the probe that keeps the estimator fresh — a pessimistic
+        deviation spike must not be able to shed every future request
+        and freeze the estimate forever."""
+        value = self.estimator.value
+        if value is None:
+            return None
+        batches_ahead = len(self._pending) // self.max_batch + 1
+        if self._inflight:
+            # A batch on the compute pool right now must finish before
+            # anything queued behind it is flushed.
+            batches_ahead += 1
+        busy = self._pending or self._inflight
+        service = self.estimator.budget() if busy else value
+        return self.window_s + batches_ahead * service
+
+    async def submit(
+        self, x: np.ndarray, deadline_s: Optional[float] = None
+    ) -> PredictResult:
+        """Queue one request's rows; resolves when its batch flushed.
+
+        ``deadline_s`` is the caller's relative latency budget: the
+        request is shed (:class:`~repro.errors.DeadlineExceededError`)
+        if the service-time EWMA predicts it cannot be answered in
+        time, or if it expires while queued.
+        """
         if self._draining:
             self.rejected_total += 1
             raise BackpressureError(
                 f"model {self.entry.name!r} is draining for shutdown"
+            )
+        if not self.breaker.admit():
+            self.breaker_rejected_total += 1
+            retry_after = self.breaker.retry_after()
+            _telemetry.count("serve.breaker.rejected")
+            raise CircuitOpenError(
+                f"model {self.entry.name!r} circuit breaker is open after "
+                "repeated compute failures; retry after cooldown",
+                retry_after_s=retry_after,
             )
         if len(self._pending) >= self.queue_depth:
             self.rejected_total += 1
@@ -130,12 +224,28 @@ class MicroBatcher:
                 f"model {self.entry.name!r} queue is full "
                 f"({self.queue_depth} pending requests); retry later"
             )
+        if deadline_s is not None:
+            wait = self._estimated_wait()
+            if wait is not None and wait > deadline_s:
+                self.shed_deadline_total += 1
+                _telemetry.count("serve.shed.deadline")
+                retry_after = max(
+                    wait - deadline_s, self.estimator.value or 0.0
+                )
+                raise DeadlineExceededError(
+                    f"model {self.entry.name!r} queue wait is predicted at "
+                    f"{wait * 1e3:.1f} ms, beyond the "
+                    f"{deadline_s * 1e3:.1f} ms deadline; shed at admission",
+                    retry_after_s=retry_after,
+                )
         self.requests_total += 1
         _telemetry.count("serve.requests")
+        now = perf()
         item = _Pending(
             x=x,
             future=asyncio.get_running_loop().create_future(),
-            enqueued=perf(),
+            enqueued=now,
+            deadline=None if deadline_s is None else now + deadline_s,
         )
         self._pending.append(item)
         _telemetry.set_gauge("serve.queue_depth", len(self._pending))
@@ -150,10 +260,82 @@ class MicroBatcher:
             await self._task
             self._task = None
 
+    def abort(self, exc: Exception) -> int:
+        """Fail every unresolved waiter (queued *and* in-flight) with
+        ``exc`` and cancel the coalescer; returns how many were failed.
+
+        Used by the daemon when the drain grace period expires: clients
+        get an immediate 503 instead of hanging until their socket
+        timeout.  Await :meth:`reap` afterwards to collect the
+        cancelled task.
+        """
+        failed = 0
+        for item in list(self._inflight) + list(self._pending):
+            if not item.future.done():
+                item.future.set_exception(exc)
+                failed += 1
+        self._pending.clear()
+        if self._task is not None:
+            self._task.cancel()
+        return failed
+
+    async def reap(self) -> None:
+        """Await an aborted coalescer task (idempotent)."""
+        if self._task is not None:
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
     # ------------------------------------------------------------------
+    def _shed_expired(self, item: _Pending, now: float) -> None:
+        self.shed_expired_total += 1
+        _telemetry.count("serve.shed.expired")
+        if not item.future.done():
+            item.future.set_exception(DeadlineExceededError(
+                f"model {self.entry.name!r} request expired after "
+                f"{(now - item.enqueued) * 1e3:.1f} ms in queue; shed at "
+                "dequeue",
+                retry_after_s=self.estimator.value or 0.0,
+            ))
+
+    def _take_batch(self) -> List[_Pending]:
+        """Pop up to ``max_batch`` still-viable requests, shedding the
+        expired (or predicted-to-miss) ones on the way.
+
+        A request that *aged* in the queue (waited longer than one mean
+        service cycle) is held to the tail budget — it must still make
+        its deadline even if its batch lands in the service-time tail.
+        A request flushing straight from an empty queue is only held to
+        the mean: it must survive a transient deviation spike, or a
+        pessimistic estimate could shed every future request and never
+        be refreshed (see :meth:`_estimated_wait`)."""
+        batch: List[_Pending] = []
+        now = perf()
+        value = self.estimator.value or 0.0
+        budget = self.estimator.budget() or 0.0
+        while self._pending and len(batch) < self.max_batch:
+            item = self._pending.popleft()
+            if item.deadline is not None:
+                aged = now - item.enqueued > value
+                service = budget if aged else value
+                if now + service > item.deadline:
+                    self._shed_expired(item, now)
+                    continue
+            batch.append(item)
+        return batch
+
+    def _fail_pending(self, exc: Exception) -> None:
+        while self._pending:
+            item = self._pending.popleft()
+            if not item.future.done():
+                item.future.set_exception(exc)
+
     async def _run(self) -> None:
         while True:
             if not self._pending:
+                self._cycle_anchor = None
                 if self._draining:
                     # End-of-stream barrier: a zero-row batch through
                     # the same compute path, so drain returns only
@@ -170,18 +352,34 @@ class MicroBatcher:
                 and not self._draining
             ):
                 await asyncio.sleep(self.window_s)
-            batch = [
-                self._pending.popleft()
-                for _ in range(min(len(self._pending), self.max_batch))
-            ]
+            batch = self._take_batch()
             _telemetry.set_gauge("serve.queue_depth", len(self._pending))
+            if not batch:
+                continue
             await self._flush(batch)
+            if self._pending and not self.breaker.admit():
+                # The flush tripped the breaker: answer everything
+                # already queued behind the broken model now instead of
+                # burning more forward passes on it.
+                self._fail_pending(CircuitOpenError(
+                    f"model {self.entry.name!r} circuit breaker opened "
+                    "while this request was queued",
+                    retry_after_s=self.breaker.retry_after(),
+                ))
+                _telemetry.set_gauge("serve.queue_depth", 0)
 
     def _predict_counted(self, x: np.ndarray) -> Tuple[np.ndarray, int]:
         """Runs on the compute pool: forward + MVM-launch delta."""
+        if self._chaos is not None and int(x.shape[0]) > 0:
+            self._chaos.before_compute(self.entry.name)
         before = self.entry.executor.total_mvm_launches()
         labels = self.entry.predict(x)
         return labels, self.entry.executor.total_mvm_launches() - before
+
+    def _fail_batch(self, batch: List[_Pending], exc: Exception) -> None:
+        for item in batch:
+            if not item.future.done():
+                item.future.set_exception(exc)
 
     async def _flush(self, batch: List[_Pending]) -> None:
         rows = [int(np.asarray(item.x).shape[0]) for item in batch]
@@ -190,18 +388,51 @@ class MicroBatcher:
             x = np.concatenate([item.x for item in batch], axis=0)
         else:
             x = np.zeros((0,) + self.entry.input_shape)
+        self._inflight = batch
         start = perf()
+        timeout = self.compute_timeout_s if self.compute_timeout_s > 0 else None
         try:
-            labels, launches = await asyncio.get_running_loop().run_in_executor(
-                self._compute, self._predict_counted, x
+            future = asyncio.get_running_loop().run_in_executor(
+                self._compute.executor, self._predict_counted, x
             )
+            labels, launches = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            # The thread may be hung: abandon the whole executor so the
+            # next batch gets a healthy pool, and answer every waiter.
+            self.breaker.record_failure()
+            self.compute_timeouts_total += 1
+            _telemetry.count("serve.compute.timeouts")
+            self._compute.rebuild()
+            _telemetry.count("serve.compute.rebuilds")
+            self._fail_batch(batch, ExecutionError(
+                f"model {self.entry.name!r} forward pass exceeded the "
+                f"{self.compute_timeout_s:g} s compute timeout; the "
+                "compute executor was rebuilt — retry"
+            ))
+            self._inflight = []
+            self._cycle_anchor = None
+            return
         except Exception as exc:  # deterministic model failure, not ours
-            for item in batch:
-                if not item.future.done():
-                    item.future.set_exception(exc)
+            self.breaker.record_failure()
+            self.compute_failures_total += 1
+            _telemetry.count("serve.compute.failures")
+            self._fail_batch(batch, exc)
+            self._inflight = []
+            self._cycle_anchor = None
             return
         end = perf()
+        self.breaker.record_success()
         self.batches_total += 1
+        if total_rows:
+            # Back-to-back batches sample the full departure interval
+            # (previous flush end → this flush end): under load the
+            # event-loop gap between flushes — response writes, new
+            # arrivals — is part of every queued request's wait, and an
+            # estimator blind to it under-predicts queue time.
+            anchor = start if self._cycle_anchor is None else \
+                self._cycle_anchor
+            self.estimator.observe(end - anchor)
+        self._cycle_anchor = end
         if len(batch) > 1:
             self.coalesced_total += len(batch)
             _telemetry.count("serve.coalesced_requests", len(batch))
@@ -227,4 +458,7 @@ class MicroBatcher:
             if not item.future.done():
                 item.future.set_result(result)
             if session is not None:
+                session.observe("serve.queue_wait_seconds",
+                                start - item.enqueued)
                 session.observe("serve.latency_seconds", end - item.enqueued)
+        self._inflight = []

@@ -6,6 +6,15 @@ generator is the measurement engine behind
 sequential predict requests (closed loop: a worker's next request
 starts only after its previous answer), which is the standard way to
 sweep offered concurrency without modelling arrival processes.
+
+Retrying: :func:`predict` accepts a
+:class:`~repro.serving.resilience.RetryPolicy`.  Predict is idempotent
+(a pure function of its inputs), so transient refusals — 429
+backpressure, 503 shed/breaker/drain answers, dropped connections —
+are retried with seeded-jitter capped exponential backoff, honoring
+the server's ``Retry-After`` hint and bounded by both an attempt count
+and a total backoff budget.  Non-idempotent requests must not reuse
+this machinery.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import dataclasses
 import http.client
 import json
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,8 +31,14 @@ import numpy as np
 from ..errors import ExecutionError
 from ..telemetry.clock import perf
 from ..units import KILO
+from .resilience import RetryPolicy
 
-__all__ = ["request", "predict", "LoadReport", "run_load"]
+__all__ = ["request", "predict", "LoadReport", "run_load", "RetryPolicy"]
+
+#: transport failures one HTTP exchange can raise: a refused/reset
+#: socket (OSError) or a connection dropped mid-response
+#: (http.client.HTTPException, e.g. BadStatusLine from an empty reply).
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
 
 
 def request(
@@ -33,7 +49,12 @@ def request(
     payload: Optional[dict] = None,
     timeout: float = 30.0,
 ) -> Tuple[int, Dict[str, Any]]:
-    """One HTTP exchange; returns ``(status, parsed JSON body)``."""
+    """One HTTP exchange; returns ``(status, parsed JSON body)``.
+
+    A ``Retry-After`` response header is surfaced as a
+    ``retry_after_hint_s`` key on the body (the serving daemon also
+    puts the precise float in the JSON itself as ``retry_after_s``).
+    """
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         body = json.dumps(payload).encode() if payload is not None else None
@@ -45,9 +66,20 @@ def request(
             doc = json.loads(raw.decode()) if raw else {}
         except ValueError:
             doc = {"error": raw.decode(errors="replace")}
+        retry_after = response.getheader("Retry-After")
+        if retry_after is not None and isinstance(doc, dict):
+            try:
+                doc.setdefault("retry_after_hint_s", float(retry_after))
+            except ValueError:
+                pass
         return response.status, doc
     finally:
         conn.close()
+
+
+def _retry_after_from(doc: Dict[str, Any]) -> Optional[float]:
+    value = doc.get("retry_after_s", doc.get("retry_after_hint_s"))
+    return float(value) if isinstance(value, (int, float)) else None
 
 
 def predict(
@@ -56,13 +88,53 @@ def predict(
     model: str,
     inputs: np.ndarray,
     timeout: float = 30.0,
+    deadline_ms: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Tuple[int, Dict[str, Any]]:
-    """POST one predict request (``inputs`` is ``(rows, ...)``)."""
-    return request(
-        host, port, "POST", "/predict",
-        payload={"model": model, "inputs": np.asarray(inputs).tolist()},
-        timeout=timeout,
-    )
+    """POST one predict request (``inputs`` is ``(rows, ...)``).
+
+    With ``retry``, transient outcomes (429/503 and transport
+    failures) are retried under the policy; the returned pair is the
+    final attempt's.  The response carries ``attempts`` (total tries)
+    when a policy was supplied.
+    """
+    payload = {"model": model, "inputs": np.asarray(inputs).tolist()}
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    if retry is None:
+        return request(host, port, "POST", "/predict",
+                       payload=payload, timeout=timeout)
+    rng = retry.rng()
+    slept = 0.0
+    attempt = 0
+    while True:
+        try:
+            status, doc = request(host, port, "POST", "/predict",
+                                  payload=payload, timeout=timeout)
+        except TRANSPORT_ERRORS:
+            if attempt + 1 >= retry.max_attempts:
+                raise
+            delay = retry.backoff_s(attempt, rng)
+            if slept + delay > retry.total_budget_s:
+                raise
+            time.sleep(delay)
+            slept += delay
+            attempt += 1
+            continue
+        if (not retry.should_retry_status(status)
+                or attempt + 1 >= retry.max_attempts):
+            if isinstance(doc, dict):
+                doc.setdefault("attempts", attempt + 1)
+            return status, doc
+        delay = retry.backoff_s(attempt, rng,
+                                retry_after_s=_retry_after_from(doc))
+        if slept + delay > retry.total_budget_s:
+            if isinstance(doc, dict):
+                doc.setdefault("attempts", attempt + 1)
+            return status, doc
+        time.sleep(delay)
+        slept += delay
+        attempt += 1
 
 
 # ----------------------------------------------------------------------
@@ -75,11 +147,26 @@ class LoadReport:
     concurrency / requests:
         Worker threads and completed-OK request count.
     errors:
-        Non-200 responses (429s land here) and transport failures.
+        Non-200 final responses (429s land here) and transport
+        failures.
+    shed:
+        Of those errors, final 503 answers that carried a
+        ``Retry-After`` — deadline sheds, breaker opens and other
+        deliberate load-control refusals.
+    retries:
+        Extra attempts spent by the retry policy across all requests
+        (0 without a policy).
     elapsed_s / throughput_rps:
-        Wall time of the whole run and requests per second over it.
+        Wall time of the whole run and *goodput*: OK requests per
+        second over it.
     latency_p50_ms / latency_p99_ms / latency_mean_ms:
-        Client-observed per-request latency percentiles.
+        Client-observed per-request latency percentiles over admitted
+        (OK) requests.
+    server_latency_p99_ms:
+        p99 of the *server-reported* ``latency_ms`` over OK requests —
+        parse-to-answer time, the window deadline admission control
+        actually governs (client numbers additionally carry connection
+        setup and response transfer).
     mean_batch_requests:
         Server-reported mean coalesced batch size over OK responses —
         ~1 means batching never kicked in.
@@ -94,6 +181,9 @@ class LoadReport:
     latency_p99_ms: float
     latency_mean_ms: float
     mean_batch_requests: float
+    shed: int = 0
+    retries: int = 0
+    server_latency_p99_ms: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -107,31 +197,52 @@ def run_load(
     concurrency: int,
     requests_per_worker: int,
     timeout: float = 30.0,
+    deadline_ms: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Closed-loop load: ``concurrency`` workers, each firing
     ``requests_per_worker`` sequential single-sample requests drawn
-    round-robin from ``inputs``."""
+    round-robin from ``inputs``.
+
+    With ``deadline_ms`` every request carries that latency budget (so
+    the daemon's admission control may shed it with 503 +
+    ``Retry-After``); with ``retry`` each worker retries transient
+    refusals under a per-worker-seeded copy of the policy, which is
+    how the benchmark measures *goodput* under shedding.
+    """
     if not inputs:
         raise ExecutionError("load generator needs at least one input row")
     latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    server_ms: List[List[float]] = [[] for _ in range(concurrency)]
     batch_sizes: List[List[int]] = [[] for _ in range(concurrency)]
     errors = [0] * concurrency
+    sheds = [0] * concurrency
+    retries = [0] * concurrency
     barrier = threading.Barrier(concurrency + 1)
 
     def worker(wid: int) -> None:
+        policy = (None if retry is None
+                  else dataclasses.replace(retry, seed=retry.seed + wid))
         barrier.wait()
         for i in range(requests_per_worker):
             x = inputs[(wid + i * concurrency) % len(inputs)]
             start = perf()
             try:
-                status, doc = predict(host, port, model, x, timeout=timeout)
-            except OSError:
+                status, doc = predict(
+                    host, port, model, x, timeout=timeout,
+                    deadline_ms=deadline_ms, retry=policy,
+                )
+            except TRANSPORT_ERRORS:
                 errors[wid] += 1
                 continue
+            retries[wid] += max(0, int(doc.get("attempts", 1)) - 1)
             if status != 200:
                 errors[wid] += 1
+                if status == 503 and _retry_after_from(doc) is not None:
+                    sheds[wid] += 1
                 continue
             latencies[wid].append(perf() - start)
+            server_ms[wid].append(float(doc.get("latency_ms", 0.0)))
             batch_sizes[wid].append(int(doc.get("batch_requests", 1)))
 
     threads = [
@@ -147,6 +258,7 @@ def run_load(
     elapsed = perf() - start
 
     flat = sorted(sample for per in latencies for sample in per)
+    flat_server = sorted(sample for per in server_ms for sample in per)
     merged_batches = [b for per in batch_sizes for b in per]
     ok = len(flat)
     if not flat:
@@ -164,4 +276,7 @@ def run_load(
         latency_p99_ms=1 * KILO * flat[min(ok - 1, (ok * 99) // 100)],
         latency_mean_ms=1 * KILO * float(np.mean(flat)),
         mean_batch_requests=float(np.mean(merged_batches)),
+        shed=sum(sheds),
+        retries=sum(retries),
+        server_latency_p99_ms=flat_server[min(ok - 1, (ok * 99) // 100)],
     )

@@ -47,7 +47,25 @@ class ServingConfig:
         counters exact for per-request energy accounting; raise it only
         if per-request energy may be approximate.
     drain_timeout_s:
-        Grace period for in-flight requests on shutdown.
+        Grace period for in-flight requests on shutdown.  Requests
+        still unanswered when it expires are *failed* (503 /
+        :class:`~repro.errors.ExecutionError`, counted as
+        ``serve.drain.abandoned``) rather than left hanging.
+    compute_timeout_s:
+        Per-batch forward-pass timeout.  A batch that exceeds it is
+        failed with :class:`~repro.errors.ExecutionError` (HTTP 503)
+        and the compute pool is rebuilt so the hung thread cannot
+        wedge the daemon.  ``0`` disables the timeout.
+    breaker_threshold / breaker_cooldown_s:
+        Per-model circuit breaker: after ``breaker_threshold``
+        consecutive batch failures the model answers
+        :class:`~repro.errors.CircuitOpenError` (503 + ``Retry-After``)
+        for ``breaker_cooldown_s``, then lets one probe batch through.
+    ewma_alpha:
+        Smoothing factor of the batch-service-time EWMA behind
+        deadline-aware admission control (larger tracks load shifts
+        faster; see :class:`~repro.serving.resilience.
+        ServiceTimeEstimator`).
     n_samples / seed:
         Training-set size and master seed used to key the model cache
         (must match a previous run to reuse its artifacts).
@@ -67,6 +85,10 @@ class ServingConfig:
     queue_depth: int = 128
     compute_workers: int = 1
     drain_timeout_s: float = 10.0
+    compute_timeout_s: float = 30.0
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 1.0
+    ewma_alpha: float = 0.25
     n_samples: int = 600
     seed: int = 0
     ensemble_sigma: float = 0.0
@@ -90,6 +112,25 @@ class ServingConfig:
         if self.compute_workers < 1:
             raise ConfigurationError(
                 f"compute_workers must be >= 1, got {self.compute_workers!r}"
+            )
+        if self.compute_timeout_s < 0:
+            raise ConfigurationError(
+                f"compute_timeout_s must be >= 0 (0 disables), got "
+                f"{self.compute_timeout_s!r}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold!r}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise ConfigurationError(
+                f"breaker_cooldown_s must be >= 0, got "
+                f"{self.breaker_cooldown_s!r}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}"
             )
         if self.seed < 0:
             raise ConfigurationError(

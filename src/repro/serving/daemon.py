@@ -13,8 +13,19 @@ on a dedicated thread for tests and the load-generator benchmark.
 
 Graceful drain: shutdown first stops accepting connections, then drains
 every model's batcher — queued requests are flushed and answered, new
-submits are refused — and only then tears the compute pool down.  An
-in-flight request is therefore never dropped by a clean shutdown.
+submits are refused — and only then tears the compute pool down.  If
+the drain grace period (``drain_timeout_s``) expires with stragglers
+still unanswered, they are *failed* with
+:class:`~repro.errors.ExecutionError` (HTTP 503) and counted as
+``serve.drain.abandoned`` — an in-flight request is answered or failed
+by a clean shutdown, never left hanging until its socket timeout.
+
+Resilience wiring: the daemon owns one rebuildable
+:class:`~repro.serving.resilience.ComputePool` shared by all batchers,
+gives each model its own
+:class:`~repro.serving.resilience.CircuitBreaker`, and threads an
+optional chaos plan (see :mod:`repro.chaos`) into the compute and
+connection paths so infrastructure faults are injectable under test.
 """
 
 from __future__ import annotations
@@ -22,13 +33,14 @@ from __future__ import annotations
 import asyncio
 import signal
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional
 
 from ..errors import ExecutionError
+from ..telemetry import session as _telemetry
 from .batcher import MicroBatcher
 from .config import ServingConfig
 from .registry import ModelRegistry
+from .resilience import CircuitBreaker, ComputePool
 from .server import HTTPFrontend
 
 __all__ = ["ServingDaemon", "BackgroundServer"]
@@ -37,19 +49,28 @@ __all__ = ["ServingDaemon", "BackgroundServer"]
 class ServingDaemon:
     """Owns the sockets, batchers and compute pool of one server."""
 
-    def __init__(self, registry: ModelRegistry, config: ServingConfig) -> None:
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServingConfig,
+        chaos=None,
+    ) -> None:
         self.registry = registry
         self.config = config
+        self.chaos = chaos
         self.draining = False
         self.port: Optional[int] = None
+        self.drain_abandoned_total = 0
         self._batchers: Dict[str, MicroBatcher] = {}
-        self._compute: Optional[ThreadPoolExecutor] = None
+        self._compute: Optional[ComputePool] = None
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------
     def batcher_for(self, name: str) -> MicroBatcher:
-        """The model's coalescer (:class:`~repro.errors.ConfigurationError`
-        for unknown names, via the registry)."""
+        """The model's coalescer (:class:`~repro.errors.
+        ConfigurationError` for unknown names,
+        :class:`~repro.errors.ModelUnavailableError` for load-failed
+        ones, via the registry)."""
         entry = self.registry.get(name)
         return self._batchers[entry.name]
 
@@ -63,13 +84,18 @@ class ServingDaemon:
                 "input_shape": list(entry.input_shape),
                 "ensemble_trials": entry.ensemble_trials,
                 "queue_depth": batcher.depth,
+                "breaker_state": batcher.breaker.state,
                 "total_mvm_launches": entry.executor.total_mvm_launches(),
             })
         return out
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Lifetime serve.* counters, aggregated over models."""
-        totals = {"requests": 0, "rejected": 0, "batches": 0, "coalesced": 0}
+        totals = {
+            "requests": 0, "rejected": 0, "batches": 0, "coalesced": 0,
+            "shed_deadline": 0, "shed_expired": 0, "breaker_rejected": 0,
+            "compute_failures": 0, "compute_timeouts": 0,
+        }
         per_model = {}
         for name, batcher in self._batchers.items():
             counters = {
@@ -77,22 +103,40 @@ class ServingDaemon:
                 "rejected": batcher.rejected_total,
                 "batches": batcher.batches_total,
                 "coalesced": batcher.coalesced_total,
+                "shed_deadline": batcher.shed_deadline_total,
+                "shed_expired": batcher.shed_expired_total,
+                "breaker_rejected": batcher.breaker_rejected_total,
+                "compute_failures": batcher.compute_failures_total,
+                "compute_timeouts": batcher.compute_timeouts_total,
+                "breaker_state": batcher.breaker.state,
+                "breaker_opens": batcher.breaker.opens_total,
                 "queue_depth": batcher.depth,
+                # Admission-control view: the service-time EWMA and the
+                # tail budget enqueue decisions are made against (0
+                # until the first batch calibrates them).
+                "service_ewma_ms": (batcher.estimator.value or 0.0) * 1e3,
+                "service_budget_ms": (batcher.estimator.budget() or 0.0)
+                * 1e3,
             }
             per_model[name] = counters
             for key in totals:
                 totals[key] += counters[key]
-        return {"totals": totals, "models": per_model}
+        return {
+            "totals": totals,
+            "models": per_model,
+            "compute_rebuilds": (
+                self._compute.rebuilds if self._compute is not None else 0
+            ),
+            "drain_abandoned": self.drain_abandoned_total,
+            "failed_models": dict(self.registry.failed),
+        }
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         if self._server is not None:
             raise ExecutionError("daemon already started")
         config = self.config
-        self._compute = ThreadPoolExecutor(
-            max_workers=config.compute_workers,
-            thread_name_prefix="repro-serve",
-        )
+        self._compute = ComputePool(workers=config.compute_workers)
         for name in self.registry.names():
             batcher = MicroBatcher(
                 self.registry.get(name),
@@ -100,6 +144,13 @@ class ServingDaemon:
                 max_batch=config.max_batch,
                 window_s=config.batch_window_s,
                 queue_depth=config.queue_depth,
+                compute_timeout_s=config.compute_timeout_s,
+                breaker=CircuitBreaker(
+                    threshold=config.breaker_threshold,
+                    cooldown_s=config.breaker_cooldown_s,
+                ),
+                ewma_alpha=config.ewma_alpha,
+                chaos=self.chaos,
             )
             batcher.start()
             self._batchers[name] = batcher
@@ -115,17 +166,45 @@ class ServingDaemon:
             return
         self.draining = True
         self._server.close()
-        await self._server.wait_closed()
-        self._server = None
+        forced = False
         try:
             await asyncio.wait_for(
                 asyncio.gather(*(b.drain() for b in self._batchers.values())),
                 timeout=self.config.drain_timeout_s,
             )
         except asyncio.TimeoutError:
-            pass  # give up on stragglers; the pool shutdown below waits
+            # The grace period is over: answer every straggler with a
+            # 503 instead of leaving its client to hang until the
+            # socket timeout, and abandon the (possibly hung) pool.
+            forced = True
+            error = ExecutionError(
+                "serving daemon drain timed out after "
+                f"{self.config.drain_timeout_s:g} s; request abandoned at "
+                "shutdown — retry against the next instance"
+            )
+            abandoned = sum(
+                batcher.abort(error) for batcher in self._batchers.values()
+            )
+            await asyncio.gather(
+                *(b.reap() for b in self._batchers.values()),
+                return_exceptions=True,
+            )
+            self.drain_abandoned_total += abandoned
+            if abandoned:
+                _telemetry.count("serve.drain.abandoned", abandoned)
+        # Only now wait for the listener: every batcher future is
+        # resolved or failed, so connection handlers can flush their
+        # responses and detach.  (On 3.12+ wait_closed blocks until all
+        # handlers finish — calling it before the drain/abort above
+        # would deadlock on a hung compute thread.)  Bounded anyway so
+        # one wedged socket cannot stall shutdown.
+        try:
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - wedged socket
+            pass
+        self._server = None
         if self._compute is not None:
-            self._compute.shutdown(wait=True)
+            self._compute.shutdown(wait=not forced)
             self._compute = None
 
     # ------------------------------------------------------------------
@@ -168,8 +247,13 @@ class BackgroundServer:
             client.predict(server.host, server.port, "mlp-1", rows)
     """
 
-    def __init__(self, registry: ModelRegistry, config: ServingConfig) -> None:
-        self.daemon = ServingDaemon(registry, config)
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServingConfig,
+        chaos=None,
+    ) -> None:
+        self.daemon = ServingDaemon(registry, config, chaos=chaos)
         self.host = config.host
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
@@ -199,7 +283,7 @@ class BackgroundServer:
 
         try:
             asyncio.run(body())
-        except BaseException as exc:  # surface startup failures in start()
+        except BaseException as exc:  # surfaced by start() or stop()
             self._error = exc
         finally:
             self._ready.set()
@@ -217,8 +301,18 @@ class BackgroundServer:
 
     def stop(self) -> None:
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already dead; the join + error check below
         self._thread.join(timeout=60.0)
+        if self._error is not None:
+            # The loop died mid-run (not at startup — start() would
+            # have raised): a crashed daemon must not look like a
+            # clean stop.
+            raise ExecutionError(
+                f"serving daemon died while running: {self._error}"
+            ) from self._error
 
     def __enter__(self) -> "BackgroundServer":
         return self.start()

@@ -14,13 +14,13 @@ of a single forward.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import CircuitParameters
 from ..core.mvm import MVMMode
-from ..errors import ConfigurationError, ShapeError
+from ..errors import ConfigurationError, ModelUnavailableError, ShapeError
 from ..mapping import PIMExecutor, ReSiPEBackend, compile_network
 from ..mapping.compiler import MappedNetwork
 from ..runtime import trial_rng
@@ -83,10 +83,21 @@ class ModelEntry:
 
 
 class ModelRegistry:
-    """Named :class:`ModelEntry` lookup for the daemon and tests."""
+    """Named :class:`ModelEntry` lookup for the daemon and tests.
 
-    def __init__(self, entries: Sequence[ModelEntry]) -> None:
+    A registry distinguishes three kinds of name: *loaded* (servable
+    entry), *failed* (configured but its load raised — the daemon keeps
+    running and answers 503 for it), and *unknown* (never configured —
+    HTTP 404).
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[ModelEntry],
+        failed: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._entries: Dict[str, ModelEntry] = {}
+        self.failed: Dict[str, str] = dict(failed or {})
         for entry in entries:
             if entry.name in self._entries:
                 raise ConfigurationError(
@@ -106,11 +117,52 @@ class ModelRegistry:
         try:
             return self._entries[name]
         except KeyError:
+            if name in self.failed:
+                raise ModelUnavailableError(
+                    f"model {name!r} failed to load: {self.failed[name]}"
+                ) from None
             raise ConfigurationError(
                 f"unknown model {name!r}; serving {self.names()}"
             ) from None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence[str],
+        loader: Callable[[str], ModelEntry],
+        load_hook: Optional[Callable[[str], None]] = None,
+        verbose: bool = False,
+    ) -> "ModelRegistry":
+        """Build a registry one model at a time, isolating failures.
+
+        ``loader(key)`` returns the :class:`ModelEntry` for one key; any
+        exception it raises marks that key *failed* (served as 503)
+        instead of killing the whole daemon.  ``load_hook(key)`` runs
+        first and may itself raise — it is the seam the chaos harness
+        uses to inject registry corruption and load failures.  Only
+        when *every* key fails is the startup itself an error.
+        """
+        entries: List[ModelEntry] = []
+        failed: Dict[str, str] = {}
+        for key in keys:
+            try:
+                if load_hook is not None:
+                    load_hook(key)
+                entries.append(loader(key))
+            except Exception as exc:
+                failed[key] = f"{type(exc).__name__}: {exc}"
+                if verbose:
+                    import sys
+
+                    print(f"[registry] model {key!r} failed to load: "
+                          f"{failed[key]}", file=sys.stderr)
+        if not entries:
+            raise ConfigurationError(
+                f"every configured model failed to load: {failed}"
+            )
+        return cls(entries, failed=failed)
+
     @classmethod
     def from_benchmarks(
         cls,
@@ -120,22 +172,28 @@ class ModelRegistry:
         ensemble_sigma: float = 0.0,
         ensemble_trials: int = 0,
         verbose: bool = False,
+        load_hook: Optional[Callable[[str], None]] = None,
     ) -> "ModelRegistry":
         """Load benchmark networks (store-cached) and calibrate them.
 
         Ensemble clones are seeded by identity —
         ``trial_rng(seed, "serve|<key>|<sigma>|<t>")`` — so a restarted
-        daemon serves byte-identical ensemble predictions.
+        daemon serves byte-identical ensemble predictions.  A model
+        whose load fails (corrupt artifact the store cannot recover,
+        training failure, unknown benchmark key) is recorded in
+        :attr:`failed` and answered with 503 instead of crashing the
+        daemon — unless *all* of them fail.
         """
         from ..experiments.networks import get_benchmark_networks
 
-        entries = []
         backend = ReSiPEBackend(
             params=CircuitParameters.calibrated(), mode=MVMMode.LINEAR
         )
-        for net in get_benchmark_networks(
-            keys=list(keys), n_samples=n_samples, seed=seed, verbose=verbose
-        ):
+
+        def load_one(key: str) -> ModelEntry:
+            (net,) = get_benchmark_networks(
+                keys=[key], n_samples=n_samples, seed=seed, verbose=verbose
+            )
             mapped = compile_network(net.model, backend)
             calibration = net.train.images[: min(64, len(net.train))]
             executor = PIMExecutor(mapped, calibration)
@@ -151,10 +209,13 @@ class ModelRegistry:
                     ).network
                     for t in range(ensemble_trials)
                 ]
-            entries.append(ModelEntry(
+            return ModelEntry(
                 name=net.spec.key,
                 executor=executor,
                 input_shape=tuple(net.test.images.shape[1:]),
                 ensemble=ensemble,
-            ))
-        return cls(entries)
+            )
+
+        return cls.build(
+            keys, load_one, load_hook=load_hook, verbose=verbose
+        )

@@ -10,30 +10,61 @@ anyway.
 Routes
 ------
 ``GET /healthz``
-    Liveness + models + drain state.
+    Liveness + models (including load-failed ones) + drain state.
 ``GET /models``
     Per-model metadata (input shape, ensemble size, queue depth).
 ``GET /metrics``
-    Counter snapshot (requests, batches, coalesced, rejected).
+    Counter snapshot (requests, batches, coalesced, rejected, shed,
+    breaker state, compute rebuilds).
 ``POST /predict``
-    ``{"model": "mlp-1", "inputs": [[...], ...]}`` →
-    ``{"predictions": [...], "batch_requests": N, ...}``.
-    429 when the queue bound rejects, 503 while draining, 404 for an
-    unknown model, 400 for malformed bodies.
+    ``{"model": "mlp-1", "inputs": [[...], ...],
+    "deadline_ms": 50}`` → ``{"predictions": [...],
+    "batch_requests": N, ...}``.
+
+Error taxonomy (the contract the chaos suite pins down):
+
+========  ==========================================================
+status    meaning
+========  ==========================================================
+400       malformed body / wrong input shape
+404       model name never configured
+405       wrong method
+413       oversized body
+429       queue full (:class:`~repro.errors.BackpressureError`) —
+          the queue-depth bound, *not* a deadline decision
+500       the model's own forward pass raised (a model bug)
+503       transient server-side refusal, with ``Retry-After`` where
+          one can be computed: deadline shed
+          (:class:`~repro.errors.DeadlineExceededError`), breaker
+          open (:class:`~repro.errors.CircuitOpenError`), compute
+          timeout / drain abandon (:class:`~repro.errors.
+          ExecutionError`), model failed to load
+          (:class:`~repro.errors.ModelUnavailableError`), draining
+========  ==========================================================
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Tuple
+import math
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from .. import __version__
-from ..errors import BackpressureError, ConfigurationError, ShapeError
+from ..errors import (
+    BackpressureError,
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ExecutionError,
+    ModelUnavailableError,
+    ShapeError,
+)
 from ..telemetry import session as _telemetry
 from ..telemetry.clock import perf
+from ..units import MILLI
 
 __all__ = ["HTTPFrontend"]
 
@@ -45,39 +76,72 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
+#: route result: status, JSON payload, optional extra headers
+_Reply = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+def _unavailable(message: str, retry_after_s: Optional[float]) -> _Reply:
+    """A 503 with a ``Retry-After`` header (integer seconds, rounded
+    up per RFC 9110) plus the precise float in the JSON body."""
+    payload: Dict[str, Any] = {"error": message}
+    headers: Dict[str, str] = {}
+    if retry_after_s is not None:
+        payload["retry_after_s"] = float(retry_after_s)
+        headers["Retry-After"] = str(max(0, math.ceil(retry_after_s)))
+    return 503, payload, headers
+
 
 class HTTPFrontend:
     """Parses requests and routes them onto a ``ServingDaemon``."""
 
     def __init__(self, daemon) -> None:
         self.daemon = daemon
+        self._connections = 0
 
     # ------------------------------------------------------------------
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
-        status, payload = 500, {"error": "internal error"}
+        chaos = getattr(self.daemon, "chaos", None)
+        if chaos is not None:
+            self._connections += 1
+            if chaos.drop_connection(self._connections - 1):
+                # Simulated network fault: kill the socket before any
+                # response bytes, so clients see a dropped connection
+                # (BadStatusLine / ConnectionReset), never a hang.
+                _telemetry.count("serve.chaos.dropped_connections")
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return
+        status, payload, extra = 500, {"error": "internal error"}, {}
         try:
             request = await self._parse(reader)
             if request is None:
                 return  # client closed before sending a request line
             method, path, body = request
-            status, payload = await self._route(method, path, body)
+            status, payload, extra = await self._route(method, path, body)
         except (asyncio.IncompleteReadError, ConnectionError):
             return
         except _BadRequest as exc:
-            status, payload = exc.status, {"error": str(exc)}
+            status, payload, extra = exc.status, {"error": str(exc)}, {}
         except Exception as exc:  # never let one request kill the server
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            status, payload, extra = (
+                500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+            )
         finally:
             try:
                 data = json.dumps(payload).encode()
-                head = (
-                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                    f"Content-Type: application/json\r\n"
-                    f"Content-Length: {len(data)}\r\n"
-                    f"Server: repro-serve/{__version__}\r\n"
-                    f"Connection: close\r\n\r\n"
-                ).encode()
+                lines = [
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(data)}",
+                    f"Server: repro-serve/{__version__}",
+                ]
+                lines += [f"{key}: {value}" for key, value in extra.items()]
+                lines.append("Connection: close")
+                head = ("\r\n".join(lines) + "\r\n\r\n").encode()
                 writer.write(head + data)
                 await writer.drain()
             except (ConnectionError, RuntimeError):
@@ -111,46 +175,72 @@ class HTTPFrontend:
         return method, path, body
 
     # ------------------------------------------------------------------
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _route(self, method: str, path: str, body: bytes) -> _Reply:
         if path == "/predict":
             if method != "POST":
-                return 405, {"error": "POST /predict"}
+                return 405, {"error": "POST /predict"}, {}
             return await self._predict(body)
         if method != "GET":
-            return 405, {"error": f"GET {path}"}
+            return 405, {"error": f"GET {path}"}, {}
         if path == "/healthz":
             return 200, {
                 "status": "draining" if self.daemon.draining else "ok",
                 "models": self.daemon.registry.names(),
+                "failed_models": dict(self.daemon.registry.failed),
                 "version": __version__,
-            }
+            }, {}
         if path == "/models":
-            return 200, {"models": self.daemon.describe_models()}
+            return 200, {"models": self.daemon.describe_models()}, {}
         if path == "/metrics":
-            return 200, self.daemon.metrics_snapshot()
-        return 404, {"error": f"no route {path!r}"}
+            return 200, self.daemon.metrics_snapshot(), {}
+        return 404, {"error": f"no route {path!r}"}, {}
 
-    async def _predict(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _predict(self, body: bytes) -> _Reply:
         start = perf()
         try:
             doc = json.loads(body.decode())
         except (ValueError, UnicodeDecodeError):
-            return 400, {"error": "body must be a JSON object"}
+            return 400, {"error": "body must be a JSON object"}, {}
         if not isinstance(doc, dict) or "inputs" not in doc:
-            return 400, {"error": 'expected {"model": ..., "inputs": [...]}'}
+            return (400,
+                    {"error": 'expected {"model": ..., "inputs": [...]}'},
+                    {})
         name = doc.get("model", self.daemon.registry.names()[0])
+        deadline_ms = doc.get("deadline_ms")
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                return (400,
+                        {"error": "deadline_ms must be a positive number"},
+                        {})
         try:
             batcher = self.daemon.batcher_for(name)
             x = batcher.entry.validate_batch(np.asarray(doc["inputs"]))
+        except ModelUnavailableError as exc:
+            return _unavailable(str(exc), None)
         except ConfigurationError as exc:
-            return 404, {"error": str(exc)}
+            return 404, {"error": str(exc)}, {}
         except (ShapeError, ValueError) as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, {}
+        # Charge the time already spent parsing/validating against the
+        # budget, so the enforced window matches what the client (and
+        # the reported latency_ms) actually measures end to end.
+        if deadline_ms is None:
+            deadline_s = None
+        else:
+            deadline_s = max(deadline_ms * MILLI - (perf() - start), 1e-9)
         try:
-            result = await batcher.submit(x)
+            result = await batcher.submit(x, deadline_s=deadline_s)
+        except DeadlineExceededError as exc:
+            return _unavailable(str(exc), exc.retry_after_s)
+        except CircuitOpenError as exc:
+            return _unavailable(str(exc), exc.retry_after_s)
         except BackpressureError as exc:
-            return (503 if self.daemon.draining else 429), {"error": str(exc)}
+            if self.daemon.draining:
+                return _unavailable(str(exc), None)
+            return 429, {"error": str(exc)}, {}
+        except ExecutionError as exc:
+            # Compute timeout or drain abandon: transient, retryable.
+            return _unavailable(str(exc), None)
         end = perf()
         session = _telemetry.active()
         if session is not None:
@@ -168,7 +258,7 @@ class HTTPFrontend:
             "latency_ms": (end - start) * 1e3,
             "mvm_launches": result.mvm_launches,
             "ensemble_trials": result.ensemble_trials,
-        }
+        }, {}
 
 
 class _BadRequest(Exception):

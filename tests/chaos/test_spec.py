@@ -1,0 +1,137 @@
+"""The --chaos spec mini-language and injector determinism."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosFault,
+    ChaosPlan,
+    ComputeExceptionInjector,
+    ConnectionDropInjector,
+    LatencySpikeInjector,
+    RegistryCorruptionInjector,
+    parse_chaos_spec,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParsing:
+    def test_multi_clause_spec(self):
+        plan = parse_chaos_spec(
+            "compute-exception:model=mlp-1,after=5,count=3;"
+            "latency-spike:ms=400,after=2;"
+            "conn-drop:p=0.1,seed=7"
+        )
+        first, second, third = plan.injectors
+        assert isinstance(first, ComputeExceptionInjector)
+        assert (first.model, first.after, first.count) == ("mlp-1", 5, 3)
+        assert isinstance(second, LatencySpikeInjector)
+        assert second.delay_s == pytest.approx(0.4)
+        assert isinstance(third, ConnectionDropInjector)
+        assert third.p == pytest.approx(0.1)
+        assert third.seed == 7
+        assert "latency-spike" in plan.describe()
+
+    def test_registry_corruption_clause(self):
+        plan = parse_chaos_spec("registry-corruption:model=mlp-1,mode=fail")
+        (injector,) = plan.injectors
+        assert isinstance(injector, RegistryCorruptionInjector)
+        assert injector.mode == "fail"
+
+    def test_unknown_injector_lists_catalogue(self):
+        with pytest.raises(ConfigurationError, match="compute-exception"):
+            parse_chaos_spec("explode-everything")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown options"):
+            parse_chaos_spec("compute-exception:afetr=3")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_chaos_spec("latency-spike:ms")
+
+    def test_latency_spike_requires_ms(self):
+        with pytest.raises(ConfigurationError, match="ms="):
+            parse_chaos_spec("latency-spike:after=1")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="no injector"):
+            parse_chaos_spec(" ; ")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            parse_chaos_spec("registry-corruption:mode=wreck")
+
+
+class TestInjectorDeterminism:
+    def test_window_fires_exact_range(self):
+        injector = ComputeExceptionInjector(after=1, count=2)
+        injector.before_compute("toy")  # event 0: outside window
+        with pytest.raises(ChaosFault):
+            injector.before_compute("toy")  # event 1
+        with pytest.raises(ChaosFault):
+            injector.before_compute("toy")  # event 2
+        injector.before_compute("toy")  # event 3: window exhausted
+        assert injector.fired == 2
+
+    def test_model_filter_does_not_consume_window(self):
+        injector = ComputeExceptionInjector(model="toy", after=0, count=1)
+        injector.before_compute("other")  # filtered: no event advance
+        with pytest.raises(ChaosFault):
+            injector.before_compute("toy")
+
+    def test_seeded_conn_drop_replays(self):
+        injector = ConnectionDropInjector(p=0.5, seed=9)
+        pattern = [injector.drop_connection(i) for i in range(20)]
+        replay = ConnectionDropInjector(p=0.5, seed=9)
+        assert [replay.drop_connection(i) for i in range(20)] == pattern
+        other = ConnectionDropInjector(p=0.5, seed=10)
+        assert [other.drop_connection(i) for i in range(20)] != pattern
+
+    def test_latency_spike_returns_stall_instead_of_sleeping(self):
+        injector = LatencySpikeInjector(delay_s=0.25, after=0, count=1)
+        assert injector.before_compute("toy") == pytest.approx(0.25)
+        assert injector.before_compute("toy") is None
+
+    def test_plan_fired_total(self):
+        plan = ChaosPlan([ConnectionDropInjector(after=0, count=2)])
+        dropped = [plan.drop_connection(i) for i in range(4)]
+        assert dropped == [True, True, False, False]
+        assert plan.fired_total() == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComputeExceptionInjector(after=-1)
+        with pytest.raises(ConfigurationError):
+            LatencySpikeInjector(delay_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            ConnectionDropInjector(p=1.5)
+        with pytest.raises(ConfigurationError):
+            RegistryCorruptionInjector(mode="wreck")
+
+
+class TestCorruptMode:
+    def test_truncates_only_matching_artifacts(self, tmp_path):
+        names = {
+            "mlp-1-n600-s0-e3.npz": 16,          # payload: corrupted
+            "mlp-1-n600-s0-e3.npz.manifest.json": 16,  # manifest too
+            "other-n600-s0-e3.npz": 64,          # different model: untouched
+            "mlp-1-n600-s0-e3.npz.corrupt": 64,  # quarantine: untouched
+        }
+        for fname in names:
+            (tmp_path / fname).write_bytes(b"x" * 64)
+        injector = RegistryCorruptionInjector(
+            model="mlp-1", cache_dir=str(tmp_path)
+        )
+        injector.on_model_load("mlp-1")
+        for fname, size in names.items():
+            assert (tmp_path / fname).stat().st_size == size, fname
+        assert injector.fired == 1
+
+    def test_model_filter_skips_other_loads(self, tmp_path):
+        (tmp_path / "other-n600-s0-e3.npz").write_bytes(b"x" * 64)
+        injector = RegistryCorruptionInjector(
+            model="mlp-1", cache_dir=str(tmp_path)
+        )
+        injector.on_model_load("other")
+        assert (tmp_path / "other-n600-s0-e3.npz").stat().st_size == 64
+        assert injector.fired == 0

@@ -39,6 +39,39 @@ def slow_entry(entry):
     )
 
 
+class ScriptedEntry(ModelEntry):
+    """Predict outcomes scripted per call: "ok", "fail", or a float —
+    seconds to stall before answering (drives breaker/timeout tests)."""
+
+    def __init__(self, *args, script=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.script = list(script)
+        self.calls = 0
+
+    def predict(self, x):
+        action = self.script[self.calls] if self.calls < len(self.script) \
+            else "ok"
+        self.calls += 1
+        if action == "fail":
+            raise RuntimeError("scripted compute failure")
+        if isinstance(action, (int, float)):
+            time.sleep(float(action))
+        return super().predict(x)
+
+
+@pytest.fixture
+def scripted_entry(entry):
+    def make(script):
+        return ScriptedEntry(
+            name=entry.name,
+            executor=entry.executor,
+            input_shape=entry.input_shape,
+            script=script,
+        )
+
+    return make
+
+
 @pytest.fixture
 def registry(entry):
     return ModelRegistry([entry])

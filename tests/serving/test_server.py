@@ -1,11 +1,18 @@
 """End-to-end daemon tests over real sockets (ephemeral ports)."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.serving import BackgroundServer, ModelRegistry, ServingConfig
+from repro.errors import ExecutionError
+from repro.serving import (
+    BackgroundServer,
+    ModelRegistry,
+    RetryPolicy,
+    ServingConfig,
+)
 from repro.serving import client
 from repro.telemetry import session as telemetry
 
@@ -196,6 +203,195 @@ class TestTelemetry:
         if snap["counters"].get("serve.rejected", 0) == 0:
             pytest.skip("scheduler drained the queue too fast to reject")
         assert snap["counters"]["serve.rejected"] >= 1
+
+
+class TestDeadlineHTTP:
+    def test_shed_is_503_with_retry_after_not_429(self, slow_entry, rows):
+        """Once the EWMA is calibrated, an impossible deadline is shed
+        with 503 + Retry-After — a different answer than queue-full."""
+        registry = ModelRegistry([slow_entry])
+        config = _config(max_batch=1, batch_window_s=0.0)
+        with BackgroundServer(registry, config) as server:
+            status, _ = client.predict(  # calibrates the EWMA (~50 ms)
+                server.host, server.port, "toy", rows[0]
+            )
+            assert status == 200
+            status, doc = client.predict(
+                server.host, server.port, "toy", rows[1], deadline_ms=1.0
+            )
+            assert status == 503
+            assert "shed at admission" in doc["error"]
+            assert doc["retry_after_s"] > 0
+            # The Retry-After *header* round-trips too (integer seconds,
+            # rounded up per RFC 9110).
+            assert doc["retry_after_hint_s"] >= 1.0
+            _, metrics = client.request(
+                server.host, server.port, "GET", "/metrics"
+            )
+        assert metrics["totals"]["shed_deadline"] == 1
+        assert metrics["totals"]["rejected"] == 0, (
+            "a deadline shed must not be counted as a 429 rejection"
+        )
+
+    def test_generous_deadline_is_served(self, registry, rows):
+        with BackgroundServer(registry, _config()) as server:
+            status, doc = client.predict(
+                server.host, server.port, "toy", rows[0], deadline_ms=10_000
+            )
+        assert status == 200
+        assert "predictions" in doc
+
+    def test_invalid_deadline_is_400(self, registry, rows):
+        with BackgroundServer(registry, _config()) as server:
+            status, doc = client.predict(
+                server.host, server.port, "toy", rows[0], deadline_ms=-5
+            )
+            assert status == 400
+            assert "deadline_ms" in doc["error"]
+            status, _ = client.request(
+                server.host, server.port, "POST", "/predict",
+                payload={"model": "toy",
+                         "inputs": rows[0].tolist(),
+                         "deadline_ms": "soon"},
+            )
+            assert status == 400
+
+    def test_retrying_client_reports_attempts(self, slow_entry, rows):
+        """An always-shed deadline is retried under the policy and the
+        final answer carries the attempt count."""
+        registry = ModelRegistry([slow_entry])
+        config = _config(max_batch=1, batch_window_s=0.0)
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=0.001,
+                             max_backoff_s=0.002, jitter=0.0,
+                             total_budget_s=30.0, seed=7)
+        with BackgroundServer(registry, config) as server:
+            client.predict(server.host, server.port, "toy", rows[0])
+            status, doc = client.predict(
+                server.host, server.port, "toy", rows[1],
+                deadline_ms=1.0, retry=policy,
+            )
+        assert status == 503
+        assert doc["attempts"] == 3
+
+
+class TestFailedModelHTTP:
+    def test_failed_model_is_503_while_others_serve(self, entry, rows):
+        """A model whose load failed answers 503 per-request; the rest
+        of the registry keeps serving and /healthz reports it."""
+        registry = ModelRegistry(
+            [entry], failed={"broken": "ArtifactError: checksum mismatch"}
+        )
+        with BackgroundServer(registry, _config()) as server:
+            status, doc = client.predict(
+                server.host, server.port, "broken", rows[0]
+            )
+            assert status == 503
+            assert "failed to load" in doc["error"]
+            status, _ = client.predict(
+                server.host, server.port, "toy", rows[0]
+            )
+            assert status == 200
+            _, health = client.request(
+                server.host, server.port, "GET", "/healthz"
+            )
+            assert "broken" in health["failed_models"]
+            _, metrics = client.request(
+                server.host, server.port, "GET", "/metrics"
+            )
+            assert "broken" in metrics["failed_models"]
+
+    def test_unknown_model_is_still_404(self, entry, rows):
+        registry = ModelRegistry([entry], failed={"broken": "boom"})
+        with BackgroundServer(registry, _config()) as server:
+            status, _ = client.predict(
+                server.host, server.port, "never-configured", rows[0]
+            )
+        assert status == 404
+
+
+class TestDrainAbandon:
+    def test_drain_timeout_answers_stragglers_with_503(
+        self, scripted_entry, rows
+    ):
+        """When the drain grace period expires, queued and in-flight
+        requests get an immediate 503 — no client is left hanging."""
+        stalling = scripted_entry([0.25] * 8)
+        registry = ModelRegistry([stalling])
+        config = _config(max_batch=1, batch_window_s=0.0,
+                         drain_timeout_s=0.05)
+        results = []
+        lock = threading.Lock()
+
+        def worker(server, i):
+            status, doc = client.predict(
+                server.host, server.port, "toy", rows[i], timeout=10.0
+            )
+            with lock:
+                results.append((status, doc))
+
+        with telemetry.capture() as session:
+            server = BackgroundServer(registry, config).start()
+            threads = [
+                threading.Thread(target=worker, args=(server, i),
+                                 daemon=True)
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.1)  # first request in-flight, rest queued
+            server.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "a request hung at shutdown"
+
+        assert len(results) == 4, "every request must be answered"
+        abandoned = [doc for status, doc in results if status == 503]
+        assert abandoned, "drain timeout never abandoned a request"
+        assert any("abandoned at shutdown" in doc["error"]
+                   for doc in abandoned)
+        assert server.daemon.drain_abandoned_total >= 1
+        snap = session.registry.snapshot()
+        assert snap["counters"]["serve.drain.abandoned"] >= 1
+
+    def test_graceful_drain_still_answers_everything(self, registry, rows):
+        """With a sane grace period the drain path is unchanged: every
+        accepted request completes with 200."""
+        results = []
+        lock = threading.Lock()
+
+        def worker(server, i):
+            status, _ = client.predict(
+                server.host, server.port, "toy", rows[i], timeout=10.0
+            )
+            with lock:
+                results.append(status)
+
+        server = BackgroundServer(registry, _config()).start()
+        threads = [
+            threading.Thread(target=worker, args=(server, i), daemon=True)
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        server.stop()
+        assert results == [200] * 4
+        assert server.daemon.drain_abandoned_total == 0
+
+
+class TestBackgroundServerErrors:
+    def test_stop_surfaces_loop_death(self, registry):
+        """A daemon that crashed mid-run must not look like a clean
+        stop (the stop() re-check of self._error)."""
+        server = BackgroundServer(registry, _config()).start()
+
+        async def boom():
+            raise RuntimeError("loop exploded")
+
+        server.daemon.shutdown = boom
+        with pytest.raises(ExecutionError, match="died while running"):
+            server.stop()
 
 
 class TestLoadGenerator:
