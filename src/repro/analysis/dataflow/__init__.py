@@ -1,0 +1,44 @@
+"""Dataflow engine behind the deep lint rules.
+
+Layered, zero-dependency (stdlib ``ast`` only):
+
+* :mod:`.cfg` — per-function statement-level control-flow graphs with
+  explicit branch/loop/exception/finally edges and path queries;
+* :mod:`.symbols` — project-wide import-resolving symbol table with
+  best-effort instance-attribute typing;
+* :mod:`.callgraph` — call resolution (imports, ``self`` methods,
+  typed receivers, unique-name fallback) and async-reachability;
+* :mod:`.reaching` — intraprocedural reaching definitions.
+
+See ``docs/static_analysis.md`` for the architecture notes and the
+modelling contract (what the exception edges do and do not promise).
+"""
+
+from .callgraph import CallGraph, CallSite, build_call_graph
+from .cfg import CFG, CFGNode, build_cfg
+from .reaching import ReachingDefinitions, definitions_in
+from .symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectSymbols,
+    module_name_for_path,
+    resolve_dotted,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "CallGraph",
+    "CallSite",
+    "build_call_graph",
+    "ReachingDefinitions",
+    "definitions_in",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectSymbols",
+    "module_name_for_path",
+    "resolve_dotted",
+]

@@ -1,0 +1,265 @@
+"""Project call graph over the :mod:`symbols` table.
+
+For every project function we record two things:
+
+* **internal edges** — calls resolved to another project function's
+  qualified name.  Resolution strategies, in order: imported dotted
+  names (``batcher.MicroBatcher`` constructors are *not* calls we
+  track — only function/method targets), same-module bare names,
+  ``self.method()`` within the defining class, attribute calls on
+  receivers whose type the symbol table inferred
+  (``self._breaker.record_failure()``), and finally a *unique-name*
+  fallback: an attribute call ``x.frobnicate()`` resolves iff exactly
+  one project function is named ``frobnicate``.  Ambiguous names do
+  not resolve — the graph under-approximates and downstream rules
+  stay quiet rather than guess.
+* **external calls** — dotted names of calls that resolve through the
+  import map but target nothing in the project
+  (``time.sleep``, ``subprocess.run``).  Async-safety rules match
+  these against their blocking-call tables.
+
+Callables *passed as arguments* never create edges.  In particular
+``loop.run_in_executor(None, fn, ...)`` and ``asyncio.to_thread(fn)``
+hand ``fn`` to a worker thread, which is exactly how blocking work is
+*supposed* to leave the event loop — treating the argument as a call
+edge would make every correct executor offload an ASYNC001 finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from .symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectSymbols,
+    resolve_dotted,
+)
+
+__all__ = ["CallSite", "CallGraph", "build_call_graph"]
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    call: ast.Call
+    lineno: int
+    #: qualified name of a project function, when resolved internally
+    target: Optional[str] = None
+    #: dotted external name, when resolved through imports only
+    external: Optional[str] = None
+    #: ``obj.method(...)`` receiver info for receiver-typed checks:
+    #: (receiver dotted type or None, method name) — None for Name calls
+    method: Optional[Tuple[Optional[str], str]] = None
+
+
+class CallGraph:
+    """Qualname → outgoing :class:`CallSite` list."""
+
+    def __init__(self, symbols: ProjectSymbols) -> None:
+        self.symbols = symbols
+        self.sites: Dict[str, List[CallSite]] = {}
+        #: qualname → {local name: dotted type} (tracked constructors,
+        #: including ``with Ctor() as name`` bindings)
+        self.local_types: Dict[str, Dict[str, str]] = {}
+
+    def edges_from(self, qualname: str) -> List[str]:
+        return [s.target for s in self.sites.get(qualname, [])
+                if s.target is not None]
+
+    def reachable_from(self, roots: List[str]) -> Set[str]:
+        """Every project function reachable from ``roots`` (inclusive)."""
+        seen: Set[str] = set()
+        frontier = [q for q in roots if q in self.symbols.functions]
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            frontier.extend(self.edges_from(qual))
+        return seen
+
+
+#: callable-consuming APIs whose *arguments* must not become edges —
+#: they run the callable off the event loop (see module docstring)
+_EXECUTOR_APIS = frozenset({
+    "run_in_executor", "to_thread", "submit", "map", "call_soon",
+    "call_soon_threadsafe", "call_later",
+})
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collects the call sites of one function body."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        symbols: ProjectSymbols,
+        imports: Dict[str, str],
+        cls: Optional[ClassInfo],
+    ) -> None:
+        self.fn = fn
+        self.symbols = symbols
+        self.imports = imports
+        self.cls = cls
+        self.module = symbols.modules.get(fn.module)
+        self.sites: List[CallSite] = []
+        #: local variable → dotted type, from tracked constructors
+        self.local_types: Dict[str, str] = {}
+
+    # -- nested scopes do not belong to this function -------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_local_type(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_local_type([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with_types(node)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with_types(node)
+        self.generic_visit(node)
+
+    def _with_types(self, node: ast.AST) -> None:
+        for item in node.items:  # type: ignore[attr-defined]
+            if item.optional_vars is not None:
+                self._record_local_type([item.optional_vars],
+                                        item.context_expr)
+
+    def _record_local_type(
+        self, targets: List[ast.expr], value: ast.expr
+    ) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        dotted = resolve_dotted(value.func, self.imports)
+        if dotted is None and isinstance(value.func, ast.Name):
+            local = f"{self.fn.module}.{value.func.id}"
+            if local in self.symbols.classes:
+                dotted = local
+        if dotted is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.local_types[target.id] = dotted
+
+    # -- call resolution ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        site = self._resolve(node)
+        if site is not None:
+            self.sites.append(site)
+        # Walk into argument expressions *except* when this call is an
+        # executor API: its callable arguments are offloaded work.
+        self.visit(node.func)
+        if not self._is_executor_call(node):
+            for arg in node.args:
+                self.visit(arg)
+            for kw in node.keywords:
+                self.visit(kw.value)
+
+    @staticmethod
+    def _is_executor_call(node: ast.Call) -> bool:
+        func = node.func
+        return (isinstance(func, ast.Attribute)
+                and func.attr in _EXECUTOR_APIS)
+
+    def _resolve(self, node: ast.Call) -> Optional[CallSite]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(node, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(node, func)
+        return None
+
+    def _resolve_name(self, node: ast.Call, name: str) -> Optional[CallSite]:
+        # imported function: `from time import sleep; sleep(1)`
+        dotted = self.imports.get(name)
+        if dotted is not None:
+            target = dotted if dotted in self.symbols.functions else None
+            external = None if target else dotted
+            return CallSite(call=node, lineno=node.lineno, target=target,
+                            external=external)
+        # same-module function
+        qual = f"{self.fn.module}.{name}"
+        if qual in self.symbols.functions:
+            return CallSite(call=node, lineno=node.lineno, target=qual)
+        return None
+
+    def _resolve_attribute(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> Optional[CallSite]:
+        # fully dotted through imports: time.sleep(...), repro.x.y(...)
+        dotted = resolve_dotted(func, self.imports)
+        if dotted is not None:
+            if dotted in self.symbols.functions:
+                return CallSite(call=node, lineno=node.lineno, target=dotted)
+            return CallSite(call=node, lineno=node.lineno, external=dotted)
+
+        method = func.attr
+        receiver_type = self._receiver_type(func.value)
+
+        # self.method() in the defining class
+        if (isinstance(func.value, ast.Name) and func.value.id == "self"
+                and self.cls is not None):
+            owned = self.cls.methods.get(method)
+            if owned is not None:
+                return CallSite(call=node, lineno=node.lineno,
+                                target=owned.qualname,
+                                method=(self.cls.qualname, method))
+
+        # typed receiver pointing at a project class
+        if receiver_type is not None:
+            cls = self.symbols.classes.get(receiver_type)
+            if cls is not None and method in cls.methods:
+                return CallSite(call=node, lineno=node.lineno,
+                                target=cls.methods[method].qualname,
+                                method=(receiver_type, method))
+            # typed but external receiver (threading.Lock().acquire())
+            return CallSite(call=node, lineno=node.lineno,
+                            method=(receiver_type, method))
+
+        # unique-name fallback on an untyped receiver
+        unique = self.symbols.unique_function(method)
+        if unique is not None and unique.class_name is not None:
+            return CallSite(call=node, lineno=node.lineno,
+                            target=unique.qualname, method=(None, method))
+        return CallSite(call=node, lineno=node.lineno, method=(None, method))
+
+    def _receiver_type(self, value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            return self.local_types.get(value.id)
+        if (isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self" and self.cls is not None):
+            return self.cls.attr_types.get(value.attr)
+        return None
+
+
+def build_call_graph(symbols: ProjectSymbols) -> CallGraph:
+    graph = CallGraph(symbols)
+    for fn in symbols.functions.values():
+        module = symbols.modules.get(fn.module)
+        imports = module.imports if module is not None else {}
+        scanner = _FunctionScanner(fn, symbols, imports,
+                                   symbols.class_of(fn))
+        for stmt in fn.node.body:  # type: ignore[attr-defined]
+            scanner.visit(stmt)
+        graph.sites[fn.qualname] = scanner.sites
+        graph.local_types[fn.qualname] = scanner.local_types
+    return graph

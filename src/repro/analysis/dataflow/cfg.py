@@ -1,0 +1,458 @@
+"""Per-function control-flow graphs over stdlib :mod:`ast`.
+
+One :class:`CFG` has a node per *statement* (plus synthetic ``entry``,
+``exit`` and ``raise-exit`` nodes) and labelled edges:
+
+``next``
+    Ordinary fall-through between consecutive statements.
+``true`` / ``false``
+    The two arms of an ``if``/``while`` test (``false`` doubles as the
+    loop-exhausted edge of ``for``).
+``loop`` / ``break`` / ``continue``
+    Back edge to a loop head and the two explicit loop exits.
+``exc``
+    An exception edge: from a ``raise``, an ``assert``, or any
+    statement containing an ``await`` (the points where foreign code
+    runs on the event loop), to the innermost matching ``except``
+    entries — or to ``raise-exit`` when the exception escapes the
+    function.  With ``raise_policy="calls"`` every statement containing
+    a call also gets exception edges (maximal, for pessimistic
+    analyses).
+``return``
+    From a ``return`` statement to ``exit`` (possibly via duplicated
+    ``finally`` bodies).
+
+``try``/``finally`` is modelled by *duplication*: every distinct way of
+leaving a ``try`` (fall-through, return, break, continue, raise)
+traverses its own copy of the ``finally`` body, so a ``return`` in both
+the ``try`` arm and the ``finally`` arm produces two independent paths
+to ``exit`` — exactly the shape waiter-resolution analysis needs.
+
+Modelling choices (documented contract of every rule built on top):
+
+* Plain calls are assumed total under the default policy — only
+  ``raise``, ``assert`` and ``await`` introduce exception edges.
+* ``except Exception`` / ``except BaseException`` / bare ``except``
+  stop exception propagation; narrower handlers also receive an edge
+  but propagation continues past them.
+* ``asyncio.CancelledError`` is not modelled separately: cancellation
+  is the canceller's contract (see ``MicroBatcher.abort``), not the
+  cancellee's.
+* ``with`` blocks are assumed not to suppress exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: handler annotations that stop exception propagation
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+@dataclasses.dataclass
+class CFGNode:
+    """One CFG vertex.
+
+    Attributes
+    ----------
+    index:
+        Dense id, also the key in :attr:`CFG.succs`.
+    kind:
+        ``"entry"``/``"exit"``/``"raise-exit"`` for the synthetic
+        nodes, ``"stmt"`` for real statements, ``"except"`` for a
+        handler entry.
+    stmt:
+        The underlying AST statement (``None`` for synthetic nodes).
+        ``finally`` duplication shares one AST node between copies.
+    label:
+        Human-readable ``<type>@<line>`` tag used by golden tests.
+    """
+
+    index: int
+    kind: str
+    stmt: Optional[ast.AST]
+    label: str
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: List[CFGNode] = []
+        self.succs: Dict[int, List[Tuple[int, str]]] = {}
+        self.entry = self._add("entry", None, "entry")
+        self.exit = self._add("exit", None, "exit")
+        self.raise_exit = self._add("raise-exit", None, "raise-exit")
+
+    # ------------------------------------------------------------------
+    def _add(self, kind: str, stmt: Optional[ast.AST], label: str) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index=index, kind=kind, stmt=stmt,
+                                  label=label))
+        self.succs[index] = []
+        return index
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        if (dst, kind) not in self.succs[src]:
+            self.succs[src].append((dst, kind))
+
+    # -- queries -------------------------------------------------------
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def edges(self) -> List[Tuple[str, str, str]]:
+        """Sorted ``(src_label, edge_kind, dst_label)`` triples
+        (deduplicated — ``finally`` copies share labels)."""
+        out = {
+            (self.nodes[a].label, kind, self.nodes[b].label)
+            for a, succ in self.succs.items()
+            for (b, kind) in succ
+        }
+        return sorted(out)
+
+    def reachable(self, start: Optional[int] = None,
+                  avoid: Optional[Set[int]] = None) -> Set[int]:
+        """Nodes reachable from ``start`` along any edge, never
+        entering a node in ``avoid`` (the path-query primitive: an
+        exit reachable while avoiding every resolution node is a
+        leaked path)."""
+        start = self.entry if start is None else start
+        avoid = avoid or set()
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current in seen or current in avoid:
+                continue
+            seen.add(current)
+            stack.extend(dst for dst, _ in self.succs[current])
+        return seen
+
+    def predecessors(self) -> Dict[int, List[Tuple[int, str]]]:
+        preds: Dict[int, List[Tuple[int, str]]] = {
+            n.index: [] for n in self.nodes
+        }
+        for src, succ in self.succs.items():
+            for dst, kind in succ:
+                preds[dst].append((src, kind))
+        return preds
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _Frame:
+    """One enclosing construct a jump may have to traverse.
+
+    ``kind`` is ``"loop"`` (break/continue target), ``"try"`` (handler
+    entries for raise routing) or ``"finally"`` (body to duplicate on
+    every distinct exit).
+    """
+
+    kind: str
+    continue_target: int = -1
+    break_sources: List[Tuple[int, str]] = dataclasses.field(
+        default_factory=list)
+    handler_entries: List[int] = dataclasses.field(default_factory=list)
+    catch_all: bool = False
+    final_body: Sequence[ast.stmt] = ()
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[ast.expr] = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in names:
+        if isinstance(expr, ast.Name) and expr.id in _CATCH_ALL:
+            return True
+        if isinstance(expr, ast.Attribute) and expr.attr in _CATCH_ALL:
+            return True
+    return False
+
+
+def _contains(node: ast.AST, kinds: tuple) -> bool:
+    """Does the expression/statement contain a sub-node of the given
+    AST types, without descending into nested function or class
+    definitions (their bodies run at call time, not here)?"""
+    stack = [node]
+    while stack:
+        child = stack.pop()
+        if isinstance(child, kinds):
+            return True
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction (see module docstring)."""
+
+    def __init__(self, func: FunctionNode, raise_policy: str) -> None:
+        self.cfg = CFG(func)
+        self.raise_policy = raise_policy
+
+    def build(self) -> CFG:
+        head, tails = self._seq(self.cfg.func.body, [])
+        if head is not None:
+            self.cfg.add_edge(self.cfg.entry, head, "next")
+        else:  # pragma: no cover - empty bodies are not valid python
+            self.cfg.add_edge(self.cfg.entry, self.cfg.exit, "next")
+        self._connect(tails, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _stmt_node(self, stmt: ast.stmt, kind: str = "stmt") -> int:
+        label = f"{type(stmt).__name__.lower()}@{stmt.lineno}"
+        return self.cfg._add(kind, stmt, label)
+
+    def _connect(self, tails: Sequence[Tuple[int, str]], dst: int) -> None:
+        for src, kind in tails:
+            self.cfg.add_edge(src, dst, kind)
+
+    def _can_raise(self, stmt: ast.stmt) -> bool:
+        if _contains(stmt, (ast.Await,)):
+            return True
+        if self.raise_policy == "calls" and _contains(stmt, (ast.Call,)):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        sources: List[Tuple[int, str]],
+        frames: List[_Frame],
+        jump: str,
+    ) -> None:
+        """Route a non-local jump (``return``/``raise``/``break``/
+        ``continue``) outward through the frame stack, duplicating
+        every traversed ``finally`` body."""
+        for i in range(len(frames) - 1, -1, -1):
+            if not sources:
+                return  # e.g. a finally copy that itself returns
+            frame = frames[i]
+            if frame.kind == "finally":
+                head, tails = self._seq(list(frame.final_body), frames[:i])
+                if head is not None:
+                    self._connect(sources, head)
+                    sources = [(src, jump) for src, _ in tails]
+            elif frame.kind == "try" and jump == "exc":
+                for src, kind in sources:
+                    for entry in frame.handler_entries:
+                        self.cfg.add_edge(src, entry, kind)
+                if frame.catch_all:
+                    return
+            elif frame.kind == "loop" and jump in ("break", "continue"):
+                if jump == "break":
+                    frame.break_sources.extend(sources)
+                else:
+                    self._connect(sources, frame.continue_target)
+                return
+        if jump == "return":
+            self._connect(sources, self.cfg.exit)
+        elif jump == "exc":
+            self._connect(sources, self.cfg.raise_exit)
+        # an unrouted break/continue is a SyntaxError upstream
+
+    # ------------------------------------------------------------------
+    def _seq(
+        self, stmts: Sequence[ast.stmt], frames: List[_Frame]
+    ) -> Tuple[Optional[int], List[Tuple[int, str]]]:
+        """Build a statement list; returns ``(head, open_tails)``."""
+        head: Optional[int] = None
+        tails: List[Tuple[int, str]] = []
+        for stmt in stmts:
+            sub_head, sub_tails = self._one(stmt, frames)
+            if sub_head is None:
+                continue
+            if head is None:
+                head = sub_head
+            else:
+                self._connect(tails, sub_head)
+            tails = sub_tails
+        return head, tails
+
+    def _one(
+        self, stmt: ast.stmt, frames: List[_Frame]
+    ) -> Tuple[Optional[int], List[Tuple[int, str]]]:
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt)
+            if self._can_raise(stmt):
+                self._route([(node, "exc")], frames, "exc")
+            self._route([(node, "return")], frames, "return")
+            return node, []
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt_node(stmt)
+            self._route([(node, "exc")], frames, "exc")
+            return node, []
+        if isinstance(stmt, ast.Assert):
+            node = self._stmt_node(stmt)
+            self._route([(node, "exc")], frames, "exc")
+            return node, [(node, "next")]
+        if isinstance(stmt, ast.Break):
+            node = self._stmt_node(stmt)
+            self._route([(node, "break")], frames, "break")
+            return node, []
+        if isinstance(stmt, ast.Continue):
+            node = self._stmt_node(stmt)
+            self._route([(node, "continue")], frames, "continue")
+            return node, []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frames)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frames)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frames)
+        # simple statement (incl. nested def/class: one opaque node)
+        node = self._stmt_node(stmt)
+        if self._can_raise(stmt):
+            self._route([(node, "exc")], frames, "exc")
+        return node, [(node, "next")]
+
+    def _if(self, stmt: ast.If, frames: List[_Frame]):
+        test = self._stmt_node(stmt)
+        if self._can_raise(stmt.test):
+            self._route([(test, "exc")], frames, "exc")
+        body_head, body_tails = self._seq(stmt.body, frames)
+        tails = list(body_tails)
+        if body_head is not None:
+            self.cfg.add_edge(test, body_head, "true")
+        else:  # pragma: no cover - empty bodies are not valid python
+            tails.append((test, "true"))
+        if stmt.orelse:
+            else_head, else_tails = self._seq(stmt.orelse, frames)
+            if else_head is not None:
+                self.cfg.add_edge(test, else_head, "false")
+                tails.extend(else_tails)
+            else:  # pragma: no cover
+                tails.append((test, "false"))
+        else:
+            tails.append((test, "false"))
+        return test, tails
+
+    def _loop(self, stmt, frames: List[_Frame]):
+        loop = self._stmt_node(stmt)
+        header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        if isinstance(stmt, ast.AsyncFor) or self._can_raise(header):
+            # awaited test / async-iterator protocol may raise
+            self._route([(loop, "exc")], frames, "exc")
+        frame = _Frame(kind="loop", continue_target=loop)
+        body_head, body_tails = self._seq(stmt.body, frames + [frame])
+        if body_head is not None:
+            self.cfg.add_edge(loop, body_head, "true")
+            self._connect(body_tails, loop)
+        tails: List[Tuple[int, str]] = []
+        if stmt.orelse:
+            # while/else and for/else: the else arm runs only when the
+            # loop exits by exhaustion — break jumps past it.
+            else_head, else_tails = self._seq(stmt.orelse, frames)
+            if else_head is not None:
+                self.cfg.add_edge(loop, else_head, "false")
+                tails.extend(else_tails)
+            else:  # pragma: no cover
+                tails.append((loop, "false"))
+        else:
+            tails.append((loop, "false"))
+        tails.extend(frame.break_sources)
+        return loop, tails
+
+    def _with(self, stmt, frames: List[_Frame]):
+        # One node for context entry (the `with` line itself); the body
+        # follows; exceptions in the body propagate unchanged.
+        node = self._stmt_node(stmt)
+        if isinstance(stmt, ast.AsyncWith) or any(
+            self._can_raise(item.context_expr) for item in stmt.items
+        ):
+            self._route([(node, "exc")], frames, "exc")
+        body_head, body_tails = self._seq(stmt.body, frames)
+        if body_head is None:  # pragma: no cover
+            return node, [(node, "next")]
+        self.cfg.add_edge(node, body_head, "next")
+        return node, body_tails
+
+    def _try(self, stmt: ast.Try, frames: List[_Frame]):
+        final_frame: Optional[_Frame] = None
+        inner = list(frames)
+        if stmt.finalbody:
+            final_frame = _Frame(kind="finally", final_body=stmt.finalbody)
+            inner = inner + [final_frame]
+        #: frames seen by handler bodies and the else arm (their
+        #: exceptions skip this try's own handlers)
+        outer_of_handlers = list(inner)
+        try_frame = _Frame(kind="try")
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                anno = ("except" if handler.type is None else
+                        f"except:{ast.unparse(handler.type)}"
+                        if hasattr(ast, "unparse") else "except")
+                entry = self.cfg._add(
+                    "except", handler, f"{anno}@{handler.lineno}"
+                )
+                try_frame.handler_entries.append(entry)
+                if _is_catch_all(handler):
+                    try_frame.catch_all = True
+            inner = inner + [try_frame]
+        body_head, body_tails = self._seq(stmt.body, inner)
+        normal_tails: List[Tuple[int, str]] = []
+        if stmt.orelse:
+            else_head, else_tails = self._seq(stmt.orelse, outer_of_handlers)
+            if else_head is not None:
+                self._connect(body_tails, else_head)
+                normal_tails.extend(else_tails)
+            else:  # pragma: no cover
+                normal_tails.extend(body_tails)
+        else:
+            normal_tails.extend(body_tails)
+        for handler, entry in zip(stmt.handlers, try_frame.handler_entries):
+            handler_head, handler_tails = self._seq(
+                handler.body, outer_of_handlers
+            )
+            if handler_head is not None:
+                self.cfg.add_edge(entry, handler_head, "next")
+                normal_tails.extend(handler_tails)
+            else:  # pragma: no cover
+                normal_tails.append((entry, "next"))
+        if stmt.finalbody:
+            if normal_tails:
+                fin_head, fin_tails = self._seq(stmt.finalbody, frames)
+                if fin_head is not None:
+                    self._connect(normal_tails, fin_head)
+                    normal_tails = fin_tails
+        if body_head is None:  # pragma: no cover - empty try is invalid
+            body_head = self.cfg._add("stmt", stmt, f"try@{stmt.lineno}")
+            self.cfg.add_edge(body_head, self.cfg.exit, "next")
+        return body_head, normal_tails
+
+
+def build_cfg(func: FunctionNode, raise_policy: str = "explicit") -> CFG:
+    """Build the CFG of one (async) function definition.
+
+    ``raise_policy`` is ``"explicit"`` (exception edges only from
+    ``raise``/``assert``/``await``; plain calls assumed total) or
+    ``"calls"`` (every statement containing a call may raise).
+    """
+    if raise_policy not in ("explicit", "calls"):
+        from ...errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"raise_policy must be 'explicit' or 'calls', "
+            f"got {raise_policy!r}"
+        )
+    return _Builder(func, raise_policy).build()

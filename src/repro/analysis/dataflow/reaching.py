@@ -1,0 +1,138 @@
+"""Intraprocedural reaching definitions over a :class:`~.cfg.CFG`.
+
+Classic forward may-analysis on the statement-level CFG: a definition
+``d`` of name ``x`` at node ``n`` *reaches* node ``m`` when some CFG
+path ``n → m`` contains no other definition of ``x``.  Function
+parameters are modelled as definitions at the synthetic entry node.
+
+The deep lint rules use this two ways:
+
+* **receiver tracing** — "which assignment(s) can this variable hold
+  here?" lets ASYNC001/RES001 type a receiver through reassignment
+  (``conn = HTTPConnection(...); conn = pool.get(); conn.request()``
+  keeps *both* definitions alive, so rules only fire when **every**
+  reaching definition is a flagged type);
+* **path sensitivity** — combined with :meth:`CFG.reachable`'s
+  avoid-set queries, "is there a path from this definition to exit
+  that avoids all resolution events?" is exactly the ASYNC002
+  waiter-resolution obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .cfg import CFG
+
+__all__ = ["definitions_in", "ReachingDefinitions"]
+
+#: one definition: (name, defining CFG node index)
+Definition = Tuple[str, int]
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    """Plain names bound by an assignment target (tuples unpacked;
+    attribute/subscript targets define no local name)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for elt in target.elts:
+            names.extend(_target_names(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def definitions_in(stmt: ast.AST) -> List[str]:
+    """Local names (re)bound by executing this single statement."""
+    names: List[str] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            names.append(alias.asname or alias.name.split(".")[0])
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        names.append(stmt.name)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+    return names
+
+
+def _param_names(func: ast.AST) -> List[str]:
+    args = func.args  # type: ignore[attr-defined]
+    params = [a.arg for a in args.posonlyargs]
+    params += [a.arg for a in args.args]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    params += [a.arg for a in args.kwonlyargs]
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    return params
+
+
+class ReachingDefinitions:
+    """Worklist fixed point of reaching definitions on one CFG."""
+
+    def __init__(self, cfg: CFG, func: ast.AST) -> None:
+        self.cfg = cfg
+        self.gen: Dict[int, Set[Definition]] = {}
+        self.kill_names: Dict[int, Set[str]] = {}
+        self.in_sets: Dict[int, FrozenSet[Definition]] = {}
+        self.out_sets: Dict[int, FrozenSet[Definition]] = {}
+        self._compute(func)
+
+    def _compute(self, func: ast.AST) -> None:
+        cfg = self.cfg
+        for node in cfg.nodes:
+            if node.stmt is not None:
+                names = set(definitions_in(node.stmt))
+            elif node.index == cfg.entry:
+                names = set(_param_names(func))
+            else:
+                names = set()
+            self.kill_names[node.index] = names
+            self.gen[node.index] = {(n, node.index) for n in names}
+            self.in_sets[node.index] = frozenset()
+            self.out_sets[node.index] = frozenset()
+
+        preds = cfg.predecessors()
+        worklist = list(range(len(cfg.nodes)))
+        while worklist:
+            idx = worklist.pop()
+            incoming: Set[Definition] = set()
+            for pred, _label in preds.get(idx, []):
+                incoming |= self.out_sets[pred]
+            self.in_sets[idx] = frozenset(incoming)
+            killed = self.kill_names[idx]
+            out = {d for d in incoming if d[0] not in killed}
+            out |= self.gen[idx]
+            frozen = frozenset(out)
+            if frozen != self.out_sets[idx]:
+                self.out_sets[idx] = frozen
+                for succ, _label in self.cfg.succs.get(idx, []):
+                    worklist.append(succ)
+
+    # ------------------------------------------------------------------
+    def reaching(self, node_index: int, name: str) -> Set[int]:
+        """Node indices whose definition of ``name`` reaches the
+        *entry* of ``node_index`` (entry index = parameter def)."""
+        return {idx for (n, idx) in self.in_sets[node_index] if n == name}
+
+    def definition_nodes(self, name: str) -> Set[int]:
+        """Every node defining ``name`` anywhere in the function."""
+        return {idx for idx, names in self.kill_names.items()
+                if name in names}

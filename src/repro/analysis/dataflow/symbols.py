@@ -1,0 +1,301 @@
+"""Project-wide, import-resolving symbol table.
+
+Walks every parsed module of a lint run and records:
+
+* the module's *local-name → dotted-target* import map, with relative
+  imports (``from ..errors import X`` inside ``repro.serving.batcher``)
+  resolved against the module's own dotted name;
+* every function and method, keyed by qualified name
+  (``repro.serving.batcher.MicroBatcher._flush``), with its AST and
+  asyncness;
+* every class, with the best-effort *types of its instance
+  attributes*: an ``__init__`` (or any method) doing
+  ``self._lock = threading.Lock()`` records ``_lock ->
+  "threading.Lock"`` — the seam fork-safety and async-safety rules use
+  to type ``self.<attr>`` receivers without a type checker.
+
+Everything is syntactic and best-effort: a name that cannot be
+resolved simply stays unresolved, and rules built on top treat
+"unknown" as "no finding" (under-approximation — the self-hosted tree
+must lint clean, so false positives are the expensive failure mode).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectSymbols",
+    "module_name_for_path",
+    "resolve_dotted",
+]
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a repo-relative POSIX path.
+
+    ``src/repro/serving/batcher.py`` → ``repro.serving.batcher``;
+    ``tests/analysis/test_cfg.py`` → ``tests.analysis.test_cfg``;
+    package ``__init__`` files name the package itself.
+    """
+    parts = path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    class_name: Optional[str] = None
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition plus inferred instance-attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    #: ``self.<attr> = <constructor>()`` bindings: attr -> dotted type
+    attr_types: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: base-class names as written (``MicroBatcher(Base)`` -> ["Base"])
+    bases: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed module's contribution to the project table."""
+
+    modname: str
+    path: str
+    tree: ast.Module
+    imports: Dict[str, str]
+    functions: Dict[str, FunctionInfo] = dataclasses.field(
+        default_factory=dict)
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+
+
+def _import_map(tree: ast.Module, modname: str) -> Dict[str, str]:
+    """Local-name → dotted-target map, resolving relative imports."""
+    mapping: Dict[str, str] = {}
+    package_parts = modname.split(".") if modname else []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # `from ..errors import X` in a.b.c: strip `level`
+                # trailing components from the *package* path.
+                base_parts = package_parts[: len(package_parts) - node.level]
+                base = ".".join(base_parts)
+                prefix = f"{base}.{node.module}" if node.module else base
+            else:
+                prefix = node.module or ""
+            if not prefix:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{prefix}.{alias.name}"
+    return mapping
+
+
+def resolve_dotted(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Dotted name of an attribute chain through the import map."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id not in imports:
+        return None
+    parts.append(imports[node.id])
+    return ".".join(reversed(parts))
+
+
+#: constructor/factory dotted names whose results we track as
+#: attribute/local types (concurrency-relevant resources)
+TRACKED_CONSTRUCTORS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Semaphore",
+    "threading.BoundedSemaphore", "threading.Condition",
+    "threading.Event", "threading.Thread", "threading.Barrier",
+    "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "socket.socket", "socket.create_connection",
+    "http.client.HTTPConnection", "http.client.HTTPSConnection",
+    "asyncio.get_event_loop", "asyncio.get_running_loop",
+    "asyncio.new_event_loop",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+})
+
+
+def _constructed_type(
+    value: ast.expr, imports: Dict[str, str]
+) -> Optional[str]:
+    """Dotted type when ``value`` is a call to a tracked constructor
+    (or to a project class — returned as its dotted name)."""
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = resolve_dotted(value.func, imports)
+    if dotted is None and isinstance(value.func, ast.Name):
+        dotted = value.func.id  # same-module class, qualified later
+    if dotted is None:
+        return None
+    return dotted
+
+
+class ProjectSymbols:
+    """The cross-module symbol table of one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare name → every FunctionInfo sharing it (unique-name
+        #: fallback resolution for untyped attribute calls)
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, modules: Sequence[Tuple[str, ast.Module]]
+    ) -> "ProjectSymbols":
+        """``modules`` is ``(repo-relative-posix-path, tree)`` pairs."""
+        table = cls()
+        for path, tree in modules:
+            table._add_module(path, tree)
+        table._qualify_same_module_types()
+        return table
+
+    def _add_module(self, path: str, tree: ast.Module) -> None:
+        modname = module_name_for_path(path)
+        imports = _import_map(tree, modname)
+        info = ModuleInfo(modname=modname, path=path, tree=tree,
+                          imports=imports)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(info, node)
+        self.modules[modname] = info
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        class_name: Optional[str],
+        class_info: Optional[ClassInfo] = None,
+    ) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        qual = (f"{module.modname}.{class_name}.{name}" if class_name
+                else f"{module.modname}.{name}")
+        fn = FunctionInfo(
+            qualname=qual,
+            module=module.modname,
+            path=module.path,
+            name=name,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_name=class_name,
+        )
+        module.functions[qual] = fn
+        self.functions[qual] = fn
+        self.by_name.setdefault(name, []).append(fn)
+        if class_info is not None:
+            class_info.methods[name] = fn
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{module.modname}.{node.name}"
+        info = ClassInfo(
+            qualname=qual,
+            module=module.modname,
+            name=node.name,
+            node=node,
+            bases=[base.id for base in node.bases
+                   if isinstance(base, ast.Name)],
+        )
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, child, class_name=node.name,
+                                   class_info=info)
+                self._scan_attr_types(info, child, module.imports)
+        module.classes[qual] = info
+        self.classes[qual] = info
+
+    @staticmethod
+    def _scan_attr_types(
+        info: ClassInfo, method: ast.AST, imports: Dict[str, str]
+    ) -> None:
+        for node in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    dotted = _constructed_type(value, imports)
+                    if dotted is not None:
+                        info.attr_types.setdefault(target.attr, dotted)
+
+    def _qualify_same_module_types(self) -> None:
+        """Second pass: attr types recorded as bare same-module class
+        names get qualified to the class's dotted name."""
+        for module in self.modules.values():
+            local_classes = {
+                cls.name: cls.qualname for cls in module.classes.values()
+            }
+            for cls in module.classes.values():
+                for attr, dotted in list(cls.attr_types.items()):
+                    if dotted in local_classes:
+                        cls.attr_types[attr] = local_classes[dotted]
+
+    # ------------------------------------------------------------------
+    def module_for_path(self, path: str) -> Optional[ModuleInfo]:
+        return self.modules.get(module_name_for_path(path))
+
+    def unique_function(self, name: str) -> Optional[FunctionInfo]:
+        """The single project function/method with this bare name, or
+        ``None`` when the name is absent or ambiguous."""
+        candidates = self.by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.class_name is None:
+            return None
+        return self.classes.get(f"{fn.module}.{fn.class_name}")

@@ -21,10 +21,27 @@ TEST001   no ``==``/``!=`` against float expressions in tests
 ERR001    ``raise`` in library code uses the :mod:`repro.errors`
           taxonomy, not bare builtins
 ========  ==============================================================
+
+Project-wide dataflow rules (CFG + call graph, :mod:`.deep_rules`):
+
+========  ==============================================================
+ASYNC001  blocking calls (``time.sleep``, subprocess, lock waits, sync
+          sockets) reachable from ``async def`` via the call graph
+ASYNC002  every waiter (``asyncio.Future``) handed to the batcher /
+          daemon is resolved on all CFG paths, exception edges included
+CONC001   fork-unsafe captures (locks, sockets, loops, executors)
+          submitted to process pools
+EXC002    broad ``except`` that swallows without re-raising, wrapping,
+          failing a waiter, or storing the exception
+RES001    files/locks/sockets acquired without ``with``, try/finally
+          release, or ownership transfer
+========  ==============================================================
 """
 
 from __future__ import annotations
 
+from .config import SYNC_ONLY_MODULES, filter_exempt, parse_exemptions
+from .deep_rules import DEEP_RULE_IDS, ProjectContext
 from .findings import Finding
 from .rules import RULES, Rule, check_source, get_rule
 from .runner import (
@@ -34,23 +51,30 @@ from .runner import (
     lint_paths,
     load_baseline,
     render_json,
+    render_sarif,
     render_text,
     run_lint,
     write_baseline,
 )
 
 __all__ = [
+    "DEEP_RULE_IDS",
     "Finding",
     "LintReport",
     "ModuleSource",
+    "ProjectContext",
     "RULES",
     "Rule",
+    "SYNC_ONLY_MODULES",
     "check_source",
+    "filter_exempt",
     "get_rule",
     "lint_file",
     "lint_paths",
     "load_baseline",
+    "parse_exemptions",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "write_baseline",

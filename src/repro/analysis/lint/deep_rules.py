@@ -1,0 +1,925 @@
+"""Project-wide dataflow rules: async-safety, waiter-resolution,
+fork-safety, exception hygiene, resource lifetimes.
+
+Unlike the single-module rules in :mod:`.rules`, these need a
+:class:`ProjectContext` — the symbol table, call graph and per-function
+CFGs of *every* module in the run — because their invariants span
+function and module boundaries (a blocking call three frames below an
+``async def`` is still on the event loop).
+
+All five rules under-approximate: an unresolvable receiver, an
+ambiguous name, or an escaping value produces *no* finding.  The
+self-hosted tree must lint clean with an empty baseline, so a false
+positive costs an exemption comment forever; a false negative costs
+one missed bug until the next rule refinement.  See
+``docs/static_analysis.md`` for each rule's exact model.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..dataflow.callgraph import CallGraph, CallSite, build_call_graph
+from ..dataflow.cfg import CFG, build_cfg
+from ..dataflow.reaching import ReachingDefinitions
+from ..dataflow.symbols import (
+    FunctionInfo,
+    ProjectSymbols,
+    resolve_dotted,
+)
+from .config import is_sync_only
+from .findings import Finding
+from .rules import ModuleSource, Rule, register
+
+__all__ = ["ProjectContext", "DEEP_RULE_IDS"]
+
+DEEP_RULE_IDS = ("ASYNC001", "ASYNC002", "CONC001", "EXC002", "RES001")
+
+
+# ----------------------------------------------------------------------
+# shared AST utilities
+def _walk_no_defs(node: ast.AST) -> Iterator[ast.AST]:
+    """Subtree walk that does not descend into nested function/class
+    bodies (their statements execute in another frame, later)."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _name_args(call: ast.Call) -> List[str]:
+    """Plain-``Name`` arguments of a call (positional and keyword)."""
+    names = [a.id for a in call.args if isinstance(a, ast.Name)]
+    names += [kw.value.id for kw in call.keywords
+              if isinstance(kw.value, ast.Name)]
+    return names
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for t in types:
+        name = t.id if isinstance(t, ast.Name) else (
+            t.attr if isinstance(t, ast.Attribute) else "")
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _param_names(func: ast.AST) -> List[str]:
+    args = func.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names += [a.arg for a in args.kwonlyargs]
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+# ----------------------------------------------------------------------
+class ProjectContext:
+    """Symbols + call graph + memoized per-function analyses."""
+
+    def __init__(self, modules: Sequence[ModuleSource]) -> None:
+        self.modules = list(modules)
+        self.symbols: ProjectSymbols = ProjectSymbols.build(
+            [(m.path, m.tree) for m in self.modules]
+        )
+        self.graph: CallGraph = build_call_graph(self.symbols)
+        self._cfgs: Dict[str, CFG] = {}
+        self._waiters: Dict[str, "_WaiterAnalysis"] = {}
+        self._building: Set[str] = set()
+        self._async_reach: Optional[Dict[str, str]] = None
+
+    def cfg(self, qualname: str) -> CFG:
+        if qualname not in self._cfgs:
+            fn = self.symbols.functions[qualname]
+            self._cfgs[qualname] = build_cfg(fn.node)
+        return self._cfgs[qualname]
+
+    def waiter(self, qualname: str) -> "_WaiterAnalysis":
+        if qualname not in self._waiters:
+            fn = self.symbols.functions[qualname]
+            self._building.add(qualname)
+            try:
+                self._waiters[qualname] = _WaiterAnalysis(fn, self)
+            finally:
+                self._building.discard(qualname)
+        return self._waiters[qualname]
+
+    def resolves(self, qualname: str, param: str) -> bool:
+        """Summary: does ``qualname`` resolve the waiter(s) in ``param``
+        on every path?  Cycles in the call graph answer ``False``
+        (under-approximate)."""
+        if qualname in self._building:
+            return False
+        if qualname not in self.symbols.functions:
+            return False
+        return self.waiter(qualname).param_resolved(param)
+
+    def async_reachable(self) -> Dict[str, str]:
+        """Qualname → async root it is reachable from (sync-only
+        modules are neither roots nor traversed)."""
+        if self._async_reach is None:
+            via: Dict[str, str] = {}
+            frontier: List[Tuple[str, str]] = []
+            for qual, fn in self.symbols.functions.items():
+                if fn.is_async and not is_sync_only(fn.path):
+                    frontier.append((qual, qual))
+            while frontier:
+                qual, root = frontier.pop()
+                if qual in via:
+                    continue
+                fn = self.symbols.functions.get(qual)
+                if fn is None or is_sync_only(fn.path):
+                    continue
+                via[qual] = root
+                for callee in self.graph.edges_from(qual):
+                    frontier.append((callee, root))
+            self._async_reach = via
+        return self._async_reach
+
+
+# ----------------------------------------------------------------------
+# ASYNC002 — waiter resolution
+_RESOLVE_METHODS = frozenset({"set_result", "set_exception"})
+
+
+class _WaiterAnalysis:
+    """Per-function waiter-resolution facts over the CFG.
+
+    * **trigger events** create the obligation that a root (a local or
+      parameter holding waiters) must be resolved on every path:
+      ``r.set_result/…``, ``r.future.set_result/set_exception/cancel``,
+      a call to a function whose summary resolves the argument, or a
+      ``for``-loop over ``r`` whose body resolves the loop variable
+      (the loop statement itself then counts as resolving ``r`` — a
+      zero-iteration pass over an empty batch resolves everything in
+      it, vacuously).
+    * **blessing events** end the obligation along one path without
+      counting as resolution: the root escaping (returned, yielded,
+      stored into a container, passed to any call) or a bare
+      ``r.cancel()``.
+    * **guard edges** bless one branch of a conditional: the empty
+      branch of ``if not r:`` / ``if r:`` / ``while r:``, the
+      already-resolved branch of ``if r.future.done():``, and the
+      exhausted edge of the ``for`` that defines the root.
+
+    A root with at least one trigger *leaks* when some CFG path from
+    one of its definitions reaches ``exit`` or ``raise-exit`` without
+    passing any event.  ``self.<attr>`` receivers are never roots:
+    attribute-held waiters belong to the object's lifecycle (the
+    batcher's ``abort()``), not to any single function.
+    """
+
+    def __init__(self, fn: FunctionInfo, project: ProjectContext) -> None:
+        self.fn = fn
+        self.project = project
+        self.cfg = project.cfg(fn.qualname)
+        self.rd = ReachingDefinitions(self.cfg, fn.node)
+        self.params = set(_param_names(fn.node))
+        self._sites = {
+            id(s.call): s for s in project.graph.sites.get(fn.qualname, [])
+        }
+        #: node index → names with a trigger / blessing event there
+        self.triggers: Dict[int, Set[str]] = {}
+        self.blessings: Dict[int, Set[str]] = {}
+        #: (node index, edge label) → names blessed along that edge
+        self.edge_bless: Dict[Tuple[int, str], Set[str]] = {}
+        self._param_memo: Dict[str, bool] = {}
+        self._collect()
+
+    # -- event collection ----------------------------------------------
+    def _collect(self) -> None:
+        stmt_cache: Dict[int, Tuple[Set[str], Set[str]]] = {}
+        for node in self.cfg.statement_nodes():
+            stmt = node.stmt
+            assert stmt is not None
+            key = id(stmt)
+            if key not in stmt_cache:
+                stmt_cache[key] = self._scan_stmt(stmt)
+            trig, bless = stmt_cache[key]
+            if trig:
+                self.triggers[node.index] = trig
+            if bless:
+                self.blessings[node.index] = bless
+            self._guard_edges(node.index, stmt)
+
+    def _scan_stmt(self, stmt: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """Events contributed by one CFG statement node.  Compound
+        statements contribute only their header expression — their
+        bodies are separate CFG nodes — except ``for``, which gets the
+        loop-promotion described in the class docstring."""
+        trig: Set[str] = set()
+        bless: Set[str] = set()
+        for expr in self._header_exprs(stmt):
+            t, b = self._scan_expr(expr)
+            trig |= t
+            bless |= b
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._promote_loop(stmt, trig)
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Name):
+            # container insertion transfers ownership; a plain
+            # `self.attr = r` alias does not (the batcher keeps
+            # resolving `batch` after `self._inflight = batch`)
+            if any(isinstance(t, ast.Subscript) for t in stmt.targets):
+                bless.add(stmt.value.id)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            for node in ast.walk(stmt.value):
+                if isinstance(node, ast.Name):
+                    bless.add(node.id)
+        return trig, bless
+
+    @staticmethod
+    def _header_exprs(stmt: ast.AST) -> List[ast.expr]:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.While, ast.If)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, (ast.Try, ast.Raise, ast.Return,
+                             ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return []
+        return [stmt]  # type: ignore[list-item]
+
+    def _scan_expr(self, expr: ast.AST) -> Tuple[Set[str], Set[str]]:
+        trig: Set[str] = set()
+        bless: Set[str] = set()
+        for node in _walk_no_defs(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            direct = self._direct_event(node)
+            if direct is not None:
+                name, is_trigger = direct
+                (trig if is_trigger else bless).add(name)
+                continue
+            site = self._sites.get(id(node))
+            arg_names = _name_args(node)
+            if site is not None and site.target is not None:
+                resolved = self._resolver_args(site, node)
+                trig |= resolved
+                bless |= set(arg_names) - resolved
+            else:
+                # escape: handed to a call we cannot see inside
+                bless |= set(arg_names)
+        return trig, bless
+
+    @staticmethod
+    def _direct_event(call: ast.Call) -> Optional[Tuple[str, bool]]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in _RESOLVE_METHODS and func.attr != "cancel":
+            return None
+        recv = func.value
+        if isinstance(recv, ast.Name):
+            # r.set_result(...) triggers; bare r.cancel() only blesses
+            # (cancelling is the canceller's business, not resolution)
+            return recv.id, func.attr in _RESOLVE_METHODS
+        if (isinstance(recv, ast.Attribute) and recv.attr == "future"
+                and isinstance(recv.value, ast.Name)):
+            return recv.value.id, True  # r.future.cancel() resolves too
+        return None
+
+    def _resolver_args(self, site: CallSite, call: ast.Call) -> Set[str]:
+        """Name arguments resolved by the callee per its summary."""
+        target = self.project.symbols.functions.get(site.target or "")
+        if target is None:
+            return set()
+        params = _param_names(target.node)
+        if target.class_name is not None and isinstance(
+            call.func, ast.Attribute
+        ):
+            params = params[1:]  # bound call: drop self
+        resolved: Set[str] = set()
+        for idx, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name) and idx < len(params):
+                if self.project.resolves(target.qualname, params[idx]):
+                    resolved.add(arg.id)
+        for kw in call.keywords:
+            if isinstance(kw.value, ast.Name) and kw.arg in params:
+                if self.project.resolves(target.qualname, kw.arg):
+                    resolved.add(kw.value.id)
+        return resolved
+
+    def _promote_loop(self, stmt: ast.AST, trig: Set[str]) -> None:
+        iter_names = {
+            n.id for n in ast.walk(stmt.iter)  # type: ignore[attr-defined]
+            if isinstance(n, ast.Name)
+        }
+        if not iter_names:
+            return
+        loop_vars = set(_target_names(stmt.target))  # type: ignore
+        body_trig: Set[str] = set()
+        for body_stmt in stmt.body:  # type: ignore[attr-defined]
+            for node in _walk_no_defs(body_stmt):
+                if isinstance(node, ast.Call):
+                    direct = self._direct_event(node)
+                    if direct is not None and direct[1]:
+                        body_trig.add(direct[0])
+                    else:
+                        site = self._sites.get(id(node))
+                        if site is not None and site.target is not None:
+                            body_trig |= self._resolver_args(site, node)
+        if body_trig & loop_vars:
+            # Only parameter roots: `zip(batch, rows)` mentions both,
+            # but an obligation for the data list `rows` would be
+            # spurious.  Locals get their obligations from direct or
+            # resolver-call triggers; `self` is never a root (attribute
+            # lifecycles belong to the object, not one function).
+            trig |= (iter_names & self.params) - {"self", "cls"}
+
+    def _guard_edges(self, index: int, stmt: ast.AST) -> None:
+        if not isinstance(stmt, (ast.If, ast.While)):
+            return
+        test = stmt.test
+        negated = False
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            test = test.operand
+            negated = True
+        name: Optional[str] = None
+        taken_when_true = False  # blessing on which edge if not negated
+        if isinstance(test, ast.Name):
+            # `if r:` → the false branch sees an empty r
+            name, taken_when_true = test.id, False
+        elif (isinstance(test, ast.Call) and not test.args
+                and isinstance(test.func, ast.Attribute)
+                and test.func.attr == "done"):
+            recv = test.func.value
+            if isinstance(recv, ast.Name):
+                name, taken_when_true = recv.id, True
+            elif (isinstance(recv, ast.Attribute) and recv.attr == "future"
+                    and isinstance(recv.value, ast.Name)):
+                name, taken_when_true = recv.value.id, True
+        if name is None:
+            return
+        label = "true" if (taken_when_true != negated) else "false"
+        self.edge_bless.setdefault((index, label), set()).add(name)
+
+    # -- path queries ---------------------------------------------------
+    def _roots(self) -> Set[str]:
+        roots: Set[str] = set()
+        for names in self.triggers.values():
+            roots |= names
+        locals_and_params = self.params | {
+            name
+            for names in self.rd.kill_names.values() for name in names
+        }
+        return roots & locals_and_params
+
+    def _leaks_from(self, start: int, root: str) -> bool:
+        cfg = self.cfg
+        stop_defs = {
+            idx for idx, names in self.rd.kill_names.items()
+            if root in names and idx != start
+        }
+        # the `for` that binds the root: its exhausted edge carries no
+        # live waiter
+        start_node = cfg.nodes[start]
+        for_exhausted = (
+            isinstance(start_node.stmt, (ast.For, ast.AsyncFor))
+            and root in _target_names(start_node.stmt.target)
+        )
+        visited = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for succ, label in cfg.succs.get(current, []):
+                if root in self.edge_bless.get((current, label), ()):
+                    continue
+                if (for_exhausted and current == start
+                        and label == "false"):
+                    continue
+                if succ in visited:
+                    continue
+                if succ in (cfg.exit, cfg.raise_exit):
+                    return True
+                if (root in self.triggers.get(succ, ())
+                        or root in self.blessings.get(succ, ())
+                        or succ in stop_defs):
+                    continue
+                visited.add(succ)
+                stack.append(succ)
+        return False
+
+    def param_resolved(self, param: str) -> bool:
+        if param not in self._param_memo:
+            has_trigger = any(param in names
+                              for names in self.triggers.values())
+            self._param_memo[param] = (
+                param in self.params
+                and has_trigger
+                and not self._leaks_from(self.cfg.entry, param)
+            )
+        return self._param_memo[param]
+
+    def violations(self) -> List[Tuple[str, int]]:
+        """``(root, lineno)`` pairs with an unresolved path."""
+        out: List[Tuple[str, int]] = []
+        for root in sorted(self._roots()):
+            for def_node in sorted(self.rd.definition_nodes(root)):
+                if self._leaks_from(def_node, root):
+                    node = self.cfg.nodes[def_node]
+                    lineno = (node.stmt.lineno if node.stmt is not None
+                              else self.fn.lineno)
+                    out.append((root, lineno))
+                    break  # one finding per root
+        return out
+
+
+# ----------------------------------------------------------------------
+class DeepRule(Rule):
+    """Base for rules that need the :class:`ProjectContext`."""
+
+    needs_project = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError(
+            f"{self.id} needs a project context; use check_project()"
+        )
+
+    def check_project(
+        self, module: ModuleSource, project: ProjectContext
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _functions_of(self, module: ModuleSource,
+                      project: ProjectContext) -> List[FunctionInfo]:
+        info = project.symbols.module_for_path(module.path)
+        if info is None:
+            return []
+        return list(info.functions.values())
+
+
+_LOCK_TYPES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Semaphore",
+    "threading.BoundedSemaphore", "threading.Condition",
+})
+
+_BLOCKING_EXTERNAL = frozenset({
+    "time.sleep", "os.system", "os.wait", "os.popen",
+    "urllib.request.urlopen", "socket.create_connection",
+})
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+_BLOCKING_METHODS = frozenset(
+    [(lock, "acquire") for lock in _LOCK_TYPES]
+    + [("threading.Condition", "wait"), ("threading.Condition", "wait_for"),
+       ("threading.Event", "wait"), ("threading.Thread", "join"),
+       ("threading.Barrier", "wait")]
+    + [(q, m) for q in ("queue.Queue", "queue.SimpleQueue",
+                        "queue.LifoQueue", "queue.PriorityQueue")
+       for m in ("get", "put", "join")]
+    + [("socket.socket", m) for m in
+       ("recv", "recv_into", "recvfrom", "send", "sendall", "connect",
+        "accept")]
+    + [(c, m) for c in ("http.client.HTTPConnection",
+                        "http.client.HTTPSConnection")
+       for m in ("request", "getresponse", "connect")]
+)
+
+
+@register
+class AsyncBlockingCallRule(DeepRule):
+    id = "ASYNC001"
+    title = "blocking call reachable from async def"
+    rationale = (
+        "A blocking call anywhere under an `async def` in the call "
+        "graph stalls the event loop: every queued request, heartbeat "
+        "and timeout shares that loop. Blocking work belongs behind "
+        "run_in_executor (which this rule deliberately does not "
+        "traverse into). Modules listed sync-only in "
+        "analysis/lint/config.py are out of scope by declaration."
+    )
+    scopes = ("src",)
+
+    def check_project(
+        self, module: ModuleSource, project: ProjectContext
+    ) -> Iterator[Finding]:
+        if is_sync_only(module.path):
+            return
+        reach = project.async_reachable()
+        for fn in self._functions_of(module, project):
+            root = reach.get(fn.qualname)
+            if root is None:
+                continue
+            suffix = ("" if root == fn.qualname
+                      else f" (reachable from async {root})")
+            for site in project.graph.sites.get(fn.qualname, []):
+                blocking = self._blocking(site)
+                if blocking is not None:
+                    yield module.finding(
+                        self.id, site.call,
+                        f"blocking call {blocking} on the event "
+                        f"loop in {fn.qualname}{suffix}",
+                    )
+            yield from self._sync_lock_withs(module, project, fn, suffix)
+
+    @staticmethod
+    def _blocking(site: CallSite) -> Optional[str]:
+        if site.external is not None:
+            if site.external in _BLOCKING_EXTERNAL:
+                return site.external
+            if site.external.startswith(_BLOCKING_PREFIXES):
+                return site.external
+        if site.method is not None:
+            rtype, name = site.method
+            if rtype is not None and (rtype, name) in _BLOCKING_METHODS:
+                return f"{rtype}.{name}"
+        return None
+
+    def _sync_lock_withs(
+        self,
+        module: ModuleSource,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        suffix: str,
+    ) -> Iterator[Finding]:
+        cls = project.symbols.class_of(fn)
+        local_types = project.graph.local_types.get(fn.qualname, {})
+        for stmt in fn.node.body:  # type: ignore[attr-defined]
+            for node in _walk_no_defs(stmt):
+                if not isinstance(node, ast.With):
+                    continue
+                for item in node.items:
+                    rtype = self._expr_type(item.context_expr, cls,
+                                            local_types, project, fn)
+                    if rtype in _LOCK_TYPES:
+                        yield module.finding(
+                            self.id, node,
+                            f"`with` on {rtype} blocks the event loop "
+                            f"in {fn.qualname}{suffix}",
+                        )
+
+    @staticmethod
+    def _expr_type(expr, cls, local_types, project, fn):
+        if isinstance(expr, ast.Name):
+            return local_types.get(expr.id)
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and cls is not None):
+            return cls.attr_types.get(expr.attr)
+        if isinstance(expr, ast.Call):
+            info = project.symbols.modules.get(fn.module)
+            imports = info.imports if info is not None else {}
+            return resolve_dotted(expr.func, imports)
+        return None
+
+
+@register
+class WaiterResolutionRule(DeepRule):
+    id = "ASYNC002"
+    title = "waiter may be left unresolved on some path"
+    rationale = (
+        "Every asyncio.Future handed to the batcher or daemon must be "
+        "resolved (set_result / set_exception / cancel) on every CFG "
+        "path, including exception edges — an abandoned waiter hangs "
+        "its client until the socket timeout. This machine-checks the "
+        "serving layer's waiter contract (docs/resilience.md)."
+    )
+    scopes = ("src",)
+
+    def check_project(
+        self, module: ModuleSource, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for fn in self._functions_of(module, project):
+            analysis = project.waiter(fn.qualname)
+            for root, lineno in analysis.violations():
+                anchor = ast.Name(id=root)
+                anchor.lineno = lineno
+                anchor.col_offset = 0
+                yield module.finding(
+                    self.id, anchor,
+                    f"waiter(s) in {root!r} may leave "
+                    f"{fn.qualname} unresolved on some path "
+                    "(including exception edges)",
+                )
+
+
+_UNPICKLABLE_TYPES = _LOCK_TYPES | frozenset({
+    "threading.Event", "threading.Thread", "threading.Barrier",
+    "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "socket.socket", "socket.create_connection",
+    "http.client.HTTPConnection", "http.client.HTTPSConnection",
+    "asyncio.get_event_loop", "asyncio.get_running_loop",
+    "asyncio.new_event_loop",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+})
+
+
+@register
+class ForkSafetyRule(DeepRule):
+    id = "CONC001"
+    title = "fork-unsafe capture submitted to a process pool"
+    rationale = (
+        "Callables submitted to ProcessPoolExecutor / ParallelRunner "
+        "are pickled into worker processes. A lambda, nested function "
+        "or bound method capturing a lock, socket, event loop or "
+        "executor either fails to pickle or — worse — resurrects a "
+        "dead handle in the child. Submit module-level functions and "
+        "plain data, as runtime/runner.py does."
+    )
+    scopes = ("src",)
+
+    def check_project(
+        self, module: ModuleSource, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for fn in self._functions_of(module, project):
+            local_types = project.graph.local_types.get(fn.qualname, {})
+            cls = project.symbols.class_of(fn)
+            nested = {
+                n.name: n
+                for stmt in fn.node.body  # type: ignore[attr-defined]
+                for n in _walk_no_defs(stmt)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for site in project.graph.sites.get(fn.qualname, []):
+                for callable_expr in self._submitted(site, project,
+                                                     local_types):
+                    capture = self._bad_capture(
+                        callable_expr, local_types, cls, project, nested)
+                    if capture is not None:
+                        yield module.finding(
+                            self.id, site.call,
+                            f"submission in {fn.qualname} captures "
+                            f"{capture}; it cannot cross the process "
+                            "boundary",
+                        )
+
+    @staticmethod
+    def _submitted(site, project, local_types) -> List[ast.expr]:
+        call = site.call
+        if site.method is not None:
+            rtype, name = site.method
+            if (name in ("submit", "map")
+                    and rtype == "concurrent.futures.ProcessPoolExecutor"
+                    and call.args):
+                return [call.args[0]]
+        dotted = site.external or site.target
+        if dotted is not None and dotted in project.symbols.classes:
+            if project.symbols.classes[dotted].name == "ParallelRunner":
+                out = [a for a in call.args[:1]]
+                out += [kw.value for kw in call.keywords
+                        if kw.arg == "worker_fn"]
+                return out
+        return []
+
+    def _bad_capture(self, expr, local_types, cls, project,
+                     nested) -> Optional[str]:
+        if isinstance(expr, ast.Lambda):
+            return self._free_capture(expr.body, expr, local_types, cls)
+        if isinstance(expr, ast.Name) and expr.id in nested:
+            target = nested[expr.id]
+            for stmt in target.body:
+                found = self._free_capture(stmt, target, local_types, cls)
+                if found is not None:
+                    return found
+            return None
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)):
+            owner = None
+            if expr.value.id == "self" and cls is not None:
+                owner = cls
+            else:
+                rtype = local_types.get(expr.value.id)
+                if rtype is not None:
+                    owner = project.symbols.classes.get(rtype)
+            if owner is not None and expr.attr in owner.methods:
+                for attr, rtype in sorted(owner.attr_types.items()):
+                    if rtype in _UNPICKLABLE_TYPES:
+                        return (f"bound method of {owner.qualname} "
+                                f"holding {rtype} in self.{attr}")
+        return None
+
+    @staticmethod
+    def _free_capture(body, func, local_types, cls) -> Optional[str]:
+        bound = set(_param_names(func))
+        for node in ast.walk(body):
+            if isinstance(node, ast.Name) and node.id not in bound:
+                rtype = local_types.get(node.id)
+                if rtype in _UNPICKLABLE_TYPES:
+                    return f"{rtype} via free variable {node.id!r}"
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self" and cls is not None):
+                rtype = cls.attr_types.get(node.attr)
+                if rtype in _UNPICKLABLE_TYPES:
+                    return f"{rtype} via self.{node.attr}"
+        return None
+
+
+_STRINGIFIERS = frozenset({"str", "repr", "type", "format", "print"})
+
+
+@register
+class SwallowedExceptionRule(DeepRule):
+    id = "EXC002"
+    title = "broad handler swallows the exception"
+    rationale = (
+        "`except Exception` (or bare / BaseException) may only catch "
+        "broadly if it re-raises, wraps into the repro.errors "
+        "taxonomy, fails a waiter, or stores the exception object for "
+        "a later observer. Formatting the exception into a string and "
+        "moving on erases the failure for every caller above. "
+        "Intentional conversion boundaries (HTTP 500, per-model load "
+        "isolation) carry a `# lint: exempt EXC002 <reason>` comment."
+    )
+    scopes = ("src",)
+
+    def check_project(
+        self, module: ModuleSource, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for fn in self._functions_of(module, project):
+            for stmt in fn.node.body:  # type: ignore[attr-defined]
+                for node in _walk_no_defs(stmt):
+                    if not isinstance(node, ast.ExceptHandler):
+                        continue
+                    if not _is_catch_all(node):
+                        continue
+                    if not self._handled(node):
+                        yield module.finding(
+                            self.id, node,
+                            "broad handler neither re-raises, wraps, "
+                            "fails a waiter, nor stores the exception "
+                            f"in {fn.qualname}",
+                        )
+
+    @staticmethod
+    def _handled(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            for node in _walk_no_defs(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+        name = handler.name
+        if name is None:
+            return False
+        for stmt in handler.body:
+            for node in _walk_no_defs(stmt):
+                if isinstance(node, ast.Call):
+                    callee = (node.func.id
+                              if isinstance(node.func, ast.Name) else None)
+                    if callee in _STRINGIFIERS:
+                        continue
+                    if name in _name_args(node):
+                        return True
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    value = node.value
+                    if isinstance(value, ast.Name) and value.id == name:
+                        return True
+        return False
+
+
+_ACQUIRE_EXTERNAL = frozenset({
+    "socket.socket", "socket.create_connection",
+    "http.client.HTTPConnection", "http.client.HTTPSConnection",
+})
+
+
+@register
+class ResourceLifetimeRule(DeepRule):
+    id = "RES001"
+    title = "resource acquired without `with` or try/finally release"
+    rationale = (
+        "Files, sockets and locks acquired outside a `with` block or "
+        "a try/finally release leak on the exception path — exactly "
+        "the path chaos testing exercises. Returning or storing the "
+        "handle transfers the obligation and is fine; acquiring and "
+        "dropping it is not. The store/ layer is the designated "
+        "resource manager and is exempt."
+    )
+    scopes = ("src",)
+    exempt = ("repro/store/",)
+
+    def check_project(
+        self, module: ModuleSource, project: ProjectContext
+    ) -> Iterator[Finding]:
+        info = project.symbols.module_for_path(module.path)
+        imports = info.imports if info is not None else {}
+        for fn in self._functions_of(module, project):
+            local_types = project.graph.local_types.get(fn.qualname, {})
+            cls = project.symbols.class_of(fn)
+            parents: Dict[int, ast.AST] = {}
+            body = fn.node.body  # type: ignore[attr-defined]
+            for stmt in body:
+                for node in _walk_no_defs(stmt):
+                    for child in ast.iter_child_nodes(node):
+                        parents[id(child)] = node
+            for stmt in body:
+                for node in _walk_no_defs(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    what = self._acquisition(node, imports, local_types,
+                                             cls)
+                    if what is None:
+                        continue
+                    if self._managed(node, parents, body, what):
+                        continue
+                    yield module.finding(
+                        self.id, node,
+                        f"{what[0]} acquired in {fn.qualname} without "
+                        "`with`, try/finally release, or ownership "
+                        "transfer",
+                    )
+
+    @staticmethod
+    def _acquisition(call, imports, local_types, cls):
+        """``(description, release_method)`` or None."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open()", "close"
+        dotted = resolve_dotted(func, imports)
+        if dotted in _ACQUIRE_EXTERNAL:
+            return f"{dotted}()", "close"
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            recv = func.value
+            rtype = None
+            if isinstance(recv, ast.Name):
+                rtype = local_types.get(recv.id)
+            elif (isinstance(recv, ast.Attribute)
+                    and isinstance(recv.value, ast.Name)
+                    and recv.value.id == "self" and cls is not None):
+                rtype = cls.attr_types.get(recv.attr)
+            if rtype in _LOCK_TYPES:
+                return f"{rtype}.acquire()", "release"
+        return None
+
+    def _managed(self, call, parents, body, what) -> bool:
+        release = what[1]
+        parent = parents.get(id(call))
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Call):
+            return True  # wrapped (closing(...), passed along)
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(parent, ast.Await):
+            return True
+        receiver_text: Optional[str] = None
+        if isinstance(parent, ast.Assign):
+            target = parent.targets[0]
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                return True  # stored: lifecycle owned elsewhere
+            if isinstance(target, ast.Name):
+                receiver_text = target.id
+                if self._escapes(target.id, body):
+                    return True
+        elif (isinstance(call.func, ast.Attribute)
+                and call.func.attr == "acquire"):
+            receiver_text = ast.unparse(call.func.value)
+        if receiver_text is not None:
+            needle = f"{receiver_text}.{release}"
+            for stmt in body:
+                for node in _walk_no_defs(stmt):
+                    if isinstance(node, ast.Try) and node.finalbody:
+                        final_src = "\n".join(
+                            ast.unparse(s) for s in node.finalbody
+                        )
+                        if needle in final_src:
+                            return True
+        return False
+
+    @staticmethod
+    def _escapes(name: str, body) -> bool:
+        for stmt in body:
+            for node in _walk_no_defs(stmt):
+                if (isinstance(node, (ast.Return, ast.Yield))
+                        and node.value is not None):
+                    if any(isinstance(n, ast.Name) and n.id == name
+                           for n in ast.walk(node.value)):
+                        return True
+                if isinstance(node, ast.Assign):
+                    if (isinstance(node.value, ast.Name)
+                            and node.value.id == name
+                            and any(isinstance(t, (ast.Attribute,
+                                                   ast.Subscript))
+                                    for t in node.targets)):
+                        return True
+                if isinstance(node, ast.Call) and name in _name_args(node):
+                    return True
+        return False

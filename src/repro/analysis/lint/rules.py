@@ -71,6 +71,9 @@ class Rule:
     scopes: Tuple[str, ...] = ("src",)
     #: path substrings exempt from this rule (POSIX, repo-relative)
     exempt: Tuple[str, ...] = ()
+    #: project-wide rules get a ProjectContext and implement
+    #: ``check_project(module, project)`` instead of ``check``
+    needs_project: bool = False
 
     def applies_to(self, module: ModuleSource) -> bool:
         if module.scope not in self.scopes:
@@ -108,12 +111,27 @@ def check_source(
     path: str = "src/repro/example.py",
     scope: str = "src",
 ) -> List[Finding]:
-    """Run one rule over a source snippet (the fixture-test entry point)."""
+    """Run one rule over a source snippet (the fixture-test entry point).
+
+    Project-wide rules see the snippet as a one-module project, which
+    is exactly what self-contained fixtures need.  Exemption comments
+    in the snippet are honoured, so the directive syntax is testable
+    through the same door.
+    """
     module = ModuleSource.parse(code, path, scope)
     rule = get_rule(rule_id)
     if not rule.applies_to(module):
         return []
-    return list(rule.check(module))
+    if rule.needs_project:
+        from .deep_rules import ProjectContext
+
+        findings = list(rule.check_project(module, ProjectContext([module])))
+    else:
+        findings = list(rule.check(module))
+    from .config import filter_exempt
+
+    kept, _ = filter_exempt(findings, module.text)
+    return kept
 
 
 # ----------------------------------------------------------------------

@@ -1,15 +1,20 @@
 """File discovery, rule dispatch, baselines and report rendering.
 
 The runner walks ``src/`` and ``tests/`` (or any explicit path list),
-classifies each module as library or test code, applies every
-registered rule whose scope matches, filters findings through an
-optional baseline file, and renders the result as text or JSON.
+parses every module **once**, classifies each as library or test code,
+and applies every registered rule whose scope matches.  Single-module
+rules see one :class:`ModuleSource` at a time; project-wide rules
+(``needs_project``) additionally get a
+:class:`~.deep_rules.ProjectContext` — the symbol table and call graph
+over the whole run — built lazily only when such a rule is selected.
 
-A baseline is a JSON file of finding fingerprints (rule + file + line
-text).  ``repro lint --write-baseline`` snapshots the current findings;
-subsequent runs with ``--baseline`` suppress exactly those, so the gate
-can land before the last violation is fixed.  The shipped tree needs no
-baseline — the suite asserts it lints clean (see
+Findings then pass two filters: ``# lint: exempt RULE <reason>``
+comments (see :mod:`.config`) and an optional baseline file.  A
+baseline is a JSON file of finding fingerprints (rule + file + line
+text); ``repro lint --write-baseline`` snapshots the current findings,
+and subsequent runs with ``--baseline`` suppress exactly those, so the
+gate can land before the last violation is fixed.  The shipped tree
+needs no baseline — the suite asserts it lints clean (see
 ``tests/analysis/test_lint_selfhost.py``).
 """
 
@@ -18,12 +23,16 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...errors import ConfigurationError
 from ...store.atomic import atomic_write_json
+from .config import filter_exempt
 from .findings import Finding
 from .rules import RULES, ModuleSource, Rule
+from . import deep_rules  # noqa: F401  (registers the project-wide rules)
+from .deep_rules import ProjectContext
+from .sarif import render_sarif
 
 __all__ = [
     "LintReport",
@@ -32,6 +41,7 @@ __all__ = [
     "lint_paths",
     "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "write_baseline",
@@ -52,6 +62,8 @@ class LintReport:
         Unsuppressed findings, sorted by (path, line, rule).
     suppressed:
         How many findings the baseline filtered out.
+    exempted:
+        How many findings ``# lint: exempt`` comments filtered out.
     files:
         Number of files checked.
     errors:
@@ -60,6 +72,7 @@ class LintReport:
 
     findings: List[Finding]
     suppressed: int = 0
+    exempted: int = 0
     files: int = 0
     errors: List[str] = dataclasses.field(default_factory=list)
 
@@ -92,21 +105,74 @@ def _iter_python_files(path: str) -> Iterable[str]:
                 yield os.path.join(dirpath, filename)
 
 
+def _parse_modules(
+    paths: Sequence[str], root: str
+) -> Tuple[List[ModuleSource], List[str], int]:
+    """Parse every Python file once: (modules, errors, file count)."""
+    modules: List[ModuleSource] = []
+    errors: List[str] = []
+    files = 0
+    for path in paths:
+        if not os.path.exists(path):
+            raise ConfigurationError(f"lint path does not exist: {path!r}")
+        for filename in _iter_python_files(path):
+            files += 1
+            rel = os.path.relpath(os.path.abspath(filename),
+                                  os.path.abspath(root))
+            rel = rel.replace(os.sep, "/")
+            with open(filename, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            try:
+                modules.append(
+                    ModuleSource.parse(text, rel, classify_scope(rel))
+                )
+            except SyntaxError as exc:
+                errors.append(f"{filename}: syntax error: {exc}")
+    return modules, errors, files
+
+
+def _check_modules(
+    modules: Sequence[ModuleSource],
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], int]:
+    """Apply ``rules`` to parsed ``modules``: (findings, exempted)."""
+    project: Optional[ProjectContext] = None
+    if any(rule.needs_project for rule in rules):
+        project = ProjectContext(modules)
+    findings: List[Finding] = []
+    exempted = 0
+    for module in modules:
+        per_module: List[Finding] = []
+        for rule in rules:
+            if not rule.applies_to(module):
+                continue
+            if rule.needs_project:
+                assert project is not None
+                per_module.extend(rule.check_project(module, project))
+            else:
+                per_module.extend(rule.check(module))
+        kept, dropped = filter_exempt(per_module, module.text)
+        findings.extend(kept)
+        exempted += dropped
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, exempted
+
+
 def lint_file(
     path: str,
     root: str,
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Run all (or the given) rules over one file."""
-    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
-    rel = rel.replace(os.sep, "/")
-    with open(path, "r", encoding="utf-8") as fh:
-        text = fh.read()
-    module = ModuleSource.parse(text, rel, classify_scope(rel))
-    findings: List[Finding] = []
-    for rule in (rules if rules is not None else RULES.values()):
-        if rule.applies_to(module):
-            findings.extend(rule.check(module))
+    """Run all (or the given) rules over one file.
+
+    Project-wide rules see a one-module project here: cross-module
+    resolution needs :func:`lint_paths` over the whole tree.
+    """
+    modules, errors, _files = _parse_modules([path], root)
+    if errors:
+        raise SyntaxError(errors[0])
+    selected = list(rules if rules is not None else RULES.values())
+    findings, _exempted = _check_modules(modules, selected)
     return findings
 
 
@@ -117,20 +183,11 @@ def lint_paths(
 ) -> LintReport:
     """Lint every Python file under ``paths`` (no baseline filtering)."""
     root = root if root is not None else os.getcwd()
-    findings: List[Finding] = []
-    errors: List[str] = []
-    files = 0
-    for path in paths:
-        if not os.path.exists(path):
-            raise ConfigurationError(f"lint path does not exist: {path!r}")
-        for filename in _iter_python_files(path):
-            files += 1
-            try:
-                findings.extend(lint_file(filename, root, rules))
-            except SyntaxError as exc:
-                errors.append(f"{filename}: syntax error: {exc}")
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return LintReport(findings=findings, files=files, errors=errors)
+    modules, errors, files = _parse_modules(paths, root)
+    selected = list(rules if rules is not None else RULES.values())
+    findings, exempted = _check_modules(modules, selected)
+    return LintReport(findings=findings, files=files, errors=errors,
+                      exempted=exempted)
 
 
 def load_baseline(path: str) -> Set[str]:
@@ -210,6 +267,7 @@ def render_text(report: LintReport) -> str:
         + (f"{len(report.findings)} finding(s) ({summary})"
            if report.findings else "clean")
         + (f", {report.suppressed} baselined" if report.suppressed else "")
+        + (f", {report.exempted} exempted" if report.exempted else "")
     )
     return "\n".join(lines)
 
@@ -221,5 +279,6 @@ def render_json(report: LintReport) -> str:
         "errors": report.errors,
         "files": report.files,
         "suppressed": report.suppressed,
+        "exempted": report.exempted,
         "clean": report.clean,
     }, indent=2, sort_keys=True) + "\n"

@@ -172,8 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/ and tests/ under --root)")
     lint.add_argument("--root", default=None,
                       help="repo root for relative paths (default: cwd)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      dest="output_format", help="report format")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", dest="output_format",
+                      help="report format (sarif for CI annotation)")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="suppress findings fingerprinted in FILE")
     lint.add_argument("--write-baseline", default=None, metavar="FILE",
@@ -428,6 +429,7 @@ def _run_lint(args: argparse.Namespace) -> "tuple[str, int]":
     from .analysis.lint import (
         RULES,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         write_baseline,
@@ -453,8 +455,9 @@ def _run_lint(args: argparse.Namespace) -> "tuple[str, int]":
             f"to {args.write_baseline}",
             0,
         )
-    text = (render_json(report) if args.output_format == "json"
-            else render_text(report))
+    renderers = {"json": render_json, "sarif": render_sarif,
+                 "text": render_text}
+    text = renderers[args.output_format](report)
     return text, report.exit_code
 
 

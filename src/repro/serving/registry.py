@@ -150,6 +150,7 @@ class ModelRegistry:
                 if load_hook is not None:
                     load_hook(key)
                 entries.append(loader(key))
+            # lint: exempt EXC002 load isolation: broken model -> 503
             except Exception as exc:
                 failed[key] = f"{type(exc).__name__}: {exc}"
                 if verbose:

@@ -126,7 +126,8 @@ class HTTPFrontend:
             return
         except _BadRequest as exc:
             status, payload, extra = exc.status, {"error": str(exc)}, {}
-        except Exception as exc:  # never let one request kill the server
+        # lint: exempt EXC002 one request must not kill the server:
+        except Exception as exc:  # failure becomes this client's HTTP 500
             status, payload, extra = (
                 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
             )

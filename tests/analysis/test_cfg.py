@@ -1,0 +1,248 @@
+"""Golden CFG-shape tests for the dataflow engine's graph builder.
+
+Each case asserts the exact labelled edge set of a small function —
+the shapes the deep rules lean on hardest: ``try/finally`` exit
+duplication, ``while/else`` exhaustion vs ``break``, nested ``with``,
+and exception-edge reachability through catch-all vs narrow handlers.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.dataflow import CFG, build_cfg
+from repro.errors import ConfigurationError
+
+
+def cfg_of(code: str, raise_policy: str = "explicit") -> CFG:
+    tree = ast.parse(textwrap.dedent(code))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func, raise_policy=raise_policy)
+
+
+class TestFinallyDuplication:
+    def test_return_in_both_arms(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                try:
+                    return 1
+                finally:
+                    return 2
+            """
+        )
+        # The try-arm return traverses its own copy of the finally
+        # body; that copy's return wins and reaches exit.  No normal
+        # fall-through path exists at all.
+        assert cfg.edges() == [
+            ("entry", "next", "return@3"),
+            ("return@3", "return", "return@5"),
+            ("return@5", "return", "exit"),
+        ]
+
+    def test_normal_and_return_exits_get_separate_finally_copies(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                try:
+                    if x:
+                        return 1
+                    y = 2
+                finally:
+                    cleanup()
+                return y
+            """
+        )
+        edges = cfg.edges()
+        # return path: through a finally copy, then straight to exit
+        assert ("return@4", "return", "expr@7") in edges
+        assert ("expr@7", "return", "exit") in edges
+        # fall-through path: through a finally copy, then return y
+        assert ("assign@5", "next", "expr@7") in edges
+        assert ("expr@7", "next", "return@8") in edges
+        assert ("return@8", "return", "exit") in edges
+
+    def test_raise_routes_through_finally_to_raise_exit(self):
+        cfg = cfg_of(
+            """\
+            def f():
+                try:
+                    raise ValueError("boom")
+                finally:
+                    cleanup()
+            """
+        )
+        edges = cfg.edges()
+        assert ("raise@3", "exc", "expr@5") in edges
+        assert ("expr@5", "exc", "raise-exit") in edges
+        # no path from the raise to the ordinary exit
+        raise_node = next(n.index for n in cfg.nodes
+                          if n.label == "raise@3")
+        assert cfg.exit not in cfg.reachable(raise_node)
+
+
+class TestWhileElse:
+    def test_exhaustion_runs_else_break_skips_it(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                while x:
+                    if x > 9:
+                        break
+                    x = x + 1
+                else:
+                    x = -1
+                return x
+            """
+        )
+        edges = cfg.edges()
+        # exhaustion (false edge) enters the else arm
+        assert ("while@2", "false", "assign@7") in edges
+        assert ("assign@7", "next", "return@8") in edges
+        # break jumps past the else arm
+        assert ("break@4", "break", "return@8") in edges
+        assert ("break@4", "break", "assign@7") not in edges
+        # loop back-edges
+        assert ("while@2", "true", "if@3") in edges
+        assert ("assign@5", "next", "while@2") in edges
+
+    def test_continue_returns_to_header(self):
+        cfg = cfg_of(
+            """\
+            def f(xs):
+                for x in xs:
+                    if x:
+                        continue
+                    use(x)
+            """
+        )
+        edges = cfg.edges()
+        assert ("continue@4", "continue", "for@2") in edges
+        assert ("expr@5", "next", "for@2") in edges
+        assert ("for@2", "false", "exit") in edges
+
+
+class TestNestedWith:
+    def test_bodies_nest_linearly(self):
+        cfg = cfg_of(
+            """\
+            def f(p, q):
+                with open(p) as a:
+                    with open(q) as b:
+                        a.read()
+                return 1
+            """
+        )
+        assert cfg.edges() == [
+            ("entry", "next", "with@2"),
+            ("expr@4", "next", "return@5"),
+            ("return@5", "return", "exit"),
+            ("with@2", "next", "with@3"),
+            ("with@3", "next", "expr@4"),
+        ]
+
+    def test_async_with_gets_exception_edge(self):
+        cfg = cfg_of(
+            """\
+            async def f(ctx):
+                async with ctx as c:
+                    use(c)
+            """
+        )
+        assert ("asyncwith@2", "exc", "raise-exit") in cfg.edges()
+
+
+class TestExceptionEdges:
+    def test_await_reaches_narrow_handler_and_raise_exit(self):
+        cfg = cfg_of(
+            """\
+            async def f(x):
+                try:
+                    await g(x)
+                except ValueError:
+                    h()
+                return x
+            """
+        )
+        edges = cfg.edges()
+        # the await may raise: edge to the handler AND, because the
+        # handler is narrow, onward to raise-exit
+        assert ("expr@3", "exc", "except:ValueError@4") in edges
+        assert ("expr@3", "exc", "raise-exit") in edges
+        assert cfg.raise_exit in cfg.reachable()
+
+    def test_catch_all_stops_propagation(self):
+        cfg = cfg_of(
+            """\
+            async def f(x):
+                try:
+                    await g(x)
+                except Exception:
+                    h()
+                return x
+            """
+        )
+        edges = cfg.edges()
+        assert ("expr@3", "exc", "except:Exception@4") in edges
+        assert cfg.raise_exit not in cfg.reachable()
+
+    def test_plain_calls_are_total_under_explicit_policy(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                g(x)
+                return x
+            """
+        )
+        assert cfg.raise_exit not in cfg.reachable()
+
+    def test_calls_policy_is_pessimistic(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                g(x)
+                return x
+            """,
+            raise_policy="calls",
+        )
+        assert cfg.raise_exit in cfg.reachable()
+
+    def test_handler_exceptions_skip_own_try(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                try:
+                    raise ValueError(x)
+                except ValueError:
+                    raise KeyError(x)
+            """
+        )
+        edges = cfg.edges()
+        # the handler's raise goes straight to raise-exit, never back
+        # into this try's handler list
+        assert ("raise@5", "exc", "raise-exit") in edges
+        assert ("raise@5", "exc", "except:ValueError@4") not in edges
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cfg_of("def f():\n    pass\n", raise_policy="bogus")
+
+
+class TestPathQueries:
+    def test_avoid_set_blocks_paths(self):
+        cfg = cfg_of(
+            """\
+            def f(x):
+                if x:
+                    a()
+                else:
+                    b()
+                return x
+            """
+        )
+        a_node = next(n.index for n in cfg.nodes if n.label == "expr@3")
+        b_node = next(n.index for n in cfg.nodes if n.label == "expr@5")
+        assert cfg.exit in cfg.reachable(avoid={a_node})
+        assert cfg.exit not in cfg.reachable(avoid={a_node, b_node})

@@ -1,0 +1,288 @@
+"""Unit tests for the dataflow engine's symbol table, call graph and
+reaching-definitions pass (the layers under the deep lint rules)."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    ProjectSymbols,
+    ReachingDefinitions,
+    build_call_graph,
+    build_cfg,
+    module_name_for_path,
+)
+
+
+def project(*modules):
+    """Build symbols + call graph from ``(path, source)`` pairs."""
+    parsed = [(path, ast.parse(textwrap.dedent(src)))
+              for path, src in modules]
+    symbols = ProjectSymbols.build(parsed)
+    return symbols, build_call_graph(symbols)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert (module_name_for_path("src/repro/serving/batcher.py")
+                == "repro.serving.batcher")
+
+    def test_tests_keep_their_prefix(self):
+        assert (module_name_for_path("tests/analysis/test_cfg.py")
+                == "tests.analysis.test_cfg")
+
+    def test_init_names_the_package(self):
+        assert module_name_for_path("src/repro/__init__.py") == "repro"
+
+
+class TestSymbols:
+    def test_relative_import_resolution(self):
+        symbols, _ = project(
+            ("src/repro/pkg/a.py", "from .b import helper\n"),
+            ("src/repro/pkg/b.py", "def helper():\n    return 1\n"),
+        )
+        info = symbols.modules["repro.pkg.a"]
+        assert info.imports["helper"] == "repro.pkg.b.helper"
+
+    def test_attr_types_from_tracked_constructors(self):
+        symbols, _ = project(
+            (
+                "src/repro/pkg/c.py",
+                """
+                import threading
+
+                class Guarded:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._data = {}
+                """,
+            ),
+        )
+        cls = symbols.classes["repro.pkg.c.Guarded"]
+        assert cls.attr_types == {"_lock": "threading.Lock"}
+
+    def test_same_module_class_attr_qualified(self):
+        symbols, _ = project(
+            (
+                "src/repro/pkg/d.py",
+                """
+                class Inner:
+                    def ping(self):
+                        return 1
+
+                class Outer:
+                    def __init__(self):
+                        self.inner = Inner()
+                """,
+            ),
+        )
+        cls = symbols.classes["repro.pkg.d.Outer"]
+        assert cls.attr_types["inner"] == "repro.pkg.d.Inner"
+
+    def test_unique_function_rejects_ambiguity(self):
+        symbols, _ = project(
+            ("src/repro/pkg/e.py", "def solo():\n    return 1\n"),
+            (
+                "src/repro/pkg/f.py",
+                "def dup():\n    return 1\n",
+            ),
+            (
+                "src/repro/pkg/g.py",
+                "def dup():\n    return 2\n",
+            ),
+        )
+        assert symbols.unique_function("solo") is not None
+        assert symbols.unique_function("dup") is None
+        assert symbols.unique_function("absent") is None
+
+
+class TestCallGraph:
+    def test_same_module_and_self_method_edges(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/h.py",
+                """
+                class Engine:
+                    def run(self):
+                        return self.step()
+
+                    def step(self):
+                        return helper()
+
+                def helper():
+                    return 1
+                """,
+            ),
+        )
+        assert graph.edges_from("repro.pkg.h.Engine.run") == [
+            "repro.pkg.h.Engine.step"
+        ]
+        assert graph.edges_from("repro.pkg.h.Engine.step") == [
+            "repro.pkg.h.helper"
+        ]
+
+    def test_cross_module_edge_through_imports(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/i.py",
+                "from .j import work\n\ndef go():\n    return work()\n",
+            ),
+            ("src/repro/pkg/j.py", "def work():\n    return 1\n"),
+        )
+        assert graph.edges_from("repro.pkg.i.go") == ["repro.pkg.j.work"]
+
+    def test_external_calls_recorded_not_edges(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/k.py",
+                "import time\n\ndef nap():\n    time.sleep(1)\n",
+            ),
+        )
+        sites = graph.sites["repro.pkg.k.nap"]
+        assert [s.external for s in sites] == ["time.sleep"]
+        assert graph.edges_from("repro.pkg.k.nap") == []
+
+    def test_typed_receiver_resolves_method(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/m.py",
+                """
+                class Worker:
+                    def poke(self):
+                        return 1
+
+                class Holder:
+                    def __init__(self):
+                        self.worker = Worker()
+
+                    def use(self):
+                        return self.worker.poke()
+                """,
+            ),
+        )
+        assert graph.edges_from("repro.pkg.m.Holder.use") == [
+            "repro.pkg.m.Worker.poke"
+        ]
+
+    def test_executor_arguments_never_become_edges(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/n.py",
+                """
+                import asyncio
+
+                async def go():
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, offloaded)
+
+                def offloaded():
+                    return 1
+                """,
+            ),
+        )
+        assert "repro.pkg.n.offloaded" not in graph.edges_from(
+            "repro.pkg.n.go"
+        )
+
+    def test_with_as_binding_types_the_local(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/o.py",
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def go():
+                    with ProcessPoolExecutor() as pool:
+                        pool.submit(min, 1, 2)
+                """,
+            ),
+        )
+        assert (graph.local_types["repro.pkg.o.go"]["pool"]
+                == "concurrent.futures.ProcessPoolExecutor")
+        methods = [s.method for s in graph.sites["repro.pkg.o.go"]
+                   if s.method is not None]
+        assert ("concurrent.futures.ProcessPoolExecutor",
+                "submit") in methods
+
+    def test_reachable_from_closes_over_edges(self):
+        _, graph = project(
+            (
+                "src/repro/pkg/p.py",
+                """
+                def a():
+                    return b()
+
+                def b():
+                    return c()
+
+                def c():
+                    return 1
+
+                def island():
+                    return 2
+                """,
+            ),
+        )
+        reach = graph.reachable_from(["repro.pkg.p.a"])
+        assert "repro.pkg.p.c" in reach
+        assert "repro.pkg.p.island" not in reach
+
+
+class TestReachingDefinitions:
+    def _analysis(self, code):
+        func = ast.parse(textwrap.dedent(code)).body[0]
+        cfg = build_cfg(func)
+        return cfg, ReachingDefinitions(cfg, func)
+
+    def test_branch_definitions_both_reach_the_join(self):
+        cfg, rd = self._analysis(
+            """\
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = next(n.index for n in cfg.nodes if n.label == "return@6")
+        reaching = rd.reaching(ret, "x")
+        labels = {cfg.nodes[idx].label for idx in reaching}
+        assert labels == {"assign@3", "assign@5"}
+
+    def test_redefinition_kills_the_old_definition(self):
+        cfg, rd = self._analysis(
+            """\
+            def f():
+                x = 1
+                x = 2
+                return x
+            """
+        )
+        ret = next(n.index for n in cfg.nodes if n.label == "return@4")
+        labels = {cfg.nodes[idx].label for idx in rd.reaching(ret, "x")}
+        assert labels == {"assign@3"}
+
+    def test_parameters_defined_at_entry(self):
+        cfg, rd = self._analysis(
+            """\
+            def f(x):
+                return x
+            """
+        )
+        ret = next(n.index for n in cfg.nodes if n.label == "return@2")
+        assert cfg.entry in rd.reaching(ret, "x")
+
+    def test_loop_body_definition_reaches_the_header(self):
+        cfg, rd = self._analysis(
+            """\
+            def f(xs):
+                total = 0
+                for x in xs:
+                    total = total + x
+                return total
+            """
+        )
+        ret = next(n.index for n in cfg.nodes if n.label == "return@5")
+        labels = {cfg.nodes[idx].label
+                  for idx in rd.reaching(ret, "total")}
+        assert labels == {"assign@2", "assign@4"}

@@ -1,0 +1,572 @@
+"""Per-rule fixtures for the project-wide dataflow rules.
+
+Mirrors ``test_lint_rules.py``: every deep rule ships positive
+fixtures (the violation fires) and negative fixtures (the sanctioned
+idiom stays clean), so a change to the CFG builder, the call graph or
+a rule's event model that shifts behaviour fails here first.
+"""
+
+import textwrap
+
+from repro.analysis.lint import DEEP_RULE_IDS, RULES, check_source
+
+
+def run(code, rule_id, **kwargs):
+    return check_source(textwrap.dedent(code), rule_id, **kwargs)
+
+
+class TestDeepRegistry:
+    def test_deep_rules_registered(self):
+        assert set(RULES) >= set(DEEP_RULE_IDS)
+
+    def test_deep_rules_need_project(self):
+        for rule_id in DEEP_RULE_IDS:
+            assert RULES[rule_id].needs_project
+
+
+class TestAsync001:
+    def test_flags_blocking_call_in_async_def(self):
+        findings = run(
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.5)
+            """,
+            "ASYNC001",
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_flags_blocking_call_transitively_reachable(self):
+        findings = run(
+            """
+            import time
+
+            async def handler():
+                do_work()
+
+            def do_work():
+                time.sleep(0.1)
+            """,
+            "ASYNC001",
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert "handler" in findings[0].message  # provenance
+
+    def test_flags_subprocess_in_async(self):
+        findings = run(
+            """
+            import subprocess
+
+            async def run_tool():
+                subprocess.run(["ls"])
+            """,
+            "ASYNC001",
+        )
+        assert len(findings) == 1
+        assert "subprocess.run" in findings[0].message
+
+    def test_flags_sync_with_on_lock_attribute(self):
+        findings = run(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def get(self, key):
+                    with self._lock:
+                        return key
+            """,
+            "ASYNC001",
+        )
+        assert len(findings) == 1
+        assert "threading.Lock" in findings[0].message
+
+    def test_allows_executor_offload(self):
+        # run_in_executor args are deliberately not traversed: the
+        # callable runs on a worker thread, not the loop.
+        findings = run(
+            """
+            import asyncio
+            import time
+
+            async def handler():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, do_work)
+
+            def do_work():
+                time.sleep(0.1)
+            """,
+            "ASYNC001",
+        )
+        assert findings == []
+
+    def test_allows_blocking_in_pure_sync_code(self):
+        findings = run(
+            """
+            import time
+
+            def main():
+                time.sleep(1.0)
+            """,
+            "ASYNC001",
+        )
+        assert findings == []
+
+    def test_sync_only_modules_are_out_of_scope(self):
+        findings = run(
+            """
+            import time
+
+            async def poll():
+                time.sleep(1.0)
+            """,
+            "ASYNC001",
+            path="src/repro/serving/client.py",
+        )
+        assert findings == []
+
+
+class TestAsync002:
+    def test_flags_branch_that_skips_resolution(self):
+        findings = run(
+            """
+            class Batcher:
+                def flush(self, batch, ok):
+                    if ok:
+                        for item in batch:
+                            item.future.set_result(1)
+            """,
+            "ASYNC002",
+        )
+        assert len(findings) == 1
+        assert "'batch'" in findings[0].message
+
+    def test_allows_resolver_call_on_other_branch(self):
+        findings = run(
+            """
+            class Batcher:
+                def fail(self, batch, exc):
+                    for item in batch:
+                        item.future.set_exception(exc)
+
+                def flush(self, batch, ok, exc):
+                    if ok:
+                        for item in batch:
+                            item.future.set_result(1)
+                    else:
+                        self.fail(batch, exc)
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+    def test_flags_leak_through_exception_edge(self):
+        findings = run(
+            """
+            class Batcher:
+                async def flush(self, batch):
+                    try:
+                        rows = await self.compute()
+                        for item in batch:
+                            item.future.set_result(rows)
+                    except Exception:
+                        return
+
+                async def compute(self):
+                    return []
+            """,
+            "ASYNC002",
+        )
+        assert len(findings) == 1
+        assert "'batch'" in findings[0].message
+
+    def test_allows_handler_that_fails_the_batch(self):
+        findings = run(
+            """
+            class Batcher:
+                def fail(self, batch, exc):
+                    for item in batch:
+                        item.future.set_exception(exc)
+
+                async def flush(self, batch):
+                    try:
+                        rows = await self.compute()
+                        for item in batch:
+                            item.future.set_result(rows)
+                    except Exception as exc:
+                        self.fail(batch, exc)
+
+                async def compute(self):
+                    return []
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+    def test_allows_done_guarded_resolution(self):
+        findings = run(
+            """
+            class Batcher:
+                def fail(self, batch, exc):
+                    for item in batch:
+                        if not item.future.done():
+                            item.future.set_exception(exc)
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+    def test_allows_emptiness_guard(self):
+        findings = run(
+            """
+            class Batcher:
+                async def run_once(self, batch):
+                    if not batch:
+                        return
+                    await self.flush(batch)
+
+                async def flush(self, batch):
+                    for item in batch:
+                        item.future.set_result(1)
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+    def test_allows_ownership_transfer_into_container(self):
+        findings = run(
+            """
+            class Router:
+                def route(self, item, ok, table, key):
+                    if ok:
+                        item.set_result(1)
+                    else:
+                        table[key] = item
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+    def test_allows_cancel_as_the_other_path(self):
+        findings = run(
+            """
+            class Router:
+                def drop(self, item, ok):
+                    if ok:
+                        item.set_result(1)
+                    else:
+                        item.cancel()
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+    def test_future_cancel_counts_as_resolution(self):
+        findings = run(
+            """
+            class Batcher:
+                def abort(self, batch):
+                    for item in batch:
+                        if not item.future.done():
+                            item.future.cancel()
+            """,
+            "ASYNC002",
+        )
+        assert findings == []
+
+
+class TestConc001:
+    def test_flags_bound_method_of_lock_holding_class(self):
+        findings = run(
+            """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self, x):
+                    with self._lock:
+                        return x
+
+                def run_all(self, xs):
+                    pool = ProcessPoolExecutor()
+                    futs = []
+                    for x in xs:
+                        futs.append(pool.submit(self.step, x))
+                    return futs
+            """,
+            "CONC001",
+        )
+        assert len(findings) == 1
+        assert "threading.Lock" in findings[0].message
+
+    def test_flags_lambda_capturing_a_lock(self):
+        findings = run(
+            """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(xs):
+                lock = threading.Lock()
+                pool = ProcessPoolExecutor()
+                futs = []
+                for x in xs:
+                    futs.append(pool.submit(lambda v: (lock, v), x))
+                return futs
+            """,
+            "CONC001",
+        )
+        assert len(findings) == 1
+        assert "free variable 'lock'" in findings[0].message
+
+    def test_allows_module_level_function(self):
+        findings = run(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def square(x):
+                return x * x
+
+            def run(xs):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(square, xs))
+            """,
+            "CONC001",
+        )
+        assert findings == []
+
+    def test_thread_pool_is_not_policed(self):
+        # Threads share the address space; nothing is pickled.
+        findings = run(
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self, x):
+                    return x
+
+                def run_all(self, xs):
+                    pool = ThreadPoolExecutor()
+                    futs = []
+                    for x in xs:
+                        futs.append(pool.submit(self.step, x))
+                    return futs
+            """,
+            "CONC001",
+        )
+        assert findings == []
+
+
+class TestExc002:
+    def test_flags_silent_pass(self):
+        findings = run(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            "EXC002",
+        )
+        assert len(findings) == 1
+
+    def test_flags_stringify_and_move_on(self):
+        findings = run(
+            """
+            def f():
+                try:
+                    work()
+                except Exception as exc:
+                    print(exc)
+            """,
+            "EXC002",
+        )
+        assert len(findings) == 1
+
+    def test_allows_wrap_into_taxonomy(self):
+        findings = run(
+            """
+            from repro.errors import ExecutionError
+
+            def f():
+                try:
+                    work()
+                except Exception as exc:
+                    raise ExecutionError("work failed") from exc
+            """,
+            "EXC002",
+        )
+        assert findings == []
+
+    def test_allows_failing_a_waiter_with_the_exception(self):
+        findings = run(
+            """
+            def f(future):
+                try:
+                    work()
+                except Exception as exc:
+                    future.set_exception(exc)
+            """,
+            "EXC002",
+        )
+        assert findings == []
+
+    def test_allows_storing_the_exception_object(self):
+        findings = run(
+            """
+            def f():
+                err = None
+                try:
+                    work()
+                except Exception as exc:
+                    err = exc
+                return err
+            """,
+            "EXC002",
+        )
+        assert findings == []
+
+    def test_narrow_handlers_are_fine(self):
+        findings = run(
+            """
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    pass
+            """,
+            "EXC002",
+        )
+        assert findings == []
+
+    def test_exemption_comment_suppresses(self):
+        findings = run(
+            """
+            def f():
+                try:
+                    work()
+                # lint: exempt EXC002 demo conversion boundary
+                except Exception:
+                    pass
+            """,
+            "EXC002",
+        )
+        assert findings == []
+
+
+class TestRes001:
+    def test_flags_open_without_with(self):
+        findings = run(
+            """
+            def f(path):
+                fh = open(path)
+                data = fh.read()
+                return data
+            """,
+            "RES001",
+        )
+        assert len(findings) == 1
+        assert "open()" in findings[0].message
+
+    def test_allows_with_block(self):
+        findings = run(
+            """
+            def f(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+            "RES001",
+        )
+        assert findings == []
+
+    def test_allows_try_finally_close(self):
+        findings = run(
+            """
+            def f(path):
+                fh = open(path)
+                try:
+                    return fh.read()
+                finally:
+                    fh.close()
+            """,
+            "RES001",
+        )
+        assert findings == []
+
+    def test_allows_returning_the_handle(self):
+        findings = run(
+            """
+            def f(path):
+                return open(path)
+            """,
+            "RES001",
+        )
+        assert findings == []
+
+    def test_allows_storing_the_handle_on_self(self):
+        findings = run(
+            """
+            class Holder:
+                def connect(self, path):
+                    self.fh = open(path)
+            """,
+            "RES001",
+        )
+        assert findings == []
+
+    def test_flags_acquire_without_finally_release(self):
+        findings = run(
+            """
+            import threading
+
+            def f():
+                lock = threading.Lock()
+                lock.acquire()
+                work()
+                lock.release()
+            """,
+            "RES001",
+        )
+        assert len(findings) == 1
+        assert "acquire" in findings[0].message
+
+    def test_allows_acquire_with_finally_release(self):
+        findings = run(
+            """
+            import threading
+
+            def f():
+                lock = threading.Lock()
+                lock.acquire()
+                try:
+                    work()
+                finally:
+                    lock.release()
+            """,
+            "RES001",
+        )
+        assert findings == []
+
+    def test_store_layer_is_exempt(self):
+        findings = run(
+            """
+            def f(path):
+                fh = open(path)
+                return fh.read()
+            """,
+            "RES001",
+            path="src/repro/store/blob.py",
+        )
+        assert findings == []
