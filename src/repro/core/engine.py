@@ -185,7 +185,7 @@ class ReSiPEEngine:
         return t_out / self.output_scale
 
     def mvm_values_stacked(
-        self, x: np.ndarray, stacked: StackedCrossbar
+        self, x: np.ndarray, stacked: StackedCrossbar, backend=None
     ) -> np.ndarray:
         """:meth:`mvm_values` over ``T`` conductance realizations at once.
 
@@ -196,11 +196,13 @@ class ReSiPEEngine:
         ``(T, batch, cols)``.  Codec, operating point, output scale and
         compensation are this engine's own — exactly the state every
         per-trial clone inherits — so each ``result[t]`` is bit-identical
-        to ``clone_t.mvm_values(x)``.
+        to ``clone_t.mvm_values(x)``.  ``backend`` selects the stacked
+        compute kernels (:mod:`repro.kernels`; default numpy) and never
+        changes results.
         """
         x_arr = np.asarray(x, dtype=float)
         times_in = np.asarray(self.codec.times_from_values(x_arr), dtype=float)
-        result = self.mvm.evaluate_stacked(times_in, stacked)
+        result = self.mvm.evaluate_stacked(times_in, stacked, backend=backend)
         t_out = result.times
         if self.compensate and self.mode is MVMMode.EXACT:
             total_g = stacked.column_total_conductance()  # (T, cols)

@@ -143,7 +143,8 @@ class SingleSpikeMVM:
         )
 
     def evaluate_stacked(
-        self, input_times: np.ndarray, stacked: StackedCrossbar
+        self, input_times: np.ndarray, stacked: StackedCrossbar,
+        backend=None,
     ) -> COGResult:
         """Evaluate ``T`` Monte-Carlo conductance realizations at once.
 
@@ -154,12 +155,17 @@ class SingleSpikeMVM:
         :class:`COGResult` of ``(T, cols)`` or ``(T, batch, cols)``
         arrays.
 
-        The trial axis rides through one broadcast ``np.matmul`` plus
-        elementwise codec stages, so each ``result[t]`` is bit-identical
-        to :meth:`evaluate` on the lone realization ``t`` — the property
+        The trial axis rides through one broadcast batched matmul plus
+        elementwise codec stages — both provided by ``backend`` (a
+        :class:`~repro.kernels.ComputeBackend`; default numpy) — so
+        each ``result[t]`` is bit-identical to :meth:`evaluate` on the
+        lone realization ``t`` at *any* backend choice — the property
         that lets the reproducibility suite compare persisted records
         byte for byte across serial and stacked paths.
         """
+        from ..kernels import get_backend
+
+        backend = get_backend(backend)
         t_in = np.asarray(input_times, dtype=float)
         squeeze = t_in.ndim == 1
         if t_in.ndim == 1:
@@ -181,9 +187,9 @@ class SingleSpikeMVM:
             )
 
         if self.mode is MVMMode.LINEAR:
-            result = self._evaluate_linear_stacked(t_in, stacked)
+            result = self._evaluate_linear_stacked(t_in, stacked, backend)
         else:
-            result = self._evaluate_exact_stacked(t_in, stacked)
+            result = self._evaluate_exact_stacked(t_in, stacked, backend)
 
         session = _telemetry.active()
         if session is not None:
@@ -203,16 +209,20 @@ class SingleSpikeMVM:
         return result
 
     def _evaluate_exact_stacked(
-        self, t_in: np.ndarray, stacked: StackedCrossbar
+        self, t_in: np.ndarray, stacked: StackedCrossbar, backend
     ) -> COGResult:
         p = self.params
         v_in = np.asarray(self.decoder.voltages_from_times(t_in), dtype=float)
         total_g = stacked.column_total_conductance()  # (T, cols)
-        v_eq = stacked.mvm_currents(v_in) / total_g[:, None, :]  # (T, b, cols)
+        v_eq = (
+            stacked.mvm_currents(v_in, backend) / total_g[:, None, :]
+        )  # (T, b, cols)
         depth = p.dt * total_g / p.c_cog  # (T, cols)
-        v_out = v_eq * (1.0 - np.exp(-depth))[:, None, :]
+        v_out = v_eq * (1.0 - backend.exp(-depth))[:, None, :]
 
-        batch_result = self.cog.times_from_voltages(v_out.ravel())
+        batch_result = self.cog.times_from_voltages(
+            v_out.ravel(), backend=backend
+        )
         shape = v_out.shape
         return COGResult(
             times=batch_result.times.reshape(shape),
@@ -221,13 +231,15 @@ class SingleSpikeMVM:
         )
 
     def _evaluate_linear_stacked(
-        self, t_in: np.ndarray, stacked: StackedCrossbar
+        self, t_in: np.ndarray, stacked: StackedCrossbar, backend
     ) -> COGResult:
         p = self.params
-        safe_t = np.where(np.isnan(t_in), 0.0, t_in)
-        times = p.mac_gain * stacked.mvm_currents(safe_t)  # Eq. 6, (T, b, cols)
+        safe_t = backend.where(np.isnan(t_in), 0.0, t_in)
+        times = p.mac_gain * stacked.mvm_currents(
+            safe_t, backend
+        )  # Eq. 6, (T, b, cols)
         fired = times <= p.slice_length
-        clamped = np.where(fired, times, p.slice_length)
+        clamped = backend.where(fired, times, p.slice_length)
         v_out = times * p.v_s / p.tau_gd
         return COGResult(times=clamped, fired=fired, v_out=v_out)
 

@@ -14,6 +14,7 @@ The paper's protocol, reproduced end to end:
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,8 +23,9 @@ from ..analysis.tables import render_table
 from ..config import CircuitParameters
 from ..core.mvm import MVMMode
 from ..errors import ConfigurationError, ExecutionError
+from ..kernels import get_backend
 from ..mapping import PIMExecutor, ReSiPEBackend, compile_network
-from ..runtime import ParallelRunner, trial_rng
+from ..runtime import CampaignCell, CampaignScheduler, trial_rng
 from ..telemetry import session as _telemetry
 from .networks import TrainedNetwork, get_benchmark_networks
 
@@ -167,12 +169,14 @@ def _sigma_column(
     x_eval: np.ndarray,
     y_eval: np.ndarray,
     trial_batch: int,
+    backend=None,
 ) -> Tuple[float, float]:
     """(mean, min) accuracy of one σ column over the Monte-Carlo trials.
 
     Trials are seeded by identity (network key, σ, trial index) and
     evaluated ``trial_batch`` at a time through the stacked kernels —
-    bit-identical to serial evaluation at any batch size.
+    bit-identical to serial evaluation at any batch size and any
+    compute ``backend`` (:mod:`repro.kernels`).
     """
     if sigma == 0 and not config.has_faults:
         acc = executor.accuracy(x_eval, y_eval)
@@ -192,7 +196,8 @@ def _sigma_column(
                 trial_execs.append(executor.perturbed(rng, sigma))
         if len(trial_execs) > 1:
             stacked = executor.accuracy_trials(
-                x_eval, y_eval, [e.network for e in trial_execs]
+                x_eval, y_eval, [e.network for e in trial_execs],
+                backend=backend,
             )
             accs.extend(float(a) for a in stacked)
         else:
@@ -201,7 +206,8 @@ def _sigma_column(
 
 
 def _evaluate_network(
-    net: TrainedNetwork, config: Fig7Config, trial_batch: int = 1
+    net: TrainedNetwork, config: Fig7Config, trial_batch: int = 1,
+    backend=None,
 ) -> NetworkAccuracy:
     with _telemetry.span("fig7.network", network=net.spec.key):
         executor, x_eval, y_eval = _prepare_network(net, config)
@@ -212,7 +218,8 @@ def _evaluate_network(
                 network=net.spec.key, sigma=sigma, trials=config.trials,
             ):
                 by_sigma[sigma] = _sigma_column(
-                    net, executor, config, sigma, x_eval, y_eval, trial_batch
+                    net, executor, config, sigma, x_eval, y_eval,
+                    trial_batch, backend,
                 )
     software = float(
         np.mean(net.model.predict(x_eval, batch_size=128) == y_eval)
@@ -230,13 +237,19 @@ def _evaluate_network(
 # networks it is handed.  Preparation is deterministic and trials are
 # seeded by identity, so the column values are independent of which
 # worker computes them.
-_FIG7_STATE: Optional[Tuple[Fig7Config, int, Dict[str, tuple]]] = None
+_FIG7_STATE: Optional[Tuple[Fig7Config, int, object, Dict[str, tuple]]] = None
 
 
-def _fig7_worker_init(config: Fig7Config, trial_batch: int) -> None:
+def _fig7_worker_init(
+    config: Fig7Config, trial_batch: int,
+    compute_backend: Optional[str] = None,
+) -> None:
     """Install the study config in the worker (process-pool initializer)."""
     global _FIG7_STATE
-    _FIG7_STATE = (config, trial_batch, {})
+    backend = (
+        get_backend(compute_backend) if compute_backend is not None else None
+    )
+    _FIG7_STATE = (config, trial_batch, backend, {})
 
 
 def _fig7_worker(task: Tuple[str, float]) -> Tuple[float, float]:
@@ -245,7 +258,7 @@ def _fig7_worker(task: Tuple[str, float]) -> Tuple[float, float]:
         raise ExecutionError(
             "fig7 worker called before its initializer installed a config"
         )
-    config, trial_batch, cache = _FIG7_STATE
+    config, trial_batch, backend, cache = _FIG7_STATE
     key, sigma = task
     if key not in cache:
         net = get_benchmark_networks(
@@ -254,12 +267,22 @@ def _fig7_worker(task: Tuple[str, float]) -> Tuple[float, float]:
         cache[key] = (net,) + _prepare_network(net, config)
     net, executor, x_eval, y_eval = cache[key]
     return _sigma_column(
-        net, executor, config, sigma, x_eval, y_eval, trial_batch
+        net, executor, config, sigma, x_eval, y_eval, trial_batch, backend
     )
 
 
+def _fig7_prepare_local(config: Fig7Config, cell: CampaignCell) -> None:
+    """Parent-side model-build cell of the fig7 DAG: train (or load)
+    one benchmark network, warming the model store every dependent
+    (network, σ) column cell reads."""
+    get_benchmark_networks(
+        keys=[cell.payload], n_samples=config.n_samples, seed=config.seed
+    )
+    return None
+
+
 def run_fig7(config: Optional[Fig7Config] = None, workers: int = 1,
-             trial_batch: int = 1) -> Fig7Result:
+             trial_batch: int = 1, compute_backend=None) -> Fig7Result:
     """Run the full Fig. 7 study.
 
     Parameters
@@ -267,14 +290,19 @@ def run_fig7(config: Optional[Fig7Config] = None, workers: int = 1,
     config:
         Study knobs (defaults to the paper's protocol).
     workers:
-        Worker processes; 1 (default) runs in-process.  One task per
-        (network, σ) column; crashed workers are retried on a fresh
-        pool.
+        Worker processes; 1 (default) runs in-process.  At ``workers >
+        1`` the study becomes a :class:`~repro.runtime.CampaignScheduler`
+        DAG: one parent-side model-build cell per network feeding its
+        (network, σ) column cells on the pool; crashed workers are
+        retried on a fresh pool.
     trial_batch:
         Monte-Carlo trials evaluated per stacked forward pass.
+    compute_backend:
+        Stacked-kernel engine (:func:`repro.kernels.get_backend` name
+        or instance; default numpy).
 
-    Both knobs are execution details: results are byte-identical for a
-    fixed config at any worker count or batch size.
+    All three knobs are execution details: results are byte-identical
+    for a fixed config at any worker count, batch size or backend.
     """
     config = config if config is not None else Fig7Config()
     if workers < 1:
@@ -283,43 +311,69 @@ def run_fig7(config: Optional[Fig7Config] = None, workers: int = 1,
         raise ConfigurationError(
             f"need trial_batch >= 1, got {trial_batch!r}"
         )
+    backend = (
+        get_backend(compute_backend) if compute_backend is not None else None
+    )
     with _telemetry.span(
         "fig7.run",
         networks=len(config.networks) if config.networks else "all",
         sigmas=len(config.sigmas), trials=config.trials, workers=workers,
     ):
-        return _run_fig7_inner(config, workers, trial_batch)
+        return _run_fig7_inner(config, workers, trial_batch, backend)
 
 
-def _run_fig7_inner(config: Fig7Config, workers: int,
-                    trial_batch: int) -> Fig7Result:
+def _run_fig7_inner(config: Fig7Config, workers: int, trial_batch: int,
+                    backend=None) -> Fig7Result:
     keys: Optional[Sequence[str]] = config.networks
-    networks = get_benchmark_networks(
-        keys=keys, n_samples=config.n_samples, seed=config.seed
-    )
     if workers <= 1:
+        networks = get_benchmark_networks(
+            keys=keys, n_samples=config.n_samples, seed=config.seed
+        )
         rows = [
-            _evaluate_network(net, config, trial_batch) for net in networks
+            _evaluate_network(net, config, trial_batch, backend)
+            for net in networks
         ]
         return Fig7Result(config=config, rows=rows)
 
-    # get_benchmark_networks above warmed the model store, so forked /
-    # spawned workers load trained networks instead of re-training.
-    tasks = [
-        (net.spec.key, sigma)
-        for net in networks
-        for sigma in config.sigmas
-    ]
-    runner = ParallelRunner(
+    # The sweep as a DAG: a local model-build cell per network (runs in
+    # the parent, warming the model store forked workers inherit) feeds
+    # that network's (network, σ) column cells on the process pool.
+    from .networks import NETWORK_SPECS
+
+    resolved_keys = list(keys) if keys is not None else list(NETWORK_SPECS)
+    cells = []
+    for key in resolved_keys:
+        cells.append(
+            CampaignCell(key=f"prepare/{key}", payload=key, local=True)
+        )
+        cells.extend(
+            CampaignCell(
+                key=f"column/{key}/{sigma:.6f}",
+                payload=(key, sigma),
+                deps=(f"prepare/{key}",),
+            )
+            for sigma in config.sigmas
+        )
+    backend_name = backend.name if backend is not None else None
+    scheduler = CampaignScheduler(
         _fig7_worker,
         workers=workers,
         initializer=_fig7_worker_init,
-        initargs=(config, trial_batch),
+        initargs=(config, trial_batch, backend_name),
+        local_fn=functools.partial(_fig7_prepare_local, config),
     )
-    columns = runner.map(tasks)
+    results = scheduler.run(cells)
     by_net: Dict[str, Dict[float, Tuple[float, float]]] = {}
-    for (key, sigma), column in zip(tasks, columns):
-        by_net.setdefault(key, {})[sigma] = column
+    for key in resolved_keys:
+        for sigma in config.sigmas:
+            by_net.setdefault(key, {})[sigma] = results[
+                f"column/{key}/{sigma:.6f}"
+            ]
+    # The store is warm (prepare cells trained in-parent), so this
+    # reload only deserialises the models for the software rows.
+    networks = get_benchmark_networks(
+        keys=keys, n_samples=config.n_samples, seed=config.seed
+    )
     rows = []
     for net in networks:
         x_eval = net.test.images[: config.eval_samples]

@@ -41,8 +41,9 @@ from ..mapping import (
     ReSiPEBackend,
     compile_network,
 )
+from ..kernels import get_backend
 from ..mapping.remap import detect_and_remap
-from ..runtime import ParallelRunner, trial_rng
+from ..runtime import CampaignCell, CampaignScheduler, trial_rng
 from ..store import ArtifactStore, get_store, spec_hash
 from ..telemetry import session as _telemetry
 from .injectors import (
@@ -258,6 +259,9 @@ class FaultCampaign:
         self.spec = spec
         self.store = store if store is not None else get_store()
         self._prepared = None
+        # Stacked-kernel compute backend (execution knob, never spec):
+        # resolved per run(); None means the byte-identical numpy path.
+        self._compute_backend = None
 
     # ------------------------------------------------------------------
     def trial_key(self, rate: float, sigma: float, age: float,
@@ -306,6 +310,21 @@ class FaultCampaign:
                           x_eval, y_eval)
         return self._prepared
 
+    def _compute_backend_name(self) -> Optional[str]:
+        """The picklable backend selector worker initializers receive
+        (resolved instances may hold unpicklable JIT state, so the name
+        crosses the process boundary and each worker re-resolves it)."""
+        if self._compute_backend is None:
+            return None
+        return self._compute_backend.name
+
+    def _run_local_cell(self, cell) -> None:
+        """Parent-side shared cell of the campaign DAG: train + map +
+        calibrate the pristine chip once, warming the model cache that
+        forked workers (and the in-process group cells) reuse."""
+        self._prepare()
+        return None
+
     # ------------------------------------------------------------------
     def _run_trial(self, rate: float, sigma: float, age: float,
                    trial: int) -> dict:
@@ -325,7 +344,21 @@ class FaultCampaign:
         point from the trial token (never from batch position), and the
         remap stage — whose spare draws continue each trial's own
         stream — stays per-trial.
+
+        Each group is one ``campaign.trial_group`` telemetry span (the
+        scheduler cell granularity); on serial runs the spans land on
+        the parent session, one per group.
         """
+        rate0, sigma0, age0, _trial0 = points[0]
+        with _telemetry.span(
+            "campaign.trial_group",
+            rate=rate0, sigma=sigma0, age=age0, trials=len(points),
+        ):
+            return self._run_trial_group_inner(points)
+
+    def _run_trial_group_inner(
+        self, points: Sequence[Tuple[float, float, float, int]]
+    ) -> List[dict]:
         spec = self.spec
         _net, backend, mapped, executor, probe, x_eval, y_eval = (
             self._prepare()
@@ -358,7 +391,8 @@ class FaultCampaign:
         ]
         if len(faulted_execs) > 1:
             stacked_accs = executor.accuracy_trials(
-                x_eval, y_eval, [fe.network for fe in faulted_execs]
+                x_eval, y_eval, [fe.network for fe in faulted_execs],
+                backend=self._compute_backend,
             )
             unprotected = [float(a) for a in stacked_accs]
         else:
@@ -403,7 +437,8 @@ class FaultCampaign:
 
     def run(self, max_trials: Optional[int] = None,
             verbose: bool = False, workers: int = 1,
-            trial_batch: int = 1) -> CampaignResult:
+            trial_batch: int = 1,
+            compute_backend=None) -> CampaignResult:
         """Execute the campaign, resuming from stored records.
 
         Parameters
@@ -424,6 +459,11 @@ class FaultCampaign:
             Trials evaluated per stacked forward pass (the
             trial-vectorized kernels); 1 evaluates serially.  Results
             are byte-identical at any batch size.
+        compute_backend:
+            Stacked-kernel engine (:func:`repro.kernels.get_backend`
+            name or instance; default numpy).  An execution knob like
+            ``workers``/``trial_batch``: fingerprints, persisted bytes
+            and stdout are identical for any choice.
         """
         if workers < 1:
             raise ConfigurationError(f"need workers >= 1, got {workers!r}")
@@ -431,6 +471,12 @@ class FaultCampaign:
             raise ConfigurationError(
                 f"need trial_batch >= 1, got {trial_batch!r}"
             )
+        # Resolve eagerly so a bad name fails before any compute, and
+        # keep the resolved engine for the in-process trial groups.
+        self._compute_backend = (
+            get_backend(compute_backend) if compute_backend is not None
+            else None
+        )
         with _telemetry.span(
             "campaign.run",
             network=self.spec.network,
@@ -478,26 +524,43 @@ class FaultCampaign:
                 tuple(pending[i : i + trial_batch])
                 for i in range(0, len(pending), trial_batch)
             ]
+            # The grid as a DAG: one parent-side prepare cell (train +
+            # map + calibrate, warming the model cache workers inherit
+            # via fork) feeding one pooled cell per trial group.
+            cells = [CampaignCell(key="prepare", local=True)]
+            cells.extend(
+                CampaignCell(
+                    key=f"group/{i}", payload=group, deps=("prepare",)
+                )
+                for i, group in enumerate(groups)
+            )
             if workers > 1:
-                # Warm the model cache so forked/spawned workers load
-                # the trained network instead of re-training it.
-                self._prepare()
-                runner = ParallelRunner(
+                scheduler = CampaignScheduler(
                     _campaign_worker,
                     workers=workers,
                     initializer=_campaign_worker_init,
-                    initargs=(self.spec,),
+                    initargs=(self.spec, self._compute_backend_name()),
+                    local_fn=self._run_local_cell,
                 )
-                runner.map(groups, on_result=merge)
-                pool_rebuilds = runner.pool_rebuilds
             else:
-                for group in groups:
-                    rate, sigma, age, _trial = group[0]
-                    with _telemetry.span(
-                        "campaign.trial_group",
-                        rate=rate, sigma=sigma, age=age, trials=len(group),
-                    ):
-                        merge(group, self._run_trial_group(list(group)))
+                # In-process: install *this* campaign (warm _prepared,
+                # caller-chosen store, resolved backend) as the worker
+                # state; the instance is never pickled at workers <= 1.
+                scheduler = CampaignScheduler(
+                    _campaign_worker,
+                    workers=1,
+                    initializer=_campaign_worker_install,
+                    initargs=(self,),
+                    local_fn=self._run_local_cell,
+                )
+
+            def cell_merge(cell: CampaignCell, group_records) -> None:
+                if cell.payload is None:
+                    return  # the prepare cell carries no records
+                merge(cell.payload, group_records)
+
+            scheduler.run(cells, on_result=cell_merge)
+            pool_rebuilds = scheduler.pool_rebuilds
 
         records: List[dict] = []
         computed = cached = 0
@@ -533,10 +596,22 @@ class FaultCampaign:
 _WORKER_CAMPAIGN: Optional[FaultCampaign] = None
 
 
-def _campaign_worker_init(spec: CampaignSpec) -> None:
+def _campaign_worker_init(
+    spec: CampaignSpec, compute_backend: Optional[str] = None
+) -> None:
     """Build the per-process campaign (process-pool initializer)."""
     global _WORKER_CAMPAIGN
     _WORKER_CAMPAIGN = FaultCampaign(spec)
+    if compute_backend is not None:
+        _WORKER_CAMPAIGN._compute_backend = get_backend(compute_backend)
+
+
+def _campaign_worker_install(campaign: FaultCampaign) -> None:
+    """Serial-path initializer: serve groups from an existing campaign
+    instance (its warm ``_prepared`` state, caller-chosen store and
+    resolved compute backend) instead of rebuilding from the spec."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = campaign
 
 
 def _campaign_worker(

@@ -1,0 +1,44 @@
+"""CuPy GPU backend stub (experimental, manual install).
+
+Routes the broadcast trial product through a GPU GEMM with host↔device
+round-trips per call.  This is a *capability stub*: the data movement
+makes it slower than numpy for the repo's tile sizes, and GPU GEMM is
+**not** guaranteed bit-identical to the CPU BLAS path — so the stub is
+never auto-selected and the byte-identity contract tests only bind the
+numpy/numba pair.  It exists so the scale-out items (multi-tile chip
+simulation) have a working socket to grow into.
+
+cupy is not part of any extra — it must be installed manually against
+the local CUDA toolkit (see docs/performance.md).  Constructing the
+backend without cupy raises :class:`~repro.errors.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .backend import ComputeBackend, _module_available
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ComputeBackend):
+    """GPU kernels via cupy (experimental; requires manual install)."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        if not _module_available("cupy"):
+            raise ConfigurationError(
+                "CupyBackend requires cupy, which is a manual install "
+                "matched to your CUDA toolkit (see docs/performance.md)"
+            )
+        import cupy
+
+        self._cupy = cupy
+
+    def matmul(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        cp = self._cupy
+        out = cp.matmul(cp.asarray(x), cp.asarray(w))
+        return np.asarray(cp.asnumpy(out))

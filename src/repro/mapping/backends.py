@@ -277,7 +277,9 @@ class StackedTile(abc.ABC):
     per-trial ``(T, batch, rows)`` and returns ``(T, batch, cols)``.
     Each output slice ``t`` is bit-identical to the corresponding
     per-trial :meth:`ProgrammedTile.matmul` — the contract the serial /
-    stacked reproducibility suite enforces.
+    stacked reproducibility suite enforces.  ``backend`` selects the
+    stacked compute kernels (:mod:`repro.kernels`; default numpy) and
+    never changes results.
     """
 
     @property
@@ -286,7 +288,7 @@ class StackedTile(abc.ABC):
         """Number of stacked realizations."""
 
     @abc.abstractmethod
-    def matmul(self, x: np.ndarray) -> np.ndarray:
+    def matmul(self, x: np.ndarray, backend=None) -> np.ndarray:
         """Compute ``x @ w_t`` for every trial ``t`` at once."""
 
 
@@ -298,8 +300,12 @@ class _StackedIdealTile(StackedTile):
     def trials(self) -> int:
         return self._w.shape[0]
 
-    def matmul(self, x: np.ndarray) -> np.ndarray:
-        return np.matmul(np.asarray(x, dtype=float), self._w)
+    def matmul(self, x: np.ndarray, backend=None) -> np.ndarray:
+        from ..kernels import get_backend
+
+        return get_backend(backend).matmul(
+            np.asarray(x, dtype=float), self._w
+        )
 
 
 class _StackedReSiPETile(StackedTile):
@@ -330,11 +336,13 @@ class _StackedReSiPETile(StackedTile):
     def trials(self) -> int:
         return self._stacks[0].trials
 
-    def matmul(self, x: np.ndarray) -> np.ndarray:
+    def matmul(self, x: np.ndarray, backend=None) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         y = np.mean(
             [
-                np.asarray(e.mvm_values_stacked(x, s), dtype=float)
+                np.asarray(
+                    e.mvm_values_stacked(x, s, backend=backend), dtype=float
+                )
                 for e, s in zip(self._engines, self._stacks)
             ],
             axis=0,
@@ -357,7 +365,9 @@ class _LoopStackedTile(StackedTile):
     def trials(self) -> int:
         return len(self._tiles)
 
-    def matmul(self, x: np.ndarray) -> np.ndarray:
+    def matmul(self, x: np.ndarray, backend=None) -> np.ndarray:
+        # ``backend`` is accepted for interface uniformity but unused:
+        # baseline functional models have no broadcast kernel to swap.
         x = np.asarray(x, dtype=float)
         if x.ndim == 3:
             return np.stack(

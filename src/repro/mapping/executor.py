@@ -198,13 +198,16 @@ class PIMExecutor:
     # Trial-stacked execution (the Monte-Carlo fast path)
     # ------------------------------------------------------------------
     def _run_mapped_stacked(
-        self, stage: StackedMappedLayer, activation: np.ndarray
+        self, stage: StackedMappedLayer, activation: np.ndarray,
+        backend=None,
     ) -> np.ndarray:
         """One weighted layer over all ``T`` trial realizations at once.
 
         ``activation`` is ``(batch, ...)`` before trials diverge (the
         network input or a software prefix) or ``(T, batch, ...)``
         afterwards; the result always carries the leading trial axis.
+        ``backend`` selects the stacked compute kernels
+        (:mod:`repro.kernels`; default numpy) and never changes results.
         """
         scale = self.activation_scales[stage.name]
         bias_level = 1.0 / scale
@@ -212,7 +215,9 @@ class PIMExecutor:
         if isinstance(layer, Dense):
             x01 = np.clip(np.asarray(activation, dtype=float) / scale, 0.0, 1.0)
             self._count_launches(stage, x01.shape[-2] * stage.trials)
-            return scale * stage.matmul_with_bias_level(x01, bias_level)
+            return scale * stage.matmul_with_bias_level(
+                x01, bias_level, backend
+            )
         if isinstance(layer, Conv2D):
             x = np.asarray(activation, dtype=float)
             if x.ndim == 4:
@@ -238,27 +243,32 @@ class PIMExecutor:
                     f"(T, N, C, H, W), got {x.shape}"
                 )
             self._count_launches(stage, x01.shape[-2] * stage.trials)
-            flat = scale * stage.matmul_with_bias_level(x01, bias_level)
+            flat = scale * stage.matmul_with_bias_level(
+                x01, bias_level, backend
+            )
             return flat.reshape(
                 stage.trials, n, h_out, w_out, layer.out_channels
             ).transpose(0, 1, 4, 2, 3)
         raise MappingError(f"unsupported mapped layer type {type(layer).__name__}")
 
     def _forward_stacked(
-        self, x: np.ndarray, stacked: StackedMappedNetwork
+        self, x: np.ndarray, stacked: StackedMappedNetwork, backend=None
     ) -> np.ndarray:
         """Forward pass through a pre-stacked network: ``(T, batch, out)``.
 
         Software stages run on the merged ``(T*batch, ...)`` activation
         (they are per-sample deterministic), mapped stages on the
         broadcast trial kernels; each output slice ``t`` is bit-identical
-        to :meth:`forward` on the serial per-trial clone.
+        to :meth:`forward` on the serial per-trial clone, at any
+        ``backend`` (:mod:`repro.kernels`) choice.
         """
         activation = np.asarray(x, dtype=float)
         has_trials = False
         for layer, stage in zip(stacked.model, stacked.stages):
             if stage is not None:
-                activation = self._run_mapped_stacked(stage, activation)
+                activation = self._run_mapped_stacked(
+                    stage, activation, backend
+                )
                 has_trials = True
             elif has_trials:
                 trials, batch = activation.shape[:2]
@@ -272,7 +282,8 @@ class PIMExecutor:
         return activation
 
     def forward_trials(
-        self, x: np.ndarray, networks: Sequence[MappedNetwork]
+        self, x: np.ndarray, networks: Sequence[MappedNetwork],
+        backend=None,
     ) -> np.ndarray:
         """Forward all per-trial network clones in one stacked pass.
 
@@ -280,26 +291,37 @@ class PIMExecutor:
         (``perturbed``/``aged``/``faulted`` realizations); the result is
         ``(T, batch, out)`` with slice ``t`` bit-identical to running
         ``networks[t]`` serially under this executor's calibration.
+        ``backend`` selects the stacked compute kernels
+        (:mod:`repro.kernels`; default numpy) and never changes results.
         """
-        return self._forward_stacked(x, stack_networks(list(networks)))
+        from ..kernels import get_backend
+
+        return self._forward_stacked(
+            x, stack_networks(list(networks)), get_backend(backend)
+        )
 
     def predict_trials(
         self,
         x: np.ndarray,
         networks: Sequence[MappedNetwork],
         batch_size: int = 256,
+        backend=None,
     ) -> np.ndarray:
         """Per-trial class predictions, ``(T, n_samples)``.
 
         A zero-row input returns ``(T, 0)`` without touching the
-        hardware kernels, mirroring :meth:`predict`.
+        hardware kernels, mirroring :meth:`predict`.  ``backend`` is an
+        execution knob only — predictions are identical for any choice.
         """
+        from ..kernels import get_backend
+
         x = np.asarray(x, dtype=float)
         if x.shape[0] == 0:
             return np.empty((len(networks), 0), dtype=np.intp)
+        be = get_backend(backend)
         stacked = stack_networks(list(networks))
         outputs = [
-            self._forward_stacked(x[i : i + batch_size], stacked)
+            self._forward_stacked(x[i : i + batch_size], stacked, be)
             for i in range(0, x.shape[0], batch_size)
         ]
         return np.argmax(np.concatenate(outputs, axis=1), axis=-1)
@@ -310,16 +332,18 @@ class PIMExecutor:
         labels: np.ndarray,
         networks: Sequence[MappedNetwork],
         batch_size: int = 256,
+        backend=None,
     ) -> np.ndarray:
         """Per-trial top-1 accuracies, ``(T,)`` — each entry equals the
-        serial :meth:`accuracy` of the corresponding clone."""
+        serial :meth:`accuracy` of the corresponding clone (at any
+        ``backend`` choice)."""
         x = np.asarray(x, dtype=float)
         if x.shape[0] == 0:
             raise ConfigurationError(
                 "accuracy of an empty evaluation batch is undefined; "
                 "pass at least one sample"
             )
-        predictions = self.predict_trials(x, networks, batch_size)
+        predictions = self.predict_trials(x, networks, batch_size, backend)
         labels = np.asarray(labels)
         return np.mean(predictions == labels[None, :], axis=-1)
 

@@ -40,6 +40,7 @@ def _grid_product(
     tiles: List[List[StackedTile]],
     x01: np.ndarray,
     trials: int,
+    backend=None,
 ) -> np.ndarray:
     """``x01 @ M`` through stacked tile banks, with digital partial-sum
     accumulation in the same band order as
@@ -48,7 +49,13 @@ def _grid_product(
 
     ``x01`` is ``(batch, rows)`` (shared by all trials) or per-trial
     ``(T, batch, rows)``; the result is always ``(T, batch, cols)``.
+    ``backend`` selects the stacked compute kernels
+    (:mod:`repro.kernels`; default numpy) for the tile products and the
+    band accumulation, and never changes results.
     """
+    from ..kernels import get_backend
+
+    be = get_backend(backend)
     if x01.shape[-1] != grid.shape[0]:
         raise ShapeError(
             f"input width {x01.shape[-1]} != matrix rows {grid.shape[0]}"
@@ -58,8 +65,10 @@ def _grid_product(
     for i in range(grid.row_bands):
         x_band = x01[..., grid.row_edges[i] : grid.row_edges[i + 1]]
         for j in range(grid.col_bands):
-            partial = tiles[i][j].matmul(x_band)
-            out[..., grid.col_edges[j] : grid.col_edges[j + 1]] += partial
+            partial = tiles[i][j].matmul(x_band, backend=be)
+            be.accumulate(
+                out, slice(grid.col_edges[j], grid.col_edges[j + 1]), partial
+            )
     return out
 
 
@@ -85,11 +94,13 @@ class StackedMappedLayer:
         return self.pos_grid.num_tiles + self.neg_grid.num_tiles
 
     def matmul_with_bias_level(
-        self, x01: np.ndarray, bias_level: float
+        self, x01: np.ndarray, bias_level: float, backend=None
     ) -> np.ndarray:
         """Stacked analogue of
         :meth:`~repro.mapping.compiler.MappedLayer.matmul_with_bias_level`:
-        returns ``(T, batch, cols)`` signed products."""
+        returns ``(T, batch, cols)`` signed products.  ``backend``
+        selects the stacked compute kernels (:mod:`repro.kernels`;
+        default numpy) and never changes results."""
         x01 = np.asarray(x01, dtype=float)
         if x01.ndim not in (2, 3):
             raise ShapeError(
@@ -110,8 +121,12 @@ class StackedMappedLayer:
             x01 = np.concatenate(
                 [np.full(ones_shape, bias_level), x01], axis=-1
             )
-        pos = _grid_product(self.pos_grid, self.pos_tiles, x01, self.trials)
-        neg = _grid_product(self.neg_grid, self.neg_tiles, x01, self.trials)
+        pos = _grid_product(
+            self.pos_grid, self.pos_tiles, x01, self.trials, backend
+        )
+        neg = _grid_product(
+            self.neg_grid, self.neg_tiles, x01, self.trials, backend
+        )
         return self.gain * self.diff.scale * (pos - neg)
 
 

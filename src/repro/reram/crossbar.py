@@ -283,13 +283,19 @@ class StackedCrossbar:
         g.flags.writeable = False
         return g
 
-    def mvm_currents(self, voltages: np.ndarray) -> np.ndarray:
+    def mvm_currents(self, voltages: np.ndarray, backend=None) -> np.ndarray:
         """Bitline currents for every trial at once.
 
         Accepts ``(rows,)``, ``(batch, rows)`` or per-trial inputs
         ``(T, batch, rows)``; returns ``(T, cols)``, ``(T, batch, cols)``
-        or ``(T, batch, cols)`` respectively via broadcast ``np.matmul``.
+        or ``(T, batch, cols)`` respectively via the broadcast batched
+        matmul of ``backend`` (a
+        :class:`~repro.kernels.ComputeBackend` or a name for
+        :func:`~repro.kernels.get_backend`; default numpy — the
+        byte-identical reference).
         """
+        from ..kernels import get_backend
+
         v = np.asarray(voltages, dtype=float)
         if v.shape[-1] != self.rows:
             raise ShapeError(
@@ -300,7 +306,7 @@ class StackedCrossbar:
                 f"per-trial voltages have {v.shape[0]} trials, "
                 f"stack holds {self.trials}"
             )
-        return np.matmul(v, self._g)
+        return get_backend(backend).matmul(v, self._g)
 
     def column_total_conductance(self) -> np.ndarray:
         """Per-trial, per-column ``Σ_i G[t, i, j]`` of shape ``(T, cols)``."""

@@ -8,7 +8,12 @@ The speed layer under the Monte-Carlo studies:
   order;
 * :mod:`repro.runtime.runner` — :class:`ParallelRunner`, a
   crash-tolerant chunked process pool whose results are byte-identical
-  to serial execution for seeding-disciplined workers.
+  to serial execution for seeding-disciplined workers;
+* :mod:`repro.runtime.scheduler` — :class:`CampaignScheduler`, a
+  dependency-aware DAG of :class:`CampaignCell` nodes (shared
+  model-build cells feeding per-sigma trial-group cells) executed in
+  waves on the runner, with a ``completed`` probe for cell-granularity
+  resume.
 
 Consumers: :class:`repro.faults.FaultCampaign` (``run(workers=...,
 trial_batch=...)``) and :func:`repro.experiments.fig7_accuracy.run_fig7`
@@ -17,6 +22,13 @@ trial_batch=...)``) and :func:`repro.experiments.fig7_accuracy.run_fig7`
 """
 
 from .runner import ParallelRunner
+from .scheduler import CampaignCell, CampaignScheduler
 from .seeding import trial_rng, trial_seed_sequence
 
-__all__ = ["ParallelRunner", "trial_rng", "trial_seed_sequence"]
+__all__ = [
+    "ParallelRunner",
+    "CampaignCell",
+    "CampaignScheduler",
+    "trial_rng",
+    "trial_seed_sequence",
+]

@@ -29,9 +29,11 @@ a ``runner.chunk`` span (parent-side turnaround, submit → result) and a
 chunk spans always equal chunk count regardless of worker count.  Pool
 rebuilds after a crash increment ``runner.pool_rebuilds`` and the count
 is exposed on :attr:`ParallelRunner.pool_rebuilds` (campaign results
-surface it; a crash-retry is no longer silent).  After a pooled map the
+surface it; a crash-retry is no longer silent).  After a map the
 ``runner.worker_utilisation`` gauge holds busy-time / (workers ×
-elapsed), capped at 1.
+elapsed), capped at 1 — the serial path sets it too (workers = 1), so
+scheduler-level dashboards see the same ``runner.*`` metrics at any
+worker count.
 """
 
 from __future__ import annotations
@@ -139,6 +141,8 @@ class ParallelRunner:
         if self.initializer is not None:
             self.initializer(*self.initargs)
         session = _telemetry.active()
+        map_start = perf()
+        busy = 0.0
         out: List[Any] = []
         for idx, chunk in enumerate(self._chunked(tasks)):
             start = perf()
@@ -147,12 +151,22 @@ class ParallelRunner:
                 if on_result is not None:
                     on_result(task, result)
                 out.append(result)
+            end = perf()
+            busy += end - start
             if session is not None:
-                end = perf()
                 session.tracer.record_span(
                     "runner.chunk", start, end, index=idx, tasks=len(chunk)
                 )
                 session.observe("runner.chunk_seconds", end - start)
+        if session is not None:
+            # Same utilisation gauge the pooled path sets (busy time over
+            # one worker's wall clock) — dashboards see the runtime.*
+            # metrics regardless of worker count.
+            elapsed = perf() - map_start
+            if elapsed > 0:
+                session.set_gauge(
+                    "runner.worker_utilisation", min(1.0, busy / elapsed)
+                )
         return out
 
     def _map_pooled(

@@ -1,0 +1,229 @@
+"""Dependency-aware campaign-grid scheduling on the process pool.
+
+:class:`ParallelRunner` maps one flat task list; a campaign grid has
+more structure — shared model-build/program work feeding many
+independent trial-group cells.  :class:`CampaignScheduler` expresses
+that structure as a DAG of :class:`CampaignCell` nodes and executes it
+in dependency waves on the existing crash-tolerant pool:
+
+* **local cells** run in the parent process (model training, store
+  warm-up — anything that must respect the single-writer invariant of
+  the artifact store or warm a cache workers inherit via ``fork``);
+* **pooled cells** fan out through a :class:`ParallelRunner` per wave,
+  inheriting its chunking, crash retry and order preservation;
+* **resume**: an optional ``completed`` probe short-circuits cells
+  whose results already exist (e.g. in the artifact store), so an
+  interrupted grid re-invocation recomputes nothing finished —
+  cell-granularity resume;
+* **determinism**: the scheduler feeds no scheduling information to the
+  cells; seeding-disciplined workers therefore produce byte-identical
+  results at any worker count (the :mod:`repro.runtime.seeding`
+  contract, unchanged).
+
+Results merge parent-side through ``on_result`` as each cell lands —
+the hook campaign callers use to persist finished cells immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ExecutionError
+from ..telemetry import session as _telemetry
+from .runner import ParallelRunner
+
+__all__ = ["CampaignCell", "CampaignScheduler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignCell:
+    """One schedulable unit of a campaign grid.
+
+    Attributes
+    ----------
+    key:
+        Unique cell identifier (also the resume key).
+    payload:
+        The task handed to the worker function (must be picklable for
+        pooled cells at ``workers > 1``).
+    deps:
+        Keys of cells that must complete before this one starts.
+    local:
+        Run in the parent process (via ``local_fn``) instead of the
+        pool — for shared-prepare cells and store writers.
+    """
+
+    key: str
+    payload: Any = None
+    deps: Tuple[str, ...] = ()
+    local: bool = False
+
+
+def _run_keyed(fn: Callable[[Any], Any], task: Tuple[str, Any]) -> Any:
+    """Pooled cell trampoline: unwrap ``(key, payload)`` and call ``fn``.
+
+    Module-level (fork/spawn-picklable); the key rides along so the
+    parent can attribute completion-order results to cells without
+    relying on payload uniqueness.
+    """
+    return fn(task[1])
+
+
+class CampaignScheduler:
+    """Executes a DAG of :class:`CampaignCell` nodes.
+
+    Parameters
+    ----------
+    worker_fn:
+        Module-level (picklable) callable applied to each pooled cell's
+        payload.
+    workers / chunk_size / max_retries / initializer / initargs:
+        Forwarded to the per-wave :class:`ParallelRunner` (see there);
+        ``workers <= 1`` runs every cell in-process.
+    local_fn:
+        Parent-side callable for ``local=True`` cells, receiving the
+        :class:`CampaignCell`; defaults to ``worker_fn(cell.payload)``.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        workers: int = 1,
+        chunk_size: int = 1,
+        max_retries: int = 2,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+        local_fn: Optional[Callable[[CampaignCell], Any]] = None,
+    ) -> None:
+        self.worker_fn = worker_fn
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.initializer = initializer
+        self.initargs = initargs
+        self.local_fn = local_fn
+        #: pool rebuilds performed across all waves of the last :meth:`run`
+        self.pool_rebuilds = 0
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    def _validate(self, cells: Sequence[CampaignCell]) -> None:
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ConfigurationError(f"duplicate cell keys: {dupes}")
+        known = set(keys)
+        for cell in cells:
+            missing = [d for d in cell.deps if d not in known]
+            if missing:
+                raise ConfigurationError(
+                    f"cell {cell.key!r} depends on unknown cell(s) "
+                    f"{missing}"
+                )
+
+    def _run_local(self, cell: CampaignCell) -> Any:
+        if self.local_fn is not None:
+            return self.local_fn(cell)
+        # Local cells reuse the worker function in-process; give it the
+        # same initialized module state a serial ParallelRunner would.
+        if self.initializer is not None and not self._initialized:
+            self.initializer(*self.initargs)
+            self._initialized = True
+        return self.worker_fn(cell.payload)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cells: Sequence[CampaignCell],
+        on_result: Optional[Callable[[CampaignCell, Any], None]] = None,
+        completed: Optional[Callable[[CampaignCell], Any]] = None,
+    ) -> Dict[str, Any]:
+        """Execute every cell respecting dependencies; returns
+        ``{cell.key: result}``.
+
+        ``on_result(cell, result)`` fires in the parent as each *newly
+        computed* cell lands (completion order within a wave) — the
+        store-merge hook.  ``completed(cell)`` is the resume probe: a
+        non-``None`` return is taken as the cell's already-persisted
+        result and the cell is skipped (``on_result`` does not fire for
+        it).  Unsatisfiable dependencies (a cycle) raise
+        :class:`~repro.errors.ExecutionError`.
+        """
+        cells = list(cells)
+        self._validate(cells)
+        self.pool_rebuilds = 0
+        self._initialized = False
+        session = _telemetry.active()
+
+        results: Dict[str, Any] = {}
+        remaining: List[CampaignCell] = []
+        resumed = 0
+        for cell in cells:
+            cached = completed(cell) if completed is not None else None
+            if cached is not None:
+                results[cell.key] = cached
+                resumed += 1
+            else:
+                remaining.append(cell)
+        if session is not None and resumed:
+            session.count("scheduler.cells.resumed", resumed)
+
+        waves = 0
+        while remaining:
+            ready = [
+                cell for cell in remaining
+                if all(dep in results for dep in cell.deps)
+            ]
+            if not ready:
+                cycle = sorted(cell.key for cell in remaining)
+                raise ExecutionError(
+                    f"campaign cells form a dependency cycle (or depend "
+                    f"on failed cells): {cycle}"
+                )
+            waves += 1
+            local = [cell for cell in ready if cell.local]
+            pooled = [cell for cell in ready if not cell.local]
+            for cell in local:
+                result = self._run_local(cell)
+                results[cell.key] = result
+                if on_result is not None:
+                    on_result(cell, result)
+            if pooled:
+                self._run_pooled_wave(pooled, results, on_result)
+            if session is not None:
+                session.count("scheduler.cells.completed", len(ready))
+            done = {cell.key for cell in ready}
+            remaining = [c for c in remaining if c.key not in done]
+        if session is not None:
+            session.set_gauge("scheduler.waves", waves)
+        return results
+
+    def _run_pooled_wave(
+        self,
+        pooled: List[CampaignCell],
+        results: Dict[str, Any],
+        on_result: Optional[Callable[[CampaignCell, Any], None]],
+    ) -> None:
+        """Fan one wave's independent cells out through the pool."""
+        by_key = {cell.key: cell for cell in pooled}
+
+        def merge(task: Tuple[str, Any], result: Any) -> None:
+            cell = by_key[task[0]]
+            results[cell.key] = result
+            if on_result is not None:
+                on_result(cell, result)
+
+        runner = ParallelRunner(
+            functools.partial(_run_keyed, self.worker_fn),
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            max_retries=self.max_retries,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+        runner.map(
+            [(cell.key, cell.payload) for cell in pooled], on_result=merge
+        )
+        self.pool_rebuilds += runner.pool_rebuilds

@@ -1,0 +1,152 @@
+"""Byte-identity contract: compute backends and worker counts are
+execution knobs.
+
+Choosing ``--backend`` / ``--compute-backend`` or a worker count must
+never change a result bit: ``predict_trials`` output hashes, persisted
+campaign record bytes, and trial fingerprints are all invariant.  Numba
+legs skip cleanly when the ``perf`` extra is absent.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.config import CircuitParameters
+from repro.core.mvm import MVMMode
+from repro.faults import CampaignSpec, FaultCampaign
+from repro.kernels import NumpyBackend, available_backends
+from repro.mapping import PIMExecutor, ReSiPEBackend, compile_network
+from repro.nn import Dense, ReLU, Sequential
+from repro.store import ArtifactStore
+
+HAVE_NUMBA = available_backends()["numba"]
+
+
+def _hash_array(a: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(a).tobytes()).hexdigest()
+
+
+@pytest.fixture
+def executor(rng):
+    model = Sequential(
+        [Dense(12, 10, rng=rng), ReLU(), Dense(10, 4, rng=rng)],
+        name="toy",
+    )
+    backend = ReSiPEBackend(
+        params=CircuitParameters.calibrated(), mode=MVMMode.LINEAR
+    )
+    mapped = compile_network(model, backend)
+    return PIMExecutor(mapped, rng.random((32, 12)))
+
+
+class TestPredictTrialsBackendContract:
+    def test_numpy_name_matches_default(self, rng, executor):
+        clones = [executor.perturbed(rng, 0.1) for _ in range(3)]
+        networks = [c.network for c in clones]
+        x = rng.random((20, 12))
+        base = executor.predict_trials(x, networks)
+        named = executor.predict_trials(x, networks, backend="numpy")
+        instance = executor.predict_trials(
+            x, networks, backend=NumpyBackend()
+        )
+        assert _hash_array(base) == _hash_array(named)
+        assert _hash_array(base) == _hash_array(instance)
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_numba_matches_numpy_hash(self, rng, executor):
+        pytest.importorskip("numba")
+        clones = [executor.perturbed(rng, 0.1) for _ in range(3)]
+        networks = [c.network for c in clones]
+        x = rng.random((20, 12))
+        base = executor.predict_trials(x, networks, backend="numpy")
+        jit = executor.predict_trials(x, networks, backend="numba")
+        assert _hash_array(base) == _hash_array(jit)
+
+    def test_forward_trials_backend_invariant(self, rng, executor):
+        clones = [executor.perturbed(rng, 0.2) for _ in range(3)]
+        networks = [c.network for c in clones]
+        x = rng.random((6, 12))
+        base = executor.forward_trials(x, networks)
+        named = executor.forward_trials(x, networks, backend="numpy")
+        assert _hash_array(base) == _hash_array(named)
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        network="mlp-1",
+        rates=(0.0, 0.05),
+        sigmas=(0.0,),
+        ages=(0.0,),
+        trials=2,
+        seed=0,
+        n_samples=300,
+        eval_samples=50,
+        backend="ideal",
+    )
+
+
+def _record_digests(campaign: FaultCampaign) -> dict:
+    digests = {}
+    for rate, sigma, age, trial in campaign.spec.points():
+        key = campaign.trial_key(rate, sigma, age, trial)
+        path = campaign.store.path_for(key)
+        with open(path, "rb") as fh:
+            digests[key] = hashlib.sha256(fh.read()).hexdigest()
+    return digests
+
+
+def _run_campaign(spec, tmp_path, label, **run_kwargs):
+    store = ArtifactStore(str(tmp_path / label / "records"))
+    campaign = FaultCampaign(spec, store=store)
+    campaign.run(**run_kwargs)
+    return campaign
+
+
+class TestCampaignWorkerCountContract:
+    def test_scheduler_worker_counts_persist_identical_bytes(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """Worker counts 1/2/4 route through the DAG scheduler
+        differently (in-process vs pooled waves) yet persist the same
+        record bytes."""
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        digests = {}
+        for workers in (1, 2, 4):
+            campaign = _run_campaign(
+                spec, tmp_path, f"w{workers}",
+                workers=workers, trial_batch=2,
+            )
+            digests[workers] = _record_digests(campaign)
+        assert digests[1] == digests[2]
+        assert digests[1] == digests[4]
+
+    def test_compute_backend_numpy_persists_identical_bytes(
+        self, spec, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        base = _record_digests(
+            _run_campaign(spec, tmp_path, "default", trial_batch=2)
+        )
+        named = _record_digests(
+            _run_campaign(spec, tmp_path, "numpy", trial_batch=2,
+                          compute_backend="numpy")
+        )
+        assert base == named
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_compute_backend_numba_persists_identical_bytes(
+        self, spec, tmp_path, monkeypatch
+    ):
+        pytest.importorskip("numba")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        base = _record_digests(
+            _run_campaign(spec, tmp_path, "numpy", trial_batch=2,
+                          compute_backend="numpy")
+        )
+        jit = _record_digests(
+            _run_campaign(spec, tmp_path, "numba", trial_batch=2,
+                          compute_backend="numba")
+        )
+        assert base == jit

@@ -141,6 +141,18 @@ class TestTelemetry:
         hist = session.registry.histogram("runner.chunk_seconds")
         assert hist.count == 4
 
+    def test_serial_path_sets_utilisation_gauge(self):
+        """Regression: the serial path must report the same
+        ``runner.worker_utilisation`` gauge the pooled path does, so
+        dashboards see runner metrics at any worker count."""
+        from repro import telemetry
+
+        with telemetry.capture() as session:
+            runner = ParallelRunner(_square, workers=1, chunk_size=2)
+            runner.map(list(range(7)))
+        util = session.registry.gauge("runner.worker_utilisation").value
+        assert util is not None and 0.0 < util <= 1.0
+
     def test_pooled_chunk_spans_match_chunk_count(self):
         from repro import telemetry
 
