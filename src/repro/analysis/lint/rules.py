@@ -1,4 +1,4 @@
-"""Lint rule registry and the five shipped invariant checks.
+"""Lint rule registry and the shipped invariant checks.
 
 Each rule is a singleton with an ``id``, a short ``title``, a
 ``rationale`` (why the invariant matters for reproduction fidelity),
@@ -585,4 +585,54 @@ class ErrorTaxonomyRule(Rule):
                     f"raise {exc.id} is outside the repro.errors taxonomy; "
                     "raise a ReproError subclass (ConfigurationError, "
                     "DeviceError, ...) so callers can catch by domain",
+                )
+
+
+# ----------------------------------------------------------------------
+# OBS001 — structured logging through repro.telemetry.logging
+# ----------------------------------------------------------------------
+@register
+class StructuredLoggingRule(Rule):
+    """Direct stdlib :mod:`logging` use must go through the structured
+    logger."""
+
+    id = "OBS001"
+    title = "log via repro.telemetry.logging, not stdlib logging"
+    rationale = (
+        "logging.getLogger / root-logger calls emit free-form text with "
+        "no trace correlation; repro.telemetry.logging.get_logger emits "
+        "one JSON object per line carrying the active trace_id/span_id, "
+        "so log lines stay joinable with spans and metrics.  basicConfig "
+        "and root-level calls additionally mutate process-global handler "
+        "state, which embedding applications own, not the library.  Only "
+        "repro/telemetry/ itself may touch the stdlib module (it is the "
+        "adapter)."
+    )
+    scopes = ("src", "tests")
+    exempt = ("repro/telemetry/",)
+
+    #: stdlib logging members whose call sites bypass the structured
+    #: logger: logger acquisition, global configuration and the
+    #: root-logger conveniences.
+    _BANNED = frozenset({
+        "getLogger", "basicConfig", "captureWarnings", "disable",
+        "debug", "info", "warning", "warn", "error", "exception",
+        "critical", "log",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _resolve(node.func, imports)
+            if dotted is None or not dotted.startswith("logging."):
+                continue
+            member = dotted.split(".", 1)[1].split(".")[0]
+            if member in self._BANNED:
+                yield module.finding(
+                    self.id, node,
+                    f"direct `{dotted}(...)`; use "
+                    "repro.telemetry.logging.get_logger so log lines are "
+                    "structured JSON carrying the active trace_id/span_id",
                 )

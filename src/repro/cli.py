@@ -275,9 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("dir", nargs="?", default=".telemetry",
                         help="telemetry directory written by --telemetry "
                              "(default: .telemetry)")
-    report.add_argument("--format", choices=["text", "json"],
+    report.add_argument("--format", choices=["text", "json", "trace"],
                         default="text", dest="output_format",
-                        help="report format")
+                        help="report format (trace renders stitched "
+                             "span trees grouped by trace id)")
 
     return parser
 
@@ -580,6 +581,7 @@ def _run_report(args: argparse.Namespace) -> "tuple[str, int]":
         load_run,
         render_report_json,
         render_report_text,
+        render_report_trace,
     )
 
     try:
@@ -588,6 +590,8 @@ def _run_report(args: argparse.Namespace) -> "tuple[str, int]":
         return f"report error: {exc}", 1
     if args.output_format == "json":
         return render_report_json(manifest, spans), 0
+    if args.output_format == "trace":
+        return render_report_trace(manifest, spans), 0
     return render_report_text(manifest, spans), 0
 
 

@@ -25,7 +25,6 @@ crashing the run.
 from __future__ import annotations
 
 import dataclasses
-import logging
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +32,7 @@ import numpy as np
 from ..datasets import Dataset, make_cifar_like, make_mnist_like, train_test_split
 from ..errors import ConfigurationError, ReproError
 from ..store import ArtifactStore, get_store, spec_hash
+from ..telemetry.logging import get_logger
 from ..nn import (
     Adam,
     AvgPool2D,
@@ -335,7 +335,7 @@ def _train_one(
                            {"software_accuracy": float(accuracy)},
                            spec_hash=fingerprint)
         except (OSError, ReproError) as exc:
-            logging.getLogger("repro.store").warning(
+            get_logger("repro.store").warning(
                 "could not persist %s to cache %s: %s", key, store.root, exc
             )
     return TrainedNetwork(

@@ -45,6 +45,7 @@ from ..kernels import get_backend
 from ..mapping.remap import detect_and_remap
 from ..runtime import CampaignCell, CampaignScheduler, trial_rng
 from ..store import ArtifactStore, get_store, spec_hash
+from ..telemetry import context as _trace
 from ..telemetry import session as _telemetry
 from .injectors import (
     CompositeInjector,
@@ -477,14 +478,20 @@ class FaultCampaign:
             get_backend(compute_backend) if compute_backend is not None
             else None
         )
-        with _telemetry.span(
-            "campaign.run",
-            network=self.spec.network,
-            points=len(self.spec.points()),
-            workers=workers,
-            trial_batch=trial_batch,
-        ):
-            return self._run_inner(max_trials, verbose, workers, trial_batch)
+        # One deterministic trace id per campaign run: the campaign.run
+        # span, every scheduler cell and the grafted worker-side span
+        # trees all stitch under it (no-op without a telemetry session).
+        with _trace.trace_scope():
+            with _telemetry.span(
+                "campaign.run",
+                network=self.spec.network,
+                points=len(self.spec.points()),
+                workers=workers,
+                trial_batch=trial_batch,
+            ):
+                return self._run_inner(
+                    max_trials, verbose, workers, trial_batch
+                )
 
     def _run_inner(self, max_trials: Optional[int], verbose: bool,
                    workers: int, trial_batch: int) -> CampaignResult:

@@ -55,6 +55,28 @@ def _call_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
     return [fn(task) for task in chunk]
 
 
+def _call_chunk_traced(
+    fn: Callable[[Any], Any], chunk: Sequence[Any]
+) -> Tuple[List[Any], List[dict]]:
+    """Traced variant submitted when the parent has telemetry enabled.
+
+    Fork-started workers inherit the parent's active session; the spans
+    the worker function records during this chunk are sliced off the
+    inherited tracer and shipped back as plain dicts alongside the
+    results, so the parent can graft them under its chunk span
+    (:meth:`repro.telemetry.tracer.Tracer.graft_records`) into one
+    cross-process trace.  Under a spawn context (no inherited session)
+    the record list is simply empty.
+    """
+    session = _telemetry.active()
+    if session is None:
+        return [fn(task) for task in chunk], []
+    base = len(session.tracer.spans)
+    results = [fn(task) for task in chunk]
+    records = [span.to_dict() for span in session.tracer.spans[base:]]
+    return results, records
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (workers inherit the parent's prepared state and
     warm caches for free); fall back to the platform default."""
@@ -81,6 +103,11 @@ class ParallelRunner:
     initializer / initargs:
         Optional per-worker-process setup hook (e.g. installing a
         campaign spec in a module global).
+    span_name / span_attrs:
+        Name of the per-chunk span (default ``runner.chunk``) and an
+        optional parent-side callable mapping a chunk to extra span
+        attributes — how the campaign scheduler labels chunks as its
+        cells (``scheduler.cell`` spans carrying the cell key).
     """
 
     def __init__(
@@ -91,6 +118,8 @@ class ParallelRunner:
         max_retries: int = 2,
         initializer: Optional[Callable[..., None]] = None,
         initargs: Tuple[Any, ...] = (),
+        span_name: str = "runner.chunk",
+        span_attrs: Optional[Callable[[Sequence[Any]], dict]] = None,
     ) -> None:
         if chunk_size < 1:
             raise ExecutionError(f"chunk size must be >= 1, got {chunk_size!r}")
@@ -102,8 +131,13 @@ class ParallelRunner:
         self.max_retries = max_retries
         self.initializer = initializer
         self.initargs = initargs
+        self.span_name = span_name
+        self.span_attrs = span_attrs
         #: pool rebuilds performed by the most recent :meth:`map` call
         self.pool_rebuilds = 0
+
+    def _chunk_attrs(self, chunk: Sequence[Any]) -> dict:
+        return self.span_attrs(chunk) if self.span_attrs is not None else {}
 
     # ------------------------------------------------------------------
     def map(
@@ -155,7 +189,8 @@ class ParallelRunner:
             busy += end - start
             if session is not None:
                 session.tracer.record_span(
-                    "runner.chunk", start, end, index=idx, tasks=len(chunk)
+                    self.span_name, start, end, index=idx,
+                    tasks=len(chunk), **self._chunk_attrs(chunk),
                 )
                 session.observe("runner.chunk_seconds", end - start)
         if session is not None:
@@ -239,14 +274,17 @@ class ParallelRunner:
         ) as pool:
             futures = {}
             submitted = {}
+            # With telemetry on, workers ship their span trees back
+            # with the results for cross-process stitching.
+            call = _call_chunk if session is None else _call_chunk_traced
             for idx in sorted(pending):
-                future = pool.submit(_call_chunk, self.worker_fn, chunks[idx])
+                future = pool.submit(call, self.worker_fn, chunks[idx])
                 futures[future] = idx
                 submitted[future] = perf()
             for future in concurrent.futures.as_completed(futures):
                 idx = futures[future]
                 try:
-                    chunk_result = future.result()
+                    payload = future.result()
                 except BrokenProcessPool:
                     crashed = True
                     continue
@@ -264,11 +302,19 @@ class ParallelRunner:
                 end = perf()
                 duration = end - submitted[future]
                 busy[0] += duration
-                if session is not None:
-                    session.tracer.record_span(
-                        "runner.chunk", submitted[future], end,
+                if session is None:
+                    chunk_result = payload
+                else:
+                    chunk_result, worker_records = payload
+                    chunk_span = session.tracer.record_span(
+                        self.span_name, submitted[future], end,
                         index=idx, tasks=len(chunks[idx]),
+                        **self._chunk_attrs(chunks[idx]),
                     )
+                    if worker_records:
+                        session.tracer.graft_records(
+                            worker_records, chunk_span
+                        )
                     session.observe("runner.chunk_seconds", duration)
                 results[idx] = chunk_result
                 pending.discard(idx)

@@ -71,6 +71,18 @@ def _run_keyed(fn: Callable[[Any], Any], task: Tuple[str, Any]) -> Any:
     return fn(task[1])
 
 
+def _cell_span_attrs(chunk: Sequence[Tuple[str, Any]]) -> Dict[str, Any]:
+    """Label a pooled chunk's span with the cell key(s) it carries.
+
+    Runs parent-side (the runner's ``span_attrs`` hook); campaign grids
+    use ``chunk_size=1`` so the common shape is one ``cell`` attribute,
+    but larger chunks stay attributable too.
+    """
+    if len(chunk) == 1:
+        return {"cell": chunk[0][0]}
+    return {"cells": [key for key, _ in chunk]}
+
+
 class CampaignScheduler:
     """Executes a DAG of :class:`CampaignCell` nodes.
 
@@ -186,7 +198,10 @@ class CampaignScheduler:
             local = [cell for cell in ready if cell.local]
             pooled = [cell for cell in ready if not cell.local]
             for cell in local:
-                result = self._run_local(cell)
+                with _telemetry.span(
+                    "scheduler.cell", cell=cell.key, local=True
+                ):
+                    result = self._run_local(cell)
                 results[cell.key] = result
                 if on_result is not None:
                     on_result(cell, result)
@@ -222,6 +237,8 @@ class CampaignScheduler:
             max_retries=self.max_retries,
             initializer=self.initializer,
             initargs=self.initargs,
+            span_name="scheduler.cell",
+            span_attrs=_cell_span_attrs,
         )
         runner.map(
             [(cell.key, cell.payload) for cell in pooled], on_result=merge

@@ -68,7 +68,8 @@ from ..errors import (
     ExecutionError,
 )
 from ..telemetry import session as _telemetry
-from ..telemetry.clock import perf
+from ..telemetry.clock import perf, wall
+from ..telemetry.tracer import Span
 from .registry import ModelEntry
 from .resilience import CircuitBreaker, ComputePool, ServiceTimeEstimator
 
@@ -110,6 +111,9 @@ class _Pending:
     enqueued: float
     #: absolute perf() deadline, or None for "no deadline"
     deadline: Optional[float] = None
+    #: the request's ``serve.request`` root span (trace identity rides
+    #: on it), or None when telemetry is disabled
+    span: Optional[Span] = None
 
 
 class MicroBatcher:
@@ -158,6 +162,15 @@ class MicroBatcher:
         self.breaker_rejected_total = 0
         self.compute_failures_total = 0
         self.compute_timeouts_total = 0
+        #: largest admitted relative deadline (the SLO budget clients
+        #: actually asked for); 0.0 until a deadline request is admitted
+        self.deadline_budget_max_s = 0.0
+        #: fixed-size (wall, queue_depth) ring sampled at every flush —
+        #: kept unconditionally (cheap) so the /metrics trend is
+        #: identical whether telemetry is on or off
+        self._depth_samples: Deque[Tuple[float, int]] = collections.deque(
+            maxlen=64
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -193,8 +206,21 @@ class MicroBatcher:
         service = self.estimator.budget() if busy else value
         return self.window_s + batches_ahead * service
 
+    def depth_trend(self) -> dict:
+        """Min/mean/max queue depth over the retained flush samples."""
+        if not self._depth_samples:
+            return {"count": 0, "min": None, "mean": None, "max": None}
+        depths = [depth for _, depth in self._depth_samples]
+        return {
+            "count": len(depths),
+            "min": min(depths),
+            "mean": sum(depths) / len(depths),
+            "max": max(depths),
+        }
+
     async def submit(
-        self, x: np.ndarray, deadline_s: Optional[float] = None
+        self, x: np.ndarray, deadline_s: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> PredictResult:
         """Queue one request's rows; resolves when its batch flushed.
 
@@ -240,12 +266,15 @@ class MicroBatcher:
                 )
         self.requests_total += 1
         _telemetry.count("serve.requests")
+        if deadline_s is not None and deadline_s > self.deadline_budget_max_s:
+            self.deadline_budget_max_s = deadline_s
         now = perf()
         item = _Pending(
             x=x,
             future=asyncio.get_running_loop().create_future(),
             enqueued=now,
             deadline=None if deadline_s is None else now + deadline_s,
+            span=span,
         )
         self._pending.append(item)
         _telemetry.set_gauge("serve.queue_depth", len(self._pending))
@@ -292,6 +321,8 @@ class MicroBatcher:
     def _shed_expired(self, item: _Pending, now: float) -> None:
         self.shed_expired_total += 1
         _telemetry.count("serve.shed.expired")
+        if item.span is not None:
+            item.span.attrs.setdefault("outcome", "shed-expired")
         if not item.future.done():
             item.future.set_exception(DeadlineExceededError(
                 f"model {self.entry.name!r} request expired after "
@@ -368,16 +399,26 @@ class MicroBatcher:
                 ))
                 _telemetry.set_gauge("serve.queue_depth", 0)
 
-    def _predict_counted(self, x: np.ndarray) -> Tuple[np.ndarray, int]:
-        """Runs on the compute pool: forward + MVM-launch delta."""
+    def _predict_counted(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, int, float, float]:
+        """Runs on the compute pool: forward + MVM-launch delta, plus
+        the perf() bounds of the forward pass itself (so the flush can
+        record a ``serve.compute`` span distinct from pool queueing)."""
         if self._chaos is not None and int(x.shape[0]) > 0:
             self._chaos.before_compute(self.entry.name)
         before = self.entry.executor.total_mvm_launches()
+        compute_start = perf()
         labels = self.entry.predict(x)
-        return labels, self.entry.executor.total_mvm_launches() - before
+        compute_end = perf()
+        launches = self.entry.executor.total_mvm_launches() - before
+        return labels, launches, compute_start, compute_end
 
-    def _fail_batch(self, batch: List[_Pending], exc: Exception) -> None:
+    def _fail_batch(self, batch: List[_Pending], exc: Exception,
+                    outcome: str = "compute-failed") -> None:
         for item in batch:
+            if item.span is not None:
+                item.span.attrs.setdefault("outcome", outcome)
             if not item.future.done():
                 item.future.set_exception(exc)
 
@@ -395,7 +436,9 @@ class MicroBatcher:
             future = asyncio.get_running_loop().run_in_executor(
                 self._compute.executor, self._predict_counted, x
             )
-            labels, launches = await asyncio.wait_for(future, timeout)
+            labels, launches, compute_start, compute_end = (
+                await asyncio.wait_for(future, timeout)
+            )
         except asyncio.TimeoutError:
             # The thread may be hung: abandon the whole executor so the
             # next batch gets a healthy pool, and answer every waiter.
@@ -408,7 +451,7 @@ class MicroBatcher:
                 f"model {self.entry.name!r} forward pass exceeded the "
                 f"{self.compute_timeout_s:g} s compute timeout; the "
                 "compute executor was rebuilt — retry"
-            ))
+            ), outcome="compute-timeout")
             self._inflight = []
             self._cycle_anchor = None
             return
@@ -423,6 +466,7 @@ class MicroBatcher:
         end = perf()
         self.breaker.record_success()
         self.batches_total += 1
+        self._depth_samples.append((wall(), len(self._pending)))
         if total_rows:
             # Back-to-back batches sample the full departure interval
             # (previous flush end → this flush end): under load the
@@ -439,10 +483,31 @@ class MicroBatcher:
         session = _telemetry.active()
         if session is not None:
             session.observe("serve.batch_size", len(batch))
-            session.tracer.record_span(
+            # One batch span linking the member requests' traces; its
+            # own trace identity is the first member's (a batch exists
+            # because that request arrived).
+            member_traces = [
+                item.span.trace_id for item in batch
+                if item.span is not None and item.span.trace_id is not None
+            ]
+            batch_span = session.tracer.record_span(
                 "serve.batch", start, end,
+                trace_id=member_traces[0] if member_traces else None,
                 model=self.entry.name, requests=len(batch), rows=total_rows,
+                traces=member_traces,
             )
+            session.tracer.record_span(
+                "serve.compute", compute_start, compute_end,
+                parent=batch_span, trace_id=batch_span.trace_id,
+                rows=total_rows,
+            )
+            for item in batch:
+                if item.span is not None:
+                    session.tracer.record_span(
+                        "serve.queue", item.enqueued, start,
+                        parent=item.span, trace_id=item.span.trace_id,
+                        batch_span=batch_span.span_id,
+                    )
         offset = 0
         for item, n in zip(batch, rows):
             share = launches * (n / total_rows) if total_rows else 0.0

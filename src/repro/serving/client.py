@@ -104,7 +104,10 @@ def predict(
     With ``retry``, transient outcomes (429/503 and transport
     failures) are retried under the policy; the returned pair is the
     final attempt's.  The response carries ``attempts`` (total tries)
-    when a policy was supplied.
+    when a policy was supplied, plus ``retried_trace_ids`` — the
+    server-assigned trace ids of the *earlier*, retried attempts — so
+    a shed-then-served request stays attributable to every server-side
+    trace it produced.
     """
     payload = {"model": model, "inputs": np.asarray(inputs).tolist()}
     if deadline_ms is not None:
@@ -115,6 +118,15 @@ def predict(
     rng = retry.rng()
     slept = 0.0
     attempt = 0
+    retried_trace_ids: List[str] = []
+
+    def _finish(doc: Dict[str, Any]) -> Dict[str, Any]:
+        if isinstance(doc, dict):
+            doc.setdefault("attempts", attempt + 1)
+            if retried_trace_ids:
+                doc.setdefault("retried_trace_ids", retried_trace_ids)
+        return doc
+
     while True:
         try:
             status, doc = request(host, port, "POST", "/predict",
@@ -131,15 +143,15 @@ def predict(
             continue
         if (not retry.should_retry_status(status)
                 or attempt + 1 >= retry.max_attempts):
-            if isinstance(doc, dict):
-                doc.setdefault("attempts", attempt + 1)
-            return status, doc
+            return status, _finish(doc)
         delay = retry.backoff_s(attempt, rng,
                                 retry_after_s=_retry_after_from(doc))
         if slept + delay > retry.total_budget_s:
-            if isinstance(doc, dict):
-                doc.setdefault("attempts", attempt + 1)
-            return status, doc
+            return status, _finish(doc)
+        # This attempt's answer is about to be discarded for a retry:
+        # keep its server-side trace id before it goes.
+        if isinstance(doc, dict) and isinstance(doc.get("trace_id"), str):
+            retried_trace_ids.append(doc["trace_id"])
         time.sleep(delay)
         slept += delay
         attempt += 1
@@ -178,7 +190,16 @@ class LoadReport:
     mean_batch_requests:
         Server-reported mean coalesced batch size over OK responses —
         ~1 means batching never kicked in.
+    failed_trace_ids / retried_trace_ids:
+        Server-assigned trace ids of final non-200 answers and of
+        attempts a retry policy discarded, capped at
+        ``TRACE_ID_CAP`` each — with a telemetry-enabled daemon this is
+        what makes a chaos-run failure attributable to its exact
+        server-side trace.  Empty when the daemon ran without
+        telemetry.
     """
+
+    TRACE_ID_CAP = 64
 
     concurrency: int
     requests: int
@@ -192,6 +213,8 @@ class LoadReport:
     shed: int = 0
     retries: int = 0
     server_latency_p99_ms: float = 0.0
+    failed_trace_ids: List[str] = dataclasses.field(default_factory=list)
+    retried_trace_ids: List[str] = dataclasses.field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -226,6 +249,8 @@ def run_load(
     errors = [0] * concurrency
     sheds = [0] * concurrency
     retries = [0] * concurrency
+    failed_ids: List[List[str]] = [[] for _ in range(concurrency)]
+    retried_ids: List[List[str]] = [[] for _ in range(concurrency)]
     barrier = threading.Barrier(concurrency + 1)
 
     def worker(wid: int) -> None:
@@ -244,10 +269,15 @@ def run_load(
                 errors[wid] += 1
                 continue
             retries[wid] += max(0, int(doc.get("attempts", 1)) - 1)
+            for trace_id in doc.get("retried_trace_ids", ()):
+                if isinstance(trace_id, str):
+                    retried_ids[wid].append(trace_id)
             if status != 200:
                 errors[wid] += 1
                 if status == 503 and _retry_after_from(doc) is not None:
                     sheds[wid] += 1
+                if isinstance(doc.get("trace_id"), str):
+                    failed_ids[wid].append(doc["trace_id"])
                 continue
             latencies[wid].append(perf() - start)
             server_ms[wid].append(float(doc.get("latency_ms", 0.0)))
@@ -287,4 +317,10 @@ def run_load(
         shed=sum(sheds),
         retries=sum(retries),
         server_latency_p99_ms=flat_server[min(ok - 1, (ok * 99) // 100)],
+        failed_trace_ids=[
+            t for per in failed_ids for t in per
+        ][: LoadReport.TRACE_ID_CAP],
+        retried_trace_ids=[
+            t for per in retried_ids for t in per
+        ][: LoadReport.TRACE_ID_CAP],
     )

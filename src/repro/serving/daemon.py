@@ -131,6 +131,69 @@ class ServingDaemon:
             "failed_models": dict(self.registry.failed),
         }
 
+    def metrics_openmetrics(self) -> str:
+        """OpenMetrics text rendering of the same lifetime counters the
+        JSON snapshot reports, labelled per model.
+
+        Built from the batchers' unconditional counters only — never
+        the telemetry session registry — so the exposition, like the
+        JSON form, is byte-identical whether telemetry is on or off.
+        """
+        from ..telemetry.openmetrics import OpenMetricsBuilder
+        from ..units import MILLI
+
+        snap = self.metrics_snapshot()
+        builder = OpenMetricsBuilder()
+        counter_keys = (
+            "requests", "rejected", "batches", "coalesced",
+            "shed_deadline", "shed_expired", "breaker_rejected",
+            "compute_failures", "compute_timeouts", "breaker_opens",
+        )
+        for name in sorted(snap["models"]):
+            counters = snap["models"][name]
+            labels = {"model": name}
+            for key in counter_keys:
+                builder.counter(
+                    f"repro_serve_{key}", counters[key], labels=labels
+                )
+            builder.gauge(
+                "repro_serve_queue_depth", counters["queue_depth"],
+                labels=labels,
+            )
+            builder.gauge(
+                "repro_serve_breaker_open",
+                1.0 if counters["breaker_state"] == "open" else 0.0,
+                labels=labels,
+            )
+            builder.gauge(
+                "repro_serve_service_ewma_seconds",
+                counters["service_ewma_ms"] * MILLI, labels=labels,
+            )
+            builder.gauge(
+                "repro_serve_service_budget_seconds",
+                counters["service_budget_ms"] * MILLI, labels=labels,
+            )
+            trend = self._batchers[name].depth_trend()
+            if trend["count"]:
+                for stat in ("min", "mean", "max"):
+                    builder.gauge(
+                        "repro_serve_queue_depth_trend", trend[stat],
+                        labels={"model": name, "stat": stat},
+                    )
+        builder.counter(
+            "repro_serve_compute_rebuilds", snap["compute_rebuilds"]
+        )
+        builder.counter(
+            "repro_serve_drain_abandoned", snap["drain_abandoned"]
+        )
+        for name in sorted(snap["failed_models"]):
+            builder.gauge(
+                "repro_serve_model_failed", 1.0,
+                labels={"model": name,
+                        "reason": str(snap["failed_models"][name])},
+            )
+        return builder.render()
+
     # ------------------------------------------------------------------
     async def start(self) -> None:
         if self._server is not None:
@@ -148,6 +211,7 @@ class ServingDaemon:
                 breaker=CircuitBreaker(
                     threshold=config.breaker_threshold,
                     cooldown_s=config.breaker_cooldown_s,
+                    name=name,
                 ),
                 ewma_alpha=config.ewma_alpha,
                 chaos=self.chaos,
@@ -206,6 +270,33 @@ class ServingDaemon:
         if self._compute is not None:
             self._compute.shutdown(wait=not forced)
             self._compute = None
+        session = _telemetry.active()
+        if session is not None:
+            session.manifest.slo = self._slo_summary(session)
+
+    def _slo_summary(self, session) -> Dict[str, Any]:
+        """Admitted-latency p99 vs the largest client deadline budget,
+        recorded into the run manifest at drain for ``repro report
+        --format trace``."""
+        from ..units import MILLI
+
+        hist = session.registry.histogram("serve.latency_seconds")
+        budget_s = max(
+            (b.deadline_budget_max_s for b in self._batchers.values()),
+            default=0.0,
+        )
+        admitted = hist.count
+        p99_ms = hist.quantile(0.99) / MILLI if admitted else None
+        budget_ms = budget_s / MILLI if budget_s > 0 else None
+        return {
+            "admitted": admitted,
+            "admitted_p99_ms": p99_ms,
+            "deadline_budget_ms": budget_ms,
+            "within_budget": (
+                None if p99_ms is None or budget_ms is None
+                else bool(p99_ms <= budget_ms)
+            ),
+        }
 
     # ------------------------------------------------------------------
     async def _main(self, stop: asyncio.Event) -> None:

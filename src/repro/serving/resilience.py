@@ -47,6 +47,9 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..telemetry.clock import monotonic as _monotonic
+from ..telemetry.logging import get_logger
+
+_logger = get_logger("repro.serving.resilience")
 
 __all__ = [
     "ServiceTimeEstimator",
@@ -128,6 +131,7 @@ class CircuitBreaker:
         threshold: int = 5,
         cooldown_s: float = 1.0,
         clock: Callable[[], float] = _monotonic,
+        name: str = "",
     ) -> None:
         if threshold < 1:
             raise ConfigurationError(
@@ -139,6 +143,7 @@ class CircuitBreaker:
             )
         self.threshold = threshold
         self.cooldown_s = cooldown_s
+        self.name = name
         self._clock = clock
         self._state = self.CLOSED
         self._consecutive_failures = 0
@@ -183,10 +188,21 @@ class CircuitBreaker:
             self._state = self.OPEN
             self._opened_at = self._clock()
             self.opens_total += 1
+            _logger.warning(
+                "circuit breaker opened",
+                breaker=self.name,
+                consecutive_failures=self._consecutive_failures,
+                cooldown_s=self.cooldown_s,
+            )
 
     def record_success(self) -> None:
         """One successful batch: closes from any state."""
         self._consecutive_failures = 0
+        if self._state != self.CLOSED:
+            _logger.warning(
+                "circuit breaker closed", breaker=self.name,
+                probes_total=self.probes_total,
+            )
         self._state = self.CLOSED
 
 

@@ -15,7 +15,10 @@ Routes
     Per-model metadata (input shape, ensemble size, queue depth).
 ``GET /metrics``
     Counter snapshot (requests, batches, coalesced, rejected, shed,
-    breaker state, compute rebuilds).
+    breaker state, compute rebuilds).  JSON by default; clients whose
+    ``Accept`` header asks for ``application/openmetrics-text`` get
+    the Prometheus-scrapeable exposition instead (see
+    :mod:`repro.telemetry.openmetrics`).
 ``POST /predict``
     ``{"model": "mlp-1", "inputs": [[...], ...],
     "deadline_ms": 50}`` → ``{"predictions": [...],
@@ -120,8 +123,10 @@ class HTTPFrontend:
             request = await self._parse(reader)
             if request is None:
                 return  # client closed before sending a request line
-            method, path, body = request
-            status, payload, extra = await self._route(method, path, body)
+            method, path, headers, body = request
+            status, payload, extra = await self._route(
+                method, path, headers, body
+            )
         except (asyncio.IncompleteReadError, ConnectionError):
             return
         except _BadRequest as exc:
@@ -133,10 +138,19 @@ class HTTPFrontend:
             )
         finally:
             try:
-                data = json.dumps(payload).encode()
+                # Text payloads (the OpenMetrics exposition) ship verbatim
+                # with the content type the route put in ``extra``.
+                if isinstance(payload, str):
+                    data = payload.encode()
+                    content_type = extra.pop(
+                        "Content-Type", "text/plain; charset=utf-8"
+                    )
+                else:
+                    data = json.dumps(payload).encode()
+                    content_type = "application/json"
                 lines = [
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                    "Content-Type: application/json",
+                    f"Content-Type: {content_type}",
                     f"Content-Length: {len(data)}",
                     f"Server: repro-serve/{__version__}",
                 ]
@@ -173,10 +187,11 @@ class HTTPFrontend:
         if length > _MAX_BODY:
             raise _BadRequest("request body too large", status=413)
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, headers, body
 
     # ------------------------------------------------------------------
-    async def _route(self, method: str, path: str, body: bytes) -> _Reply:
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes) -> _Reply:
         if path == "/predict":
             if method != "POST":
                 return 405, {"error": "POST /predict"}, {}
@@ -193,11 +208,54 @@ class HTTPFrontend:
         if path == "/models":
             return 200, {"models": self.daemon.describe_models()}, {}
         if path == "/metrics":
+            # Content negotiation: OpenMetrics text on request, the
+            # legacy JSON snapshot (byte-identical to before) otherwise.
+            accept = headers.get("accept", "")
+            if "application/openmetrics-text" in accept:
+                from ..telemetry.openmetrics import CONTENT_TYPE
+
+                return (200, self.daemon.metrics_openmetrics(),
+                        {"Content-Type": CONTENT_TYPE})
             return 200, self.daemon.metrics_snapshot(), {}
         return 404, {"error": f"no route {path!r}"}, {}
 
     async def _predict(self, body: bytes) -> _Reply:
+        """Trace-aware wrapper: mints the request's trace id at ingress,
+        opens the ``serve.request`` root span, and stamps the id into
+        the response body (success and error alike) so clients can
+        report which server-side trace a failure belongs to."""
         start = perf()
+        session = _telemetry.active()
+        root = None
+        if session is not None:
+            root = session.tracer.start_span(
+                "serve.request", trace_id=session.new_trace_id()
+            )
+        status = 500
+        try:
+            try:
+                status, payload, extra = await self._predict_inner(
+                    body, start, session, root
+                )
+            # lint: exempt EXC002 model bug becomes this request's HTTP 500
+            except Exception as exc:  # traced like any other outcome
+                status, payload, extra = (
+                    500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+                )
+                if root is not None:
+                    root.attrs.setdefault("outcome", "internal-error")
+        finally:
+            if root is not None:
+                session.tracer.end_span(
+                    root, status="ok" if status == 200 else "error"
+                )
+                root.attrs["status"] = status
+        if root is not None and isinstance(payload, dict):
+            payload["trace_id"] = root.trace_id
+        return status, payload, extra
+
+    async def _predict_inner(self, body: bytes, start: float,
+                             session, root) -> _Reply:
         try:
             doc = json.loads(body.decode())
         except (ValueError, UnicodeDecodeError):
@@ -222,6 +280,13 @@ class HTTPFrontend:
             return 404, {"error": str(exc)}, {}
         except (ShapeError, ValueError) as exc:
             return 400, {"error": str(exc)}, {}
+        if root is not None:
+            root.attrs["model"] = name
+            root.attrs["rows"] = int(x.shape[0])
+            session.tracer.record_span(
+                "serve.parse", start, perf(),
+                parent=root, trace_id=root.trace_id,
+            )
         # Charge the time already spent parsing/validating against the
         # budget, so the enforced window matches what the client (and
         # the reported latency_ms) actually measures end to end.
@@ -230,26 +295,34 @@ class HTTPFrontend:
         else:
             deadline_s = max(deadline_ms * MILLI - (perf() - start), 1e-9)
         try:
-            result = await batcher.submit(x, deadline_s=deadline_s)
+            result = await batcher.submit(
+                x, deadline_s=deadline_s, span=root
+            )
         except DeadlineExceededError as exc:
+            if root is not None:
+                root.attrs.setdefault("outcome", "shed-deadline")
             return _unavailable(str(exc), exc.retry_after_s)
         except CircuitOpenError as exc:
+            if root is not None:
+                root.attrs.setdefault("outcome", "breaker-open")
             return _unavailable(str(exc), exc.retry_after_s)
         except BackpressureError as exc:
+            if root is not None:
+                root.attrs.setdefault(
+                    "outcome",
+                    "draining" if self.daemon.draining else "queue-full",
+                )
             if self.daemon.draining:
                 return _unavailable(str(exc), None)
             return 429, {"error": str(exc)}, {}
         except ExecutionError as exc:
             # Compute timeout or drain abandon: transient, retryable.
+            if root is not None:
+                root.attrs.setdefault("outcome", "compute-failed")
             return _unavailable(str(exc), None)
         end = perf()
-        session = _telemetry.active()
-        if session is not None:
-            session.tracer.record_span(
-                "serve.request", start, end,
-                model=name, rows=int(x.shape[0]),
-                batch_requests=result.batch_requests,
-            )
+        if root is not None:
+            root.attrs["batch_requests"] = result.batch_requests
         return 200, {
             "model": name,
             "predictions": [int(p) for p in result.predictions],

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import io
 import json
-import logging
 import os
 import zipfile
 from typing import Any, Callable, Dict, List, Optional
@@ -41,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..errors import ArtifactError
+from ..telemetry.logging import get_logger
 from .atomic import atomic_write_bytes, sha256_bytes, sha256_file
 from .locking import FileLock
 from .lru import MemoryLRU
@@ -54,7 +54,7 @@ __all__ = [
     "CORRUPT_SUFFIX",
 ]
 
-logger = logging.getLogger("repro.store")
+logger = get_logger("repro.store")
 
 STORE_VERSION = 1
 MANIFEST_SUFFIX = ".manifest.json"

@@ -20,6 +20,13 @@ re-exported here so importing the instrumentation layer stays light.
 """
 
 from .clock import cpu, monotonic, perf, wall
+from .context import (
+    TraceContext,
+    TraceIdAllocator,
+    current_trace_id,
+    trace_scope,
+)
+from .logging import StructuredLogger, get_logger
 from .manifest import MANIFEST_VERSION, RunManifest
 from .metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
 from .session import (
@@ -39,6 +46,8 @@ __all__ = [
     "wall", "monotonic", "perf", "cpu",
     "Counter", "Gauge", "StreamingHistogram", "MetricsRegistry",
     "Span", "Tracer",
+    "TraceContext", "TraceIdAllocator", "current_trace_id", "trace_scope",
+    "StructuredLogger", "get_logger",
     "RunManifest", "MANIFEST_VERSION",
     "TelemetrySession", "enable", "disable", "active", "capture",
     "count", "observe", "set_gauge", "span",

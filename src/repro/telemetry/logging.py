@@ -1,0 +1,131 @@
+"""Structured JSON logging bound to the ambient trace context.
+
+Every log record under the ``repro`` logger tree is rendered as one
+JSON object per line on stderr, carrying ``trace_id`` / ``span_id``
+when a trace scope or span is open — so a cache-quarantine warning
+fired deep inside a campaign worker lands next to the spans of the
+request or cell that triggered it.
+
+Call sites get a :class:`StructuredLogger` from :func:`get_logger`;
+it is drop-in compatible with the stdlib ``%``-style API
+(``log.warning("bad key %s", key)``) and accepts extra keyword fields
+that become structured attributes (``log.warning("quarantined", key=k)``).
+Everywhere outside :mod:`repro.telemetry`, using ``logging.getLogger``
+directly is a lint violation (rule ``OBS001``).
+
+Log *routing* stays stdlib: handlers/levels attach to the ordinary
+``logging.getLogger("repro")`` logger, so applications embedding the
+library can reconfigure it the usual way.
+"""
+
+from __future__ import annotations
+
+import json
+import logging as _stdlib_logging
+import sys
+from typing import Any
+
+from . import context
+from . import session as _session
+
+__all__ = ["StructuredLogger", "JsonLineFormatter", "get_logger"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+class JsonLineFormatter(_stdlib_logging.Formatter):
+    """One sorted-key JSON object per record."""
+
+    def format(self, record: _stdlib_logging.LogRecord) -> str:
+        doc: dict = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = context.current_trace_id()
+        if trace_id is not None:
+            doc["trace_id"] = trace_id
+        active = _session.active()
+        if active is not None:
+            span = active.tracer.current_span
+            if span is not None:
+                doc["span_id"] = span.span_id
+                if trace_id is None and span.trace_id is not None:
+                    doc["trace_id"] = span.trace_id
+        fields = getattr(record, "fields", None)
+        if fields:
+            doc["fields"] = fields
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+def _configure() -> _stdlib_logging.Logger:
+    """Attach the JSON handler to the ``repro`` root logger once.
+
+    Idempotent, and a no-op when the application already installed its
+    own handlers on ``logging.getLogger("repro")``.
+    """
+    global _configured
+    root = _stdlib_logging.getLogger(_ROOT_NAME)
+    if not _configured:
+        if not root.handlers:
+            handler = _stdlib_logging.StreamHandler(sys.stderr)
+            handler.setFormatter(JsonLineFormatter())
+            root.addHandler(handler)
+            root.setLevel(_stdlib_logging.WARNING)
+            root.propagate = False
+        _configured = True
+    return root
+
+
+class StructuredLogger:
+    """Thin wrapper routing ``%``-style records plus keyword fields."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: _stdlib_logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _log(self, level: int, message: str, args: tuple,
+             fields: dict, exc_info: Any = None) -> None:
+        active = _session.active()
+        if active is not None:
+            active.count(
+                "log.records." + _stdlib_logging.getLevelName(level).lower()
+            )
+        self._logger.log(
+            level, message, *args,
+            extra={"fields": fields} if fields else None,
+            exc_info=exc_info,
+        )
+
+    def debug(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(_stdlib_logging.DEBUG, message, args, fields)
+
+    def info(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(_stdlib_logging.INFO, message, args, fields)
+
+    def warning(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(_stdlib_logging.WARNING, message, args, fields)
+
+    def error(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(_stdlib_logging.ERROR, message, args, fields)
+
+    def exception(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(_stdlib_logging.ERROR, message, args, fields,
+                  exc_info=True)
+
+
+def get_logger(name: str = _ROOT_NAME) -> StructuredLogger:
+    """The structured logger for ``name`` (configured on first use)."""
+    _configure()
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = _ROOT_NAME + "." + name
+    return StructuredLogger(_stdlib_logging.getLogger(name))

@@ -84,6 +84,10 @@ class RunManifest:
     finished_at: Optional[float] = None
     duration_s: Optional[float] = None
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    # Optional serving SLO summary (admitted p99 vs deadline budget),
+    # recorded by the daemon at drain; deliberately NOT in
+    # REQUIRED_FIELDS so pre-existing manifests stay valid.
+    slo: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @classmethod

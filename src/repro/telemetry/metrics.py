@@ -16,13 +16,27 @@ cannot change what an experiment computes.
 
 from __future__ import annotations
 
+import bisect
+import collections
 import math
 import zlib
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "StreamingHistogram", "MetricsRegistry"]
+from . import clock
+
+__all__ = [
+    "Counter", "Gauge", "StreamingHistogram", "MetricsRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
+]
+
+# Log-spaced default histogram buckets (1-2.5-5 per decade), wide
+# enough to cover microsecond span costs and multi-second campaigns.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
 
 
 class Counter:
@@ -44,16 +58,46 @@ class Counter:
 
 
 class Gauge:
-    """A last-value-wins instrument (e.g. worker utilisation)."""
+    """A last-value-wins instrument (e.g. worker utilisation).
 
-    __slots__ = ("name", "value")
+    Every ``set`` also lands in a fixed-size ring of
+    ``(wall_seconds, value)`` samples, so scrapes can report the recent
+    trend of fast-moving gauges (queue depth, utilisation) without
+    unbounded memory.
+    """
 
-    def __init__(self, name: str) -> None:
+    RING_SIZE = 64
+
+    __slots__ = ("name", "value", "_ring")
+
+    def __init__(self, name: str, ring_size: int = RING_SIZE) -> None:
         self.name = name
         self.value: Optional[float] = None
+        self._ring: Deque[Tuple[float, float]] = collections.deque(
+            maxlen=ring_size
+        )
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        self._ring.append((clock.wall(), self.value))
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """The retained ``(wall, value)`` ring, oldest first."""
+        return list(self._ring)
+
+    def trend(self) -> dict:
+        """Min/mean/max summary over the retained ring."""
+        if not self._ring:
+            return {"count": 0, "min": None, "mean": None, "max": None,
+                    "window_s": 0.0}
+        values = [value for _, value in self._ring]
+        return {
+            "count": len(values),
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+            "window_s": self._ring[-1][0] - self._ring[0][0],
+        }
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value})"
@@ -69,10 +113,12 @@ class StreamingHistogram:
     """
 
     __slots__ = ("name", "reservoir_size", "count", "total",
-                 "min", "max", "_buffer", "_rng")
+                 "min", "max", "bounds", "_bucket_counts",
+                 "_buffer", "_rng")
 
     def __init__(self, name: str, reservoir_size: int = 1024,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 bounds: Optional[Sequence[float]] = None) -> None:
         from ..errors import ConfigurationError
 
         if reservoir_size < 1:
@@ -85,6 +131,12 @@ class StreamingHistogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # Fixed le-bucket bounds (exact counts, unlike the sampled
+        # reservoir) for OpenMetrics exposition; last slot is +Inf.
+        self.bounds: Tuple[float, ...] = tuple(
+            sorted(bounds) if bounds is not None else DEFAULT_BUCKET_BOUNDS
+        )
+        self._bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self._buffer: List[float] = []
         self._rng = np.random.default_rng(seed)
 
@@ -96,12 +148,28 @@ class StreamingHistogram:
             self.min = v
         if v > self.max:
             self.max = v
+        self._bucket_counts[bisect.bisect_left(self.bounds, v)] += 1
         if len(self._buffer) < self.reservoir_size:
             self._buffer.append(v)
         else:
             slot = int(self._rng.integers(0, self.count))
             if slot < self.reservoir_size:
                 self._buffer[slot] = v
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs ending at ``+Inf``.
+
+        Counts are exact (every observation increments exactly one
+        underlying bucket) and non-decreasing in ``le`` order, matching
+        the Prometheus/OpenMetrics histogram contract.
+        """
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self._bucket_counts):
+            running += n
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self._bucket_counts[-1]))
+        return pairs
 
     @property
     def mean(self) -> float:
@@ -183,6 +251,16 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
+
+    # read paths (name-sorted, for exposition renderers) ---------------
+    def counters(self) -> List[Counter]:
+        return [self._counters[name] for name in sorted(self._counters)]
+
+    def gauges(self) -> List[Gauge]:
+        return [self._gauges[name] for name in sorted(self._gauges)]
+
+    def histograms(self) -> List[StreamingHistogram]:
+        return [self._histograms[name] for name in sorted(self._histograms)]
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -21,7 +21,10 @@ from ..errors import ArtifactError
 from ..units import MILLI
 from .manifest import RunManifest
 
-__all__ = ["load_run", "render_report_text", "render_report_json"]
+__all__ = [
+    "load_run", "render_report_text", "render_report_json",
+    "render_report_trace",
+]
 
 
 def load_run(directory: str) -> Tuple[dict, List[dict]]:
@@ -59,7 +62,7 @@ def load_run(directory: str) -> Tuple[dict, List[dict]]:
     return manifest, spans
 
 
-def _render_span_tree(spans: List[dict]) -> str:
+def _render_span_tree(spans: List[dict], depth_offset: int = 0) -> str:
     if not spans:
         return "(no spans recorded)"
     lines = []
@@ -75,7 +78,7 @@ def _render_span_tree(spans: List[dict]) -> str:
         )
         status = span.get("status", "ok")
         flag = "" if status == "ok" else f" [{status}]"
-        indent = "  " * int(span.get("depth", 0))
+        indent = "  " * max(int(span.get("depth", 0)) - depth_offset, 0)
         lines.append(
             f"{indent}{span['name']}  {duration_txt}{cpu_txt}{attrs}{flag}"
         )
@@ -124,6 +127,66 @@ def render_report_text(manifest: dict, spans: List[dict]) -> str:
                 hist_rows, title="Histograms",
             )
         )
+    return "\n\n".join(sections)
+
+
+def _render_slo_footer(manifest: dict) -> str:
+    slo = manifest.get("slo")
+    if not slo:
+        return "SLO: no serving SLO recorded in this manifest"
+    admitted = slo.get("admitted", 0)
+    p99_ms = slo.get("admitted_p99_ms")
+    budget_ms = slo.get("deadline_budget_ms")
+    if not admitted or p99_ms is None:
+        return "SLO: no admitted requests recorded"
+    line = f"SLO: admitted {admitted} request(s), p99 {p99_ms:.1f} ms"
+    if budget_ms is None:
+        return line + " (no deadline budget requested)"
+    verdict = "within budget" if p99_ms <= budget_ms else "BUDGET MISSED"
+    return line + f" vs deadline budget {budget_ms:.1f} ms — {verdict}"
+
+
+def render_report_trace(manifest: dict, spans: List[dict]) -> str:
+    """Stitched per-trace trees with wall/CPU costs and an SLO footer.
+
+    Spans are grouped by ``trace_id`` (first-seen order, untraced spans
+    last) and each group is rendered as its own tree — for a serving
+    run that is one tree per admitted request; for a campaign, one tree
+    spanning scheduler cells and the grafted worker-side spans.
+    """
+    order: List[str] = []
+    groups: dict = {}
+    untraced: List[dict] = []
+    for span in spans:
+        trace_id = span.get("trace_id")
+        if trace_id is None:
+            untraced.append(span)
+            continue
+        if trace_id not in groups:
+            groups[trace_id] = []
+            order.append(trace_id)
+        groups[trace_id].append(span)
+
+    sections = [
+        f"Trace report — command {manifest['command']!r}, "
+        f"{len(spans)} span(s), {len(order)} trace(s)"
+    ]
+    for trace_id in order:
+        members = groups[trace_id]
+        base_depth = min(int(span.get("depth", 0)) for span in members)
+        wall_s = sum(span.get("duration_s") or 0.0 for span in members
+                     if int(span.get("depth", 0)) == base_depth)
+        header = (f"trace {trace_id} — {len(members)} span(s), "
+                  f"{wall_s / MILLI:.1f} ms")
+        sections.append(
+            header + "\n" + _render_span_tree(members, depth_offset=base_depth)
+        )
+    if untraced:
+        sections.append(
+            f"(untraced) — {len(untraced)} span(s)\n"
+            + _render_span_tree(untraced)
+        )
+    sections.append(_render_slo_footer(manifest))
     return "\n\n".join(sections)
 
 

@@ -27,6 +27,7 @@ import contextlib
 import os
 from typing import Any, Iterator, Optional, Sequence
 
+from .context import TraceIdAllocator, derive_trace_seed
 from .manifest import RunManifest
 from .metrics import MetricsRegistry
 from .tracer import Tracer
@@ -55,6 +56,9 @@ class TelemetrySession:
         self.manifest = RunManifest.begin(
             command, argv=argv, config=config, seed=seed
         )
+        self.trace_ids = TraceIdAllocator(
+            seed=derive_trace_seed(command, seed)
+        )
         self._finalized = False
 
     # write paths ------------------------------------------------------
@@ -69,6 +73,10 @@ class TelemetrySession:
 
     def span(self, name: str, **attrs: Any):
         return self.tracer.span(name, **attrs)
+
+    def new_trace_id(self) -> str:
+        """Mint the next deterministic trace id (counter, never RNG)."""
+        return self.trace_ids.new_trace_id()
 
     # lifecycle --------------------------------------------------------
     def finalize(self) -> RunManifest:

@@ -21,6 +21,7 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert set(RULES) >= {
             "RNG001", "IO001", "UNIT001", "TEST001", "ERR001", "TEL001",
+            "OBS001",
         }
 
     def test_rules_have_metadata(self):
@@ -449,6 +450,88 @@ class TestTel001:
             t = time.monotonic()
             """,
             "TEL001",
+            path="tests/test_w.py",
+            scope="tests",
+        )
+        assert len(findings) == 1
+
+
+class TestObs001:
+    def test_flags_getLogger(self):
+        findings = run(
+            """
+            import logging
+            logger = logging.getLogger("repro.store")
+            """,
+            "OBS001",
+        )
+        assert len(findings) == 1
+        assert "logging.getLogger" in findings[0].message
+        assert "get_logger" in findings[0].message
+
+    def test_flags_from_import_form(self):
+        findings = run(
+            """
+            from logging import getLogger
+            logger = getLogger(__name__)
+            """,
+            "OBS001",
+        )
+        assert len(findings) == 1
+
+    def test_flags_root_logger_calls_and_basicConfig(self):
+        findings = run(
+            """
+            import logging
+            logging.basicConfig(level=10)
+            logging.warning("free-form %s", "text")
+            logging.error("boom")
+            """,
+            "OBS001",
+        )
+        assert len(findings) == 3
+
+    def test_allows_structured_logger(self):
+        findings = run(
+            """
+            from repro.telemetry.logging import get_logger
+            log = get_logger("repro.store")
+            log.warning("quarantined", key="a/b")
+            """,
+            "OBS001",
+        )
+        assert findings == []
+
+    def test_allows_non_call_mentions(self):
+        # Only *calls* are flagged: type annotations / attribute reads
+        # that never invoke the stdlib API pass clean.
+        findings = run(
+            """
+            import logging
+            LEVEL = logging.WARNING
+            """,
+            "OBS001",
+        )
+        assert findings == []
+
+    def test_exempt_inside_telemetry_package(self):
+        findings = run(
+            """
+            import logging
+            root = logging.getLogger("repro")
+            """,
+            "OBS001",
+            path="src/repro/telemetry/logging.py",
+        )
+        assert findings == []
+
+    def test_applies_in_tests_scope(self):
+        findings = run(
+            """
+            import logging
+            logger = logging.getLogger("x")
+            """,
+            "OBS001",
             path="tests/test_w.py",
             scope="tests",
         )

@@ -106,6 +106,32 @@ class TestRun:
         assert "4 trial(s) from store" in text
 
 
+class TestCampaignTrace:
+    def test_campaign_spans_share_one_trace(self, spec, tmp_path,
+                                            monkeypatch):
+        """campaign.run mints one trace id; scheduler cells and trial
+        groups stitch under it."""
+        from repro.telemetry import session as telemetry
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "models"))
+        store = ArtifactStore(str(tmp_path / "records"))
+        with telemetry.capture() as session:
+            FaultCampaign(spec, store=store).run()
+        by_name = {}
+        for span in session.tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        (run_span,) = by_name["campaign.run"]
+        assert run_span.trace_id is not None
+        for name in ("scheduler.cell", "campaign.trial_group"):
+            assert by_name[name], f"no {name} spans recorded"
+            assert all(s.trace_id == run_span.trace_id
+                       for s in by_name[name])
+        # The 4-point grid at trial_batch=1: one group span per trial,
+        # plus the parent-side prepare cell.
+        assert len(by_name["campaign.trial_group"]) == 4
+        assert len(by_name["scheduler.cell"]) == 5
+
+
 class TestCLI:
     def test_faults_subcommand_parses(self):
         from repro.cli import build_parser

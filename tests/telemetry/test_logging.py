@@ -1,0 +1,124 @@
+"""Structured logging: JSON lines, trace correlation, stdlib compat."""
+
+import io
+import json
+import logging
+
+from repro.telemetry import context
+from repro.telemetry import session as telemetry
+from repro.telemetry.logging import (
+    JsonLineFormatter,
+    StructuredLogger,
+    get_logger,
+)
+
+
+def capture_logger(name):
+    """A structured logger plus a buffer receiving its JSON lines."""
+    log = get_logger(name)
+    buffer = io.StringIO()
+    handler = logging.StreamHandler(buffer)
+    handler.setFormatter(JsonLineFormatter())
+    stdlib = log._logger
+    stdlib.addHandler(handler)
+    stdlib.setLevel(logging.DEBUG)
+    stdlib.propagate = False
+    return log, buffer, stdlib, handler
+
+
+def last_line(buffer):
+    return json.loads(buffer.getvalue().strip().splitlines()[-1])
+
+
+class TestJsonLines:
+    def test_record_is_one_json_object(self):
+        log, buffer, stdlib, handler = capture_logger("unit.jsonline")
+        try:
+            log.warning("disk %s is %d%% full", "sda", 93)
+        finally:
+            stdlib.removeHandler(handler)
+        doc = last_line(buffer)
+        assert doc["message"] == "disk sda is 93% full"
+        assert doc["level"] == "warning"
+        assert doc["logger"] == "repro.unit.jsonline"
+        assert isinstance(doc["ts"], float)
+
+    def test_keyword_fields_become_structured_attributes(self):
+        log, buffer, stdlib, handler = capture_logger("unit.fields")
+        try:
+            log.warning("quarantined", key="a/b.npz", reason="sha mismatch")
+        finally:
+            stdlib.removeHandler(handler)
+        doc = last_line(buffer)
+        assert doc["fields"] == {"key": "a/b.npz", "reason": "sha mismatch"}
+
+    def test_exception_carries_traceback(self):
+        log, buffer, stdlib, handler = capture_logger("unit.exc")
+        try:
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError:
+                log.exception("compute failed")
+        finally:
+            stdlib.removeHandler(handler)
+        doc = last_line(buffer)
+        assert "RuntimeError: boom" in doc["exc"]
+        assert doc["level"] == "error"
+
+
+class TestTraceCorrelation:
+    def test_trace_id_injected_from_ambient_scope(self):
+        log, buffer, stdlib, handler = capture_logger("unit.trace")
+        try:
+            with context.trace_scope("feed-1"):
+                log.warning("inside the trace")
+            log.warning("outside the trace")
+        finally:
+            stdlib.removeHandler(handler)
+        inside, outside = [
+            json.loads(line)
+            for line in buffer.getvalue().strip().splitlines()
+        ]
+        assert inside["trace_id"] == "feed-1"
+        assert "trace_id" not in outside
+
+    def test_span_id_injected_from_open_span(self):
+        log, buffer, stdlib, handler = capture_logger("unit.span")
+        try:
+            with telemetry.capture() as session:
+                with session.span("work.step"):
+                    log.warning("mid-span")
+        finally:
+            stdlib.removeHandler(handler)
+        doc = last_line(buffer)
+        assert doc["span_id"] == 0
+
+    def test_log_records_counted_when_session_active(self):
+        log, buffer, stdlib, handler = capture_logger("unit.count")
+        try:
+            with telemetry.capture() as session:
+                log.warning("one")
+                log.warning("two")
+                log.error("three")
+        finally:
+            stdlib.removeHandler(handler)
+        counters = session.registry.snapshot()["counters"]
+        assert counters["log.records.warning"] == 2
+        assert counters["log.records.error"] == 1
+
+
+class TestGetLogger:
+    def test_names_prefixed_under_repro(self):
+        assert get_logger("store").name == "repro.store"
+        assert get_logger("repro.store").name == "repro.store"
+        assert get_logger().name == "repro"
+
+    def test_returns_structured_logger(self):
+        assert isinstance(get_logger("x"), StructuredLogger)
+
+    def test_root_handler_attached_once(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")  # lint: exempt OBS001 asserting on the adapter's own wiring
+        assert len(root.handlers) == 1
+        assert root.propagate is False

@@ -39,6 +39,8 @@ class TestParser:
         args = parser.parse_args(["report", "runs/x", "--format", "json"])
         assert args.dir == "runs/x"
         assert args.output_format == "json"
+        args = parser.parse_args(["report", "runs/x", "--format", "trace"])
+        assert args.output_format == "trace"
 
 
 class TestStdoutIdentity:
@@ -122,6 +124,62 @@ class TestFig7Report:
 
         assert manifest["config_fingerprint"] == fingerprint(
             ["fig7", "--fast", "--telemetry", "elsewhere"])
+
+
+class TestTraceReport:
+    @pytest.fixture
+    def traced_run(self, tmp_path):
+        """A saved session with two stitched traces and an SLO record."""
+        from repro.telemetry.clock import perf
+        from repro.telemetry.session import TelemetrySession
+
+        session = TelemetrySession(command="serve", seed=0)
+        for _ in range(2):
+            trace_id = session.new_trace_id()
+            root = session.tracer.start_span(
+                "serve.request", trace_id=trace_id
+            )
+            session.tracer.record_span(
+                "serve.parse", perf(), perf(), parent=root,
+                trace_id=trace_id,
+            )
+            session.tracer.end_span(root)
+        session.tracer.record_span("serve.drain", perf(), perf())
+        session.manifest.slo = {
+            "admitted": 2,
+            "admitted_p99_ms": 4.2,
+            "deadline_budget_ms": 50.0,
+            "within_budget": True,
+        }
+        directory = str(tmp_path / "tel")
+        session.save(directory)
+        return directory
+
+    def test_trace_format_groups_by_trace_id(self, traced_run, capsys):
+        assert main(["report", traced_run, "--format", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trace(s)" in out
+        assert out.count("trace ") == 2
+        assert out.count("serve.request") == 2
+        assert "(untraced) — 1 span(s)" in out
+        assert "serve.drain" in out
+
+    def test_trace_format_renders_slo_footer(self, traced_run, capsys):
+        assert main(["report", traced_run, "--format", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO: admitted 2 request(s), p99 4.2 ms" in out
+        assert "within budget" in out
+
+    def test_trace_format_without_slo(self, tmp_path, capsys):
+        from repro.telemetry.session import TelemetrySession
+
+        session = TelemetrySession(command="table2", seed=0)
+        directory = str(tmp_path / "tel")
+        session.save(directory)
+        assert main(["report", directory, "--format", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "0 trace(s)" in out
+        assert "SLO: no serving SLO recorded" in out
 
 
 class TestReportErrors:
